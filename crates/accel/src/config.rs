@@ -1,0 +1,94 @@
+//! Accelerator configuration (Table I, "CIM Parameter").
+
+use cim_pcm::{AdcConfig, CellConfig, Fidelity, PcmEnergyModel};
+
+/// Static configuration of the CIM accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// Crossbar word lines — the stationary operand's *input* dimension
+    /// capacity (paper: 256).
+    pub rows: usize,
+    /// Crossbar bit lines — the stationary operand's *output* dimension
+    /// capacity (paper: 256 logical 8-bit columns, realized as two 4-bit
+    /// device columns each).
+    pub cols: usize,
+    /// PCM cell parameters (4-bit IBM PCM).
+    pub cell: CellConfig,
+    /// Shared-ADC configuration.
+    pub adc: AdcConfig,
+    /// Energy/latency constants.
+    pub energy: PcmEnergyModel,
+    /// Input/output buffer capacity in bytes (paper: 1.5 KiB).
+    pub buffer_bytes: usize,
+    /// Numerical fidelity of the compute path.
+    pub fidelity: Fidelity,
+    /// Whether the micro-engine double-buffers DMA against compute
+    /// (Section II-C).
+    pub double_buffering: bool,
+    /// Maximum number of timeline events retained.
+    pub timeline_capacity: usize,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        AccelConfig {
+            rows: 256,
+            cols: 256,
+            cell: CellConfig::default(),
+            adc: AdcConfig::default(),
+            energy: PcmEnergyModel::default(),
+            buffer_bytes: 1536,
+            fidelity: Fidelity::Exact,
+            double_buffering: true,
+            timeline_capacity: 4096,
+        }
+    }
+}
+
+impl AccelConfig {
+    /// A small crossbar for fast unit tests.
+    pub fn test_small() -> Self {
+        AccelConfig { rows: 8, cols: 8, buffer_bytes: 64, ..AccelConfig::default() }
+    }
+
+    /// Logical crossbar capacity in 8-bit cells.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Crossbar capacity in bytes (one byte per logical 8-bit cell).
+    pub fn capacity_bytes(&self) -> usize {
+        self.cells()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry.
+    pub fn validate(&self) {
+        assert!(self.rows > 0 && self.cols > 0, "crossbar must be non-empty");
+        assert!(self.buffer_bytes > 0, "buffers must be non-empty");
+        assert_eq!(self.cell.bits, 4, "8-bit cells are built from two 4-bit devices");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_i() {
+        let c = AccelConfig::default();
+        assert_eq!(c.rows, 256);
+        assert_eq!(c.cols, 256);
+        assert_eq!(c.cells(), 65536);
+        assert_eq!(c.buffer_bytes, 1536);
+        c.validate();
+    }
+
+    #[test]
+    fn small_config_valid() {
+        AccelConfig::test_small().validate();
+    }
+}

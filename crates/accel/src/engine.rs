@@ -1,0 +1,415 @@
+//! The micro-engine: GEMM/GEMV/batched/conv2d execution.
+//!
+//! "The micro-engine translates the high-level parameters stored in the
+//! context registers into a series of circuit-level operations such as
+//! loading the data from shared memory to row/column buffers, configuring
+//! the mask values, triggering the computation on CIM tile, and writing
+//! back the results from the output buffers to the shared memory.
+//! Additionally, it manages the control flow involved in decomposing GEMM
+//! to a series of GEMVs and supports double buffering" (Section II-C).
+//!
+//! Mapping: the stationary operand is `op(A)` loaded *transposed* into the
+//! crossbar (`G[k][m] = op(A)[m][k]`) so that word lines carry the
+//! reduction dimension and bit lines produce output rows. Each GEMV
+//! streams one column of `B` and produces one column segment of `C`.
+//! K- and M-dimensions larger than the crossbar are tiled; partial results
+//! accumulate through read-modify-write of `C` (Listing 3's tiling is the
+//! compiler-side counterpart that maximizes tile reuse).
+
+use cim_machine::units::SimTime;
+use cim_machine::Machine;
+
+use crate::buffers::BufferKind;
+use crate::tile::TileKey;
+use crate::timeline::EventKind;
+use crate::CimAccelerator;
+
+/// Errors detected by the micro-engine while decoding a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The requested variant is not implemented in hardware.
+    Unsupported(String),
+    /// Dimensions or leading dimensions are inconsistent.
+    BadDims(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Unsupported(s) => write!(f, "unsupported operation: {s}"),
+            EngineError::BadDims(s) => write!(f, "bad dimensions: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Decoded GEMM parameters (row-major operands, physical addresses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmParams {
+    /// Rows of `C` / rows of `op(A)`.
+    pub m: usize,
+    /// Columns of `C` / columns of `op(B)`.
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Scale on the product.
+    pub alpha: f32,
+    /// Scale on the existing `C`.
+    pub beta: f32,
+    /// Physical address of `A`.
+    pub a: u64,
+    /// Leading dimension (row stride in elements) of `A`.
+    pub lda: usize,
+    /// Whether `op(A) = A^T`.
+    pub trans_a: bool,
+    /// Physical address of `B`.
+    pub b: u64,
+    /// Leading dimension of `B`.
+    pub ldb: usize,
+    /// Whether `op(B) = B^T` (not supported by the engine).
+    pub trans_b: bool,
+    /// Physical address of `C`.
+    pub c: u64,
+    /// Leading dimension of `C`.
+    pub ldc: usize,
+}
+
+impl GemmParams {
+    fn validate(&self) -> Result<(), EngineError> {
+        if self.trans_b {
+            return Err(EngineError::Unsupported("transposed B operand".into()));
+        }
+        if self.m == 0 || self.n == 0 || self.k == 0 {
+            return Err(EngineError::BadDims(format!(
+                "m={}, n={}, k={} must be positive",
+                self.m, self.n, self.k
+            )));
+        }
+        // op(A) is m x k: row-major A is m x lda (or k x lda transposed).
+        let min_lda = if self.trans_a { self.m } else { self.k };
+        if self.lda < min_lda || self.ldb < self.n || self.ldc < self.n {
+            return Err(EngineError::BadDims(format!(
+                "lda={} (min {min_lda}), ldb={} (min {}), ldc={} (min {})",
+                self.lda, self.ldb, self.n, self.ldc, self.n
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decoded single-channel 2-D convolution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvParams {
+    /// Physical address of the `h x w` image.
+    pub img: u64,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+    /// Physical address of the `fh x fw` filter.
+    pub filt: u64,
+    /// Filter height.
+    pub fh: usize,
+    /// Filter width.
+    pub fw: usize,
+    /// Physical address of the `(h-fh+1) x (w-fw+1)` output.
+    pub out: u64,
+}
+
+impl CimAccelerator {
+    /// Per-GEMV step time: crossbar compute vs. the DMA traffic of the
+    /// step. With double buffering (Section II-C) DMA overlaps compute.
+    /// Shared by the functional engine and the analytic estimator so they
+    /// can never diverge.
+    pub(crate) fn gemv_step_time(&self, in_bytes: u64, out_rmw_bytes: u64) -> (SimTime, SimTime) {
+        let compute = self.cfg.energy.compute_time(1);
+        let dma = self.bus_cfg_estimate(in_bytes) + self.bus_cfg_estimate(out_rmw_bytes);
+        if self.cfg.double_buffering {
+            (compute.max(dma), dma)
+        } else {
+            (compute + dma, dma)
+        }
+    }
+
+    pub(crate) fn bus_cfg_estimate(&self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        self.bus_cfg.dma_setup + SimTime::from_ns(bytes as f64 / self.bus_cfg.dma_bytes_per_ns)
+    }
+
+    /// Executes a GEMM, returning the busy duration.
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn run_gemm(
+        &mut self,
+        mach: &mut Machine,
+        p: &GemmParams,
+        t0: SimTime,
+    ) -> Result<SimTime, EngineError> {
+        p.validate()?;
+        let tr = self.cfg.rows;
+        let tc = self.cfg.cols;
+        let mut t = SimTime::ZERO;
+        let mut g = vec![0f32; tr * tc];
+        let mut x = vec![0f32; tr];
+        let mut cseg = vec![0f32; tc];
+
+        let mut m0 = 0;
+        while m0 < p.m {
+            let mt = tc.min(p.m - m0);
+            let mut k0 = 0;
+            while k0 < p.k {
+                let kt = tr.min(p.k - k0);
+                let key = TileKey {
+                    base_pa: p.a,
+                    ld: p.lda,
+                    transposed: p.trans_a,
+                    origin: (m0, k0),
+                    extent: (kt, mt),
+                    generation: self.generation,
+                };
+                if self.tile.resident() != Some(&key) {
+                    // Gather op(A)[m0..m0+mt][k0..k0+kt] transposed into G.
+                    for r in 0..kt {
+                        if p.trans_a {
+                            // op(A)[m][k] = A[k][m]: row k0+r of A, cols m0..
+                            let base = p.a + 4 * ((k0 + r) * p.lda + m0) as u64;
+                            let mut row = vec![0f32; mt];
+                            self.dma.read_f32s(mach, base, &mut row);
+                            g[r * mt..(r + 1) * mt].copy_from_slice(&row);
+                        } else {
+                            // op(A)[m][k] = A[m][k]: column k0+r of A, rows m0..
+                            let base = p.a + 4 * (m0 * p.lda + k0 + r) as u64;
+                            let mut col = vec![0f32; mt];
+                            self.dma.read_f32s_strided(mach, base, mt, p.lda, &mut col);
+                            g[r * mt..(r + 1) * mt].copy_from_slice(&col);
+                        }
+                    }
+                    let tile_bytes = (kt * mt * 4) as u64;
+                    let dma_t = self.bus_cfg_estimate(tile_bytes);
+                    self.buffers.stage(BufferKind::Column, kt * mt);
+                    self.stats.buffers += self.cfg.energy.buffer_energy(2 * (kt * mt) as u64);
+                    let receipt = self.tile.install(key, &g[..kt * mt], kt, mt);
+                    debug_assert!(!receipt.resident_hit);
+                    let install_t = self.cfg.energy.write_time(receipt.rows_programmed);
+                    self.stats.cell_writes += receipt.cells_written;
+                    self.stats.rows_programmed += receipt.rows_programmed;
+                    self.stats.crossbar_write +=
+                        self.cfg.energy.write_energy(receipt.cells_written);
+                    self.stats.install_time += install_t;
+                    self.stats.dma_exposed_time += dma_t;
+                    self.timeline.push(
+                        EventKind::WriteCrossbar,
+                        t0 + t + dma_t,
+                        t0 + t + dma_t + install_t,
+                        format!("install A tile m0={m0} k0={k0} ({kt}x{mt})"),
+                    );
+                    t += dma_t + install_t;
+                }
+
+                let first_read_c = k0 == 0 && p.beta == 0.0;
+                for j in 0..p.n {
+                    // Stream column j of B into the row buffer.
+                    let bbase = p.b + 4 * (k0 * p.ldb + j) as u64;
+                    self.dma.read_f32s_strided(mach, bbase, kt, p.ldb, &mut x[..kt]);
+                    let (y, receipt) = self.tile.gemv(&x[..kt]);
+                    // Read-modify-write the C column segment.
+                    let cbase = p.c + 4 * (m0 * p.ldc + j) as u64;
+                    let reads_c = !(first_read_c);
+                    if reads_c {
+                        self.dma.read_f32s_strided(mach, cbase, mt, p.ldc, &mut cseg[..mt]);
+                    }
+                    for i in 0..mt {
+                        let old = if k0 == 0 {
+                            if p.beta == 0.0 { 0.0 } else { p.beta * cseg[i] }
+                        } else {
+                            cseg[i]
+                        };
+                        cseg[i] = old + p.alpha * y[i];
+                    }
+                    // Scatter back (strided store, element-wise).
+                    for i in 0..mt {
+                        let addr = cbase + 4 * (i * p.ldc) as u64;
+                        mach.uncached_write(addr, &cseg[i].to_le_bytes());
+                    }
+                    let out_bytes = (mt * 4 * if reads_c { 2 } else { 1 }) as u64;
+                    let in_bytes = (kt * 4) as u64;
+                    let (step, dma_t) = self.gemv_step_time(in_bytes, out_bytes);
+                    t += step;
+                    self.account_gemv(receipt.active_cells, receipt.useful_macs, kt, mt, receipt.extra_alu_ops + 2 * mt as u64);
+                    if dma_t > self.cfg.energy.compute_time(1) {
+                        self.stats.dma_exposed_time += dma_t - self.cfg.energy.compute_time(1);
+                    }
+                    if j < 2 {
+                        self.timeline.push(
+                            EventKind::Compute,
+                            t0 + t - step,
+                            t0 + t,
+                            format!("gemv j={j} (tile m0={m0} k0={k0})"),
+                        );
+                    }
+                }
+                k0 += kt;
+            }
+            m0 += mt;
+        }
+        self.stats.compute_time += self.cfg.energy.compute_time(0); // no-op, keeps field alive
+        Ok(t)
+    }
+
+    fn account_gemv(&mut self, active_cells: u64, macs: u64, in_bytes: usize, out_bytes: usize, alu_ops: u64) {
+        self.stats.gemv_count += 1;
+        self.stats.macs += macs;
+        self.stats.crossbar_compute += self.cfg.energy.compute_energy(active_cells);
+        self.stats.mixed_signal += self.cfg.energy.mixed_signal_energy(1);
+        self.stats.digital += self.cfg.energy.digital_energy(1, alu_ops);
+        self.stats.dma_engine += self.cfg.energy.dma_engine_energy(1);
+        self.buffers.stage(BufferKind::Row, in_bytes);
+        self.buffers.stage(BufferKind::Output, out_bytes);
+        self.stats.buffers += self.cfg.energy.buffer_energy(2 * (in_bytes + out_bytes) as u64);
+        self.stats.compute_time += self.cfg.energy.compute_time(1);
+    }
+
+    /// Executes a batch of GEMMs sharing dimensions and scales; the
+    /// descriptor table holds `(addr_a, addr_b, addr_c)` triples. Batches
+    /// that share `A` hit tile residency and skip reprogramming — the
+    /// fusion endurance win of Listing 2.
+    pub(crate) fn run_gemm_batched(
+        &mut self,
+        mach: &mut Machine,
+        template: &GemmParams,
+        table_pa: u64,
+        count: usize,
+        t0: SimTime,
+    ) -> Result<SimTime, EngineError> {
+        if count == 0 {
+            return Err(EngineError::BadDims("empty batch".into()));
+        }
+        let (descr, mut t) = self.dma.read_u64s(mach, table_pa, count * 3);
+        for i in 0..count {
+            let p = GemmParams {
+                a: descr[3 * i],
+                b: descr[3 * i + 1],
+                c: descr[3 * i + 2],
+                ..*template
+            };
+            t += self.run_gemm(mach, &p, t0 + t)?;
+        }
+        Ok(t)
+    }
+
+    /// Executes a single-channel 2-D convolution by installing the filter
+    /// as a doubly-blocked Toeplitz operand: word lines carry `fh`
+    /// consecutive image-row segments, bit lines produce a run of output
+    /// pixels, so one GEMV computes `seg` outputs with all `fh*fw` taps.
+    pub(crate) fn run_conv2d(
+        &mut self,
+        mach: &mut Machine,
+        p: &ConvParams,
+        t0: SimTime,
+    ) -> Result<SimTime, EngineError> {
+        if p.fh == 0 || p.fw == 0 || p.h < p.fh || p.w < p.fw {
+            return Err(EngineError::BadDims(format!(
+                "image {}x{} filter {}x{}",
+                p.h, p.w, p.fh, p.fw
+            )));
+        }
+        let out_h = p.h - p.fh + 1;
+        let out_w = p.w - p.fw + 1;
+        let seg_in = self.cfg.rows / p.fh;
+        if seg_in < p.fw {
+            return Err(EngineError::Unsupported(format!(
+                "filter width {} exceeds per-row segment {seg_in}",
+                p.fw
+            )));
+        }
+        let seg_out = (seg_in - (p.fw - 1)).min(out_w).min(self.cfg.cols);
+        let in_dim = p.fh * seg_in;
+
+        // Fetch the filter and build the Toeplitz operand.
+        let mut filt = vec![0f32; p.fh * p.fw];
+        let mut t = self.dma.read_f32s(mach, p.filt, &mut filt);
+        let mut g = vec![0f32; in_dim * seg_out];
+        for fr in 0..p.fh {
+            for fc in 0..p.fw {
+                for c in 0..seg_out {
+                    let r = fr * seg_in + c + fc;
+                    g[r * seg_out + c] = filt[fr * p.fw + fc];
+                }
+            }
+        }
+        let key = TileKey {
+            base_pa: p.filt,
+            ld: p.fw,
+            transposed: false,
+            origin: (0, 0),
+            extent: (in_dim, seg_out),
+            generation: self.generation,
+        };
+        if self.tile.resident() != Some(&key) {
+            let receipt = self.tile.install(key, &g, in_dim, seg_out);
+            let install_t = self.cfg.energy.write_time(receipt.rows_programmed);
+            self.stats.cell_writes += receipt.cells_written;
+            self.stats.rows_programmed += receipt.rows_programmed;
+            self.stats.crossbar_write += self.cfg.energy.write_energy(receipt.cells_written);
+            self.stats.install_time += install_t;
+            self.buffers.stage(BufferKind::Column, in_dim * seg_out);
+            self.stats.buffers += self.cfg.energy.buffer_energy(2 * (in_dim * seg_out) as u64);
+            self.timeline.push(
+                EventKind::WriteCrossbar,
+                t0 + t,
+                t0 + t + install_t,
+                format!("install Toeplitz filter ({in_dim}x{seg_out})"),
+            );
+            t += install_t;
+        }
+
+        let mut v = vec![0f32; in_dim];
+        let mut first = true;
+        for oi in 0..out_h {
+            let mut s0 = 0;
+            while s0 < out_w {
+                let n_out = seg_out.min(out_w - s0);
+                v.iter_mut().for_each(|x| *x = 0.0);
+                let valid = seg_in.min(p.w - s0);
+                for fr in 0..p.fh {
+                    let base = p.img + 4 * ((oi + fr) * p.w + s0) as u64;
+                    let mut seg = vec![0f32; valid];
+                    self.dma.read_f32s(mach, base, &mut seg);
+                    v[fr * seg_in..fr * seg_in + valid].copy_from_slice(&seg);
+                }
+                let (y, receipt) = self.tile.gemv(&v);
+                // Accumulate into the existing output (the kernel is a
+                // reduction: out[i][j] += ...), read-modify-write via DMA.
+                let obase = p.out + 4 * (oi * out_w + s0) as u64;
+                let mut oseg = vec![0f32; n_out];
+                self.dma.read_f32s(mach, obase, &mut oseg);
+                for (o, yv) in oseg.iter_mut().zip(&y[..n_out]) {
+                    *o += yv;
+                }
+                self.dma.write_f32s(mach, obase, &oseg);
+                let in_bytes = (p.fh * valid * 4) as u64;
+                let out_bytes = (2 * n_out * 4) as u64;
+                let (step, dma_t) = self.gemv_step_time(in_bytes, out_bytes);
+                t += step;
+                let useful = (p.fh * p.fw * n_out) as u64;
+                self.account_gemv(receipt.active_cells, useful, p.fh * valid, n_out, receipt.extra_alu_ops);
+                if dma_t > self.cfg.energy.compute_time(1) {
+                    self.stats.dma_exposed_time += dma_t - self.cfg.energy.compute_time(1);
+                }
+                if first {
+                    self.timeline.push(
+                        EventKind::Compute,
+                        t0 + t - step,
+                        t0 + t,
+                        format!("conv gemv row {oi}, seg {s0} (+{n_out})"),
+                    );
+                    first = false;
+                }
+                s0 += n_out;
+            }
+        }
+        Ok(t)
+    }
+}

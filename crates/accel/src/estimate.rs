@@ -1,0 +1,276 @@
+//! Analytic cost estimator for accelerator operations.
+//!
+//! Mirrors the micro-engine's loops without touching data, so costs can be
+//! predicted (a) by the offload cost model of the Selective policy,
+//! (b) by the Fig. 5 endurance study at sizes too large to simulate
+//! functionally, and (c) by tests that pin the functional engine and this
+//! estimator together — they must never diverge.
+
+use cim_machine::bus::BusConfig;
+use cim_machine::units::{Energy, SimTime};
+
+use crate::config::AccelConfig;
+
+/// Predicted cost of one accelerator operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpEstimate {
+    /// Busy time of the accelerator.
+    pub time: SimTime,
+    /// Total accelerator energy.
+    pub energy: Energy,
+    /// 8-bit cells programmed.
+    pub cell_writes: u64,
+    /// Crossbar rows programmed.
+    pub rows_programmed: u64,
+    /// GEMV operations.
+    pub gemvs: u64,
+    /// Useful MACs.
+    pub macs: u64,
+    /// Bytes moved by DMA.
+    pub dma_bytes: u64,
+}
+
+impl OpEstimate {
+    /// Accumulates another estimate.
+    pub fn merge(&mut self, o: &OpEstimate) {
+        self.time += o.time;
+        self.energy += o.energy;
+        self.cell_writes += o.cell_writes;
+        self.rows_programmed += o.rows_programmed;
+        self.gemvs += o.gemvs;
+        self.macs += o.macs;
+        self.dma_bytes += o.dma_bytes;
+    }
+
+    /// Crossbar write traffic in bytes (one byte per 8-bit cell write).
+    pub fn write_bytes(&self) -> u64 {
+        self.cell_writes
+    }
+}
+
+fn dma_time(bus: &BusConfig, bytes: u64) -> SimTime {
+    if bytes == 0 {
+        SimTime::ZERO
+    } else {
+        bus.dma_setup + SimTime::from_ns(bytes as f64 / bus.dma_bytes_per_ns)
+    }
+}
+
+/// Estimates `C = alpha*op(A)*B + beta*C` on the accelerator.
+///
+/// `beta_zero` skips the initial read of `C`; `a_resident` models the
+/// stationary operand already being installed (only meaningful when `A`
+/// fits in one tile).
+///
+/// # Panics
+///
+/// Panics if `a_resident` is set for a multi-tile `A`.
+pub fn estimate_gemm(
+    cfg: &AccelConfig,
+    bus: &BusConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    beta_zero: bool,
+    a_resident: bool,
+) -> OpEstimate {
+    let tr = cfg.rows;
+    let tc = cfg.cols;
+    if a_resident {
+        assert!(m <= tc && k <= tr, "residency only possible for single-tile operands");
+    }
+    let e = &cfg.energy;
+    let mut est = OpEstimate::default();
+    let mut m0 = 0;
+    while m0 < m {
+        let mt = tc.min(m - m0);
+        let mut k0 = 0;
+        while k0 < k {
+            let kt = tr.min(k - k0);
+            if !a_resident {
+                let tile_bytes = (kt * mt * 4) as u64;
+                est.time += dma_time(bus, tile_bytes) + e.write_time(kt as u64);
+                est.energy += e.write_energy((kt * mt) as u64)
+                    + e.buffer_energy(2 * (kt * mt) as u64);
+                est.cell_writes += (kt * mt) as u64;
+                est.rows_programmed += kt as u64;
+                est.dma_bytes += tile_bytes;
+            }
+            let reads_c = !(k0 == 0 && beta_zero);
+            let in_bytes = (kt * 4) as u64;
+            let out_bytes = (mt * 4 * if reads_c { 2 } else { 1 }) as u64;
+            let dma = dma_time(bus, in_bytes) + dma_time(bus, out_bytes);
+            let compute = e.compute_time(1);
+            let step = if cfg.double_buffering { compute.max(dma) } else { compute + dma };
+            est.time += step * n as f64;
+            est.gemvs += n as u64;
+            est.macs += (n * kt * mt) as u64;
+            est.dma_bytes += (in_bytes + out_bytes) * n as u64;
+            let per_gemv = e.compute_energy((kt * mt) as u64)
+                + e.mixed_signal_energy(1)
+                + e.digital_energy(1, (3 * mt + 2 * mt) as u64)
+                + e.dma_engine_energy(1)
+                + e.buffer_energy(2 * (kt + mt) as u64);
+            est.energy += per_gemv * n as f64;
+            k0 += kt;
+        }
+        m0 += mt;
+    }
+    est
+}
+
+/// Estimates `y = alpha*op(A)*x + beta*y` (a GEMM with `n = 1`).
+pub fn estimate_gemv(
+    cfg: &AccelConfig,
+    bus: &BusConfig,
+    m: usize,
+    k: usize,
+    beta_zero: bool,
+    a_resident: bool,
+) -> OpEstimate {
+    estimate_gemm(cfg, bus, m, 1, k, beta_zero, a_resident)
+}
+
+/// Estimates a batch of `count` GEMMs sharing dimensions. With `share_a`
+/// (fused kernels with a common left operand, Listing 2) only the first
+/// problem installs the operand — the endurance win of the batched call.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_gemm_batched(
+    cfg: &AccelConfig,
+    bus: &BusConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    beta_zero: bool,
+    count: usize,
+    share_a: bool,
+) -> OpEstimate {
+    let mut est = OpEstimate::default();
+    let descr_bytes = (count * 3 * 8) as u64;
+    est.time += dma_time(bus, descr_bytes);
+    est.dma_bytes += descr_bytes;
+    let single_tile = m <= cfg.cols && k <= cfg.rows;
+    for i in 0..count {
+        let resident = share_a && single_tile && i > 0;
+        est.merge(&estimate_gemm(cfg, bus, m, n, k, beta_zero, resident));
+    }
+    est
+}
+
+/// Estimates a single-channel 2-D convolution, mirroring the Toeplitz
+/// mapping of the micro-engine.
+pub fn estimate_conv2d(
+    cfg: &AccelConfig,
+    bus: &BusConfig,
+    h: usize,
+    w: usize,
+    fh: usize,
+    fw: usize,
+) -> OpEstimate {
+    let e = &cfg.energy;
+    let out_h = h - fh + 1;
+    let out_w = w - fw + 1;
+    let seg_in = cfg.rows / fh;
+    let seg_out = (seg_in - (fw - 1)).min(out_w).min(cfg.cols);
+    let in_dim = fh * seg_in;
+    let mut est = OpEstimate::default();
+    // Filter fetch + Toeplitz install.
+    let filt_bytes = (fh * fw * 4) as u64;
+    est.time += dma_time(bus, filt_bytes) + e.write_time(in_dim as u64);
+    est.dma_bytes += filt_bytes;
+    est.cell_writes += (in_dim * seg_out) as u64;
+    est.rows_programmed += in_dim as u64;
+    est.energy +=
+        e.write_energy((in_dim * seg_out) as u64) + e.buffer_energy(2 * (in_dim * seg_out) as u64);
+    for _oi in 0..out_h {
+        let mut s0 = 0;
+        while s0 < out_w {
+            let n_out = seg_out.min(out_w - s0);
+            let valid = seg_in.min(w - s0);
+            let in_bytes = (fh * valid * 4) as u64;
+            let out_bytes = (2 * n_out * 4) as u64; // read-modify-write
+            let dma = dma_time(bus, in_bytes) + dma_time(bus, out_bytes);
+            let compute = e.compute_time(1);
+            let step = if cfg.double_buffering { compute.max(dma) } else { compute + dma };
+            est.time += step;
+            est.gemvs += 1;
+            est.macs += (fh * fw * n_out) as u64;
+            est.dma_bytes += in_bytes + out_bytes;
+            est.energy += e.compute_energy((in_dim * seg_out) as u64)
+                + e.mixed_signal_energy(1)
+                + e.digital_energy(1, (3 * seg_out) as u64)
+                + e.dma_engine_energy(1)
+                + e.buffer_energy(2 * (fh * valid + n_out) as u64);
+            s0 += n_out;
+        }
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AccelConfig {
+        AccelConfig::default()
+    }
+
+    fn bus() -> BusConfig {
+        BusConfig::default()
+    }
+
+    #[test]
+    fn gemm_counts_scale_with_tiles() {
+        let e1 = estimate_gemm(&cfg(), &bus(), 256, 256, 256, true, false);
+        assert_eq!(e1.gemvs, 256);
+        assert_eq!(e1.cell_writes, 256 * 256);
+        assert_eq!(e1.rows_programmed, 256);
+        assert_eq!(e1.macs, 256 * 256 * 256);
+        let e2 = estimate_gemm(&cfg(), &bus(), 512, 256, 512, true, false);
+        assert_eq!(e2.cell_writes, 4 * 256 * 256);
+        assert_eq!(e2.gemvs, 4 * 256);
+    }
+
+    #[test]
+    fn residency_removes_install_cost() {
+        let cold = estimate_gemm(&cfg(), &bus(), 128, 64, 128, true, false);
+        let warm = estimate_gemm(&cfg(), &bus(), 128, 64, 128, true, true);
+        assert_eq!(warm.cell_writes, 0);
+        assert!(warm.time < cold.time);
+        assert_eq!(warm.gemvs, cold.gemvs);
+    }
+
+    #[test]
+    fn batched_shared_a_writes_once() {
+        let shared = estimate_gemm_batched(&cfg(), &bus(), 128, 128, 128, true, 2, true);
+        let unshared = estimate_gemm_batched(&cfg(), &bus(), 128, 128, 128, true, 2, false);
+        assert_eq!(shared.cell_writes, 128 * 128);
+        assert_eq!(unshared.cell_writes, 2 * 128 * 128);
+        // The factor-2 write-traffic reduction behind Fig. 5.
+        assert_eq!(unshared.cell_writes / shared.cell_writes, 2);
+    }
+
+    #[test]
+    fn gemv_is_gemm_with_n_1() {
+        let a = estimate_gemv(&cfg(), &bus(), 256, 256, false, false);
+        let b = estimate_gemm(&cfg(), &bus(), 256, 1, 256, false, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conv_estimate_shape() {
+        let e = estimate_conv2d(&cfg(), &bus(), 64, 64, 3, 3);
+        // seg_in = 85, seg_out = min(83, 62) = 62 -> one segment per row.
+        assert_eq!(e.gemvs, 62);
+        assert_eq!(e.macs, 62 * 62 * 9);
+        assert_eq!(e.rows_programmed, 255);
+        // Writes are tiny relative to a dense operand: high MACs/write.
+        assert!(e.macs as f64 / e.cell_writes as f64 > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-tile")]
+    fn resident_multi_tile_panics() {
+        estimate_gemm(&cfg(), &bus(), 1024, 8, 1024, true, true);
+    }
+}

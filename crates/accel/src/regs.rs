@@ -1,0 +1,217 @@
+//! Memory-mapped context registers.
+//!
+//! The accelerator "exposes a set of context registers to the system via a
+//! memory-mapped IO interface. Context registers are used for control and
+//! offloading, and are read or written by the host" (Section II-C). The
+//! micro-engine translates these high-level parameters into circuit-level
+//! operations.
+
+/// Register indices in the context register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Reg {
+    /// Command opcode; writing a non-`Nop` value arms the engine.
+    Command = 0,
+    /// Engine status (read-only for the host).
+    Status = 1,
+    /// Rows of the result (`M`).
+    M = 2,
+    /// Columns of the result (`N`).
+    N = 3,
+    /// Reduction dimension (`K`).
+    K = 4,
+    /// Leading dimension of `A`.
+    Lda = 5,
+    /// Leading dimension of `B`.
+    Ldb = 6,
+    /// Leading dimension of `C`.
+    Ldc = 7,
+    /// Physical address of `A`.
+    AddrA = 8,
+    /// Physical address of `B`.
+    AddrB = 9,
+    /// Physical address of `C`.
+    AddrC = 10,
+    /// `alpha` scale factor (f32 bits).
+    Alpha = 11,
+    /// `beta` scale factor (f32 bits).
+    Beta = 12,
+    /// Transpose flag for `A` (0/1).
+    TransA = 13,
+    /// Transpose flag for `B` (0/1).
+    TransB = 14,
+    /// Number of batched problems (GEMM-batched).
+    BatchCount = 15,
+    /// Physical address of the batch descriptor table.
+    AddrBatch = 16,
+    /// Image height (conv2d).
+    ImgH = 17,
+    /// Image width (conv2d).
+    ImgW = 18,
+    /// Filter height (conv2d).
+    FiltH = 19,
+    /// Filter width (conv2d).
+    FiltW = 20,
+}
+
+/// Number of registers in the file.
+pub const REG_COUNT: usize = 24;
+
+/// Commands accepted by the micro-engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u64)]
+pub enum Command {
+    /// No operation.
+    #[default]
+    Nop = 0,
+    /// `C = alpha * op(A) * op(B) + beta * C`.
+    Gemm = 1,
+    /// `y = alpha * op(A) * x + beta * y`.
+    Gemv = 2,
+    /// A batch of GEMMs sharing dimensions (fused kernels).
+    GemmBatched = 3,
+    /// Single-channel 2-D convolution.
+    Conv2d = 4,
+}
+
+impl Command {
+    /// Decodes a register value.
+    pub fn decode(v: u64) -> Option<Command> {
+        match v {
+            0 => Some(Command::Nop),
+            1 => Some(Command::Gemm),
+            2 => Some(Command::Gemv),
+            3 => Some(Command::GemmBatched),
+            4 => Some(Command::Conv2d),
+            _ => None,
+        }
+    }
+}
+
+/// Engine status as seen through [`Reg::Status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u64)]
+pub enum Status {
+    /// Idle, ready for a command.
+    #[default]
+    Idle = 0,
+    /// Executing.
+    Busy = 1,
+    /// Finished; result is in shared memory.
+    Done = 2,
+    /// The command was malformed.
+    Error = 3,
+}
+
+impl Status {
+    /// Decodes a register value.
+    pub fn decode(v: u64) -> Status {
+        match v {
+            0 => Status::Idle,
+            1 => Status::Busy,
+            2 => Status::Done,
+            _ => Status::Error,
+        }
+    }
+}
+
+/// The context register file.
+#[derive(Debug, Clone)]
+pub struct ContextRegisters {
+    file: [u64; REG_COUNT],
+}
+
+impl Default for ContextRegisters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContextRegisters {
+    /// A zeroed register file (status = Idle, command = Nop).
+    pub fn new() -> Self {
+        ContextRegisters { file: [0; REG_COUNT] }
+    }
+
+    /// Reads a register.
+    pub fn read(&self, r: Reg) -> u64 {
+        self.file[r as usize]
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, r: Reg, v: u64) {
+        self.file[r as usize] = v;
+    }
+
+    /// Reads a register as `usize` (dimension registers).
+    pub fn read_usize(&self, r: Reg) -> usize {
+        self.read(r) as usize
+    }
+
+    /// Writes an `f32` as raw bits (alpha/beta registers).
+    pub fn write_f32(&mut self, r: Reg, v: f32) {
+        self.write(r, v.to_bits() as u64);
+    }
+
+    /// Reads an `f32` from raw bits.
+    pub fn read_f32(&self, r: Reg) -> f32 {
+        f32::from_bits(self.read(r) as u32)
+    }
+
+    /// Current status.
+    pub fn status(&self) -> Status {
+        Status::decode(self.read(Reg::Status))
+    }
+
+    /// Sets the status.
+    pub fn set_status(&mut self, s: Status) {
+        self.write(Reg::Status, s as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_file_is_idle_nop() {
+        let r = ContextRegisters::new();
+        assert_eq!(r.status(), Status::Idle);
+        assert_eq!(Command::decode(r.read(Reg::Command)), Some(Command::Nop));
+    }
+
+    #[test]
+    fn f32_registers_roundtrip() {
+        let mut r = ContextRegisters::new();
+        r.write_f32(Reg::Alpha, 1.5);
+        r.write_f32(Reg::Beta, -0.25);
+        assert_eq!(r.read_f32(Reg::Alpha), 1.5);
+        assert_eq!(r.read_f32(Reg::Beta), -0.25);
+    }
+
+    #[test]
+    fn command_decoding() {
+        assert_eq!(Command::decode(1), Some(Command::Gemm));
+        assert_eq!(Command::decode(4), Some(Command::Conv2d));
+        assert_eq!(Command::decode(99), None);
+    }
+
+    #[test]
+    fn status_transitions() {
+        let mut r = ContextRegisters::new();
+        r.set_status(Status::Busy);
+        assert_eq!(r.status(), Status::Busy);
+        r.set_status(Status::Done);
+        assert_eq!(r.status(), Status::Done);
+        assert_eq!(Status::decode(17), Status::Error);
+    }
+
+    #[test]
+    fn dimension_registers() {
+        let mut r = ContextRegisters::new();
+        r.write(Reg::M, 128);
+        r.write(Reg::AddrA, 0x8000_0000);
+        assert_eq!(r.read_usize(Reg::M), 128);
+        assert_eq!(r.read(Reg::AddrA), 0x8000_0000);
+    }
+}

@@ -1,0 +1,145 @@
+//! Accelerator-side energy, timing and wear accounting.
+
+use cim_machine::units::{Energy, SimTime};
+use std::fmt;
+
+/// Complete accelerator statistics for a run, broken down by component so
+/// reports can show where the energy goes (the write/compute split is what
+/// decides GEMM-like vs GEMV-like outcomes in Fig. 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccelStats {
+    /// Crossbar GEMV operations executed.
+    pub gemv_count: u64,
+    /// 8-bit cells programmed (the endurance-relevant write count).
+    pub cell_writes: u64,
+    /// Crossbar rows programmed (latency-relevant).
+    pub rows_programmed: u64,
+    /// Useful multiply-accumulates performed on the crossbar.
+    pub macs: u64,
+    /// Analog compute energy (200 fJ per active cell).
+    pub crossbar_compute: Energy,
+    /// Cell programming energy (200 pJ per cell).
+    pub crossbar_write: Energy,
+    /// DAC/S&H/ADC energy (3.9 nJ per GEMV).
+    pub mixed_signal: Energy,
+    /// Buffer SRAM energy (5.4 pJ per byte access).
+    pub buffers: Energy,
+    /// Digital weighted-sum and ALU energy.
+    pub digital: Energy,
+    /// DMA + micro-engine control energy.
+    pub dma_engine: Energy,
+    /// Time spent installing stationary operands.
+    pub install_time: SimTime,
+    /// Time spent computing GEMVs.
+    pub compute_time: SimTime,
+    /// Time spent on DMA not hidden behind compute.
+    pub dma_exposed_time: SimTime,
+    /// Total busy time of the accelerator.
+    pub busy: SimTime,
+}
+
+impl AccelStats {
+    /// Total accelerator energy.
+    pub fn total_energy(&self) -> Energy {
+        self.crossbar_compute
+            + self.crossbar_write
+            + self.mixed_signal
+            + self.buffers
+            + self.digital
+            + self.dma_engine
+    }
+
+    /// Useful MACs per 8-bit cell write — the compute-intensity metric of
+    /// Fig. 6 (left), `Number-of-MAC-operations / Number-of-CIM-writes`.
+    pub fn macs_per_write(&self) -> f64 {
+        if self.cell_writes == 0 {
+            f64::INFINITY
+        } else {
+            self.macs as f64 / self.cell_writes as f64
+        }
+    }
+
+    /// Merges another run's statistics into this one.
+    pub fn merge(&mut self, o: &AccelStats) {
+        self.gemv_count += o.gemv_count;
+        self.cell_writes += o.cell_writes;
+        self.rows_programmed += o.rows_programmed;
+        self.macs += o.macs;
+        self.crossbar_compute += o.crossbar_compute;
+        self.crossbar_write += o.crossbar_write;
+        self.mixed_signal += o.mixed_signal;
+        self.buffers += o.buffers;
+        self.digital += o.digital;
+        self.dma_engine += o.dma_engine;
+        self.install_time += o.install_time;
+        self.compute_time += o.compute_time;
+        self.dma_exposed_time += o.dma_exposed_time;
+        self.busy += o.busy;
+    }
+}
+
+impl fmt::Display for AccelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "accelerator statistics:")?;
+        writeln!(f, "  gemvs            {:>12}", self.gemv_count)?;
+        writeln!(f, "  cell writes      {:>12}", self.cell_writes)?;
+        writeln!(f, "  rows programmed  {:>12}", self.rows_programmed)?;
+        writeln!(f, "  macs             {:>12}", self.macs)?;
+        writeln!(f, "  macs/write       {:>12.2}", self.macs_per_write())?;
+        writeln!(f, "  E crossbar compute {}", self.crossbar_compute)?;
+        writeln!(f, "  E crossbar write   {}", self.crossbar_write)?;
+        writeln!(f, "  E mixed signal     {}", self.mixed_signal)?;
+        writeln!(f, "  E buffers          {}", self.buffers)?;
+        writeln!(f, "  E digital          {}", self.digital)?;
+        writeln!(f, "  E dma+engine       {}", self.dma_engine)?;
+        writeln!(f, "  E total            {}", self.total_energy())?;
+        writeln!(f, "  t install          {}", self.install_time)?;
+        writeln!(f, "  t compute          {}", self.compute_time)?;
+        writeln!(f, "  t dma exposed      {}", self.dma_exposed_time)?;
+        writeln!(f, "  t busy             {}", self.busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_energy_sums_components() {
+        let s = AccelStats {
+            crossbar_compute: Energy::from_pj(1.0),
+            crossbar_write: Energy::from_pj(2.0),
+            mixed_signal: Energy::from_pj(3.0),
+            buffers: Energy::from_pj(4.0),
+            digital: Energy::from_pj(5.0),
+            dma_engine: Energy::from_pj(6.0),
+            ..AccelStats::default()
+        };
+        assert!((s.total_energy().as_pj() - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macs_per_write() {
+        let s = AccelStats { macs: 1000, cell_writes: 10, ..AccelStats::default() };
+        assert_eq!(s.macs_per_write(), 100.0);
+        let z = AccelStats::default();
+        assert!(z.macs_per_write().is_infinite());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AccelStats { gemv_count: 1, macs: 10, ..AccelStats::default() };
+        let b = AccelStats { gemv_count: 2, macs: 20, ..AccelStats::default() };
+        a.merge(&b);
+        assert_eq!(a.gemv_count, 3);
+        assert_eq!(a.macs, 30);
+    }
+
+    #[test]
+    fn display_contains_breakdown() {
+        let s = AccelStats::default();
+        let text = s.to_string();
+        assert!(text.contains("cell writes"));
+        assert!(text.contains("macs/write"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Event timeline of an offloaded kernel (Fig. 2 (d)).
+//!
+//! The figure shows the host preparing data and writing configuration
+//! registers, the trigger, DMA buffer fills overlapped with compute and
+//! accumulation, the result store, and the final "result ready" status
+//! update. [`Timeline`] records those events with start/end times so the
+//! `timeline` example can render the same picture.
+
+use cim_machine::units::SimTime;
+use std::fmt;
+
+/// What happened during an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Host wrote the configuration and armed the command register.
+    Trigger,
+    /// DMA filled an input buffer from shared memory.
+    FillBuffer,
+    /// Crossbar rows were programmed (stationary operand install).
+    WriteCrossbar,
+    /// Analog GEMV on the crossbar.
+    Compute,
+    /// Digital accumulation / weighted sum.
+    Accumulate,
+    /// Result written back to shared memory.
+    StoreResult,
+    /// Status register flipped to done.
+    ResultReady,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::Trigger => "trigger",
+            EventKind::FillBuffer => "fill-buffer",
+            EventKind::WriteCrossbar => "write-crossbar",
+            EventKind::Compute => "compute",
+            EventKind::Accumulate => "accumulate",
+            EventKind::StoreResult => "store-result",
+            EventKind::ResultReady => "result-ready",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One timeline interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event class.
+    pub kind: EventKind,
+    /// Start time (relative to machine epoch).
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+    /// Free-form detail (e.g. `"tile(0,0)"`).
+    pub label: String,
+}
+
+/// Bounded recorder of accelerator events.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Timeline {
+    /// Creates a timeline retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Timeline { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Records an event (dropped silently past capacity, counted).
+    pub fn push(&mut self, kind: EventKind, start: SimTime, end: SimTime, label: impl Into<String>) {
+        if self.events.len() < self.capacity {
+            self.events.push(Event { kind, start, end, label: label.into() });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears all events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Renders an ASCII table of the recorded events.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>14} {:>14} {:>12}  {}\n",
+            "event", "start", "end", "duration", "detail"
+        ));
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:<16} {:>14} {:>14} {:>12}  {}\n",
+                e.kind.to_string(),
+                format!("{}", e.start),
+                format!("{}", e.end),
+                format!("{}", e.end - e.start),
+                e.label
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} further events elided\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_render() {
+        let mut t = Timeline::new(8);
+        t.push(
+            EventKind::Trigger,
+            SimTime::ZERO,
+            SimTime::from_ns(50.0),
+            "write context registers",
+        );
+        t.push(EventKind::Compute, SimTime::from_us(1.0), SimTime::from_us(2.0), "gemv 0");
+        assert_eq!(t.events().len(), 2);
+        let r = t.render();
+        assert!(r.contains("trigger"));
+        assert!(r.contains("compute"));
+        assert!(r.contains("gemv 0"));
+    }
+
+    #[test]
+    fn capacity_bound_counts_drops() {
+        let mut t = Timeline::new(1);
+        t.push(EventKind::Compute, SimTime::ZERO, SimTime::ZERO, "a");
+        t.push(EventKind::Compute, SimTime::ZERO, SimTime::ZERO, "b");
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.dropped(), 1);
+        assert!(t.render().contains("elided"));
+        t.clear();
+        assert_eq!(t.events().len(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn kinds_have_display_names() {
+        assert_eq!(EventKind::WriteCrossbar.to_string(), "write-crossbar");
+        assert_eq!(EventKind::ResultReady.to_string(), "result-ready");
+    }
+}

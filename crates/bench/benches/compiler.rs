@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the compiler stack: front-end, SCoP
+//! extraction and the Loop Tactics matchers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polybench::{source, Dataset, Kernel};
+use std::hint::black_box;
+use tdo_tactics::{LoopTactics, TacticsConfig};
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = source(Kernel::ThreeMm, Dataset::Medium);
+    c.bench_function("frontend_3mm", |b| {
+        b.iter(|| black_box(tdo_lang::compile(black_box(&src)).expect("compiles")))
+    });
+}
+
+fn bench_scop(c: &mut Criterion) {
+    let src = source(Kernel::ThreeMm, Dataset::Medium);
+    let prog = tdo_lang::compile(&src).expect("compiles");
+    c.bench_function("scop_extract_3mm", |b| {
+        b.iter(|| black_box(tdo_poly::scop::extract(black_box(&prog)).expect("affine")))
+    });
+}
+
+fn bench_tactics(c: &mut Criterion) {
+    let src = source(Kernel::ThreeMm, Dataset::Medium);
+    let prog = tdo_lang::compile(&src).expect("compiles");
+    let scop = tdo_poly::scop::extract(&prog).expect("affine");
+    let pass = LoopTactics::new(TacticsConfig::default());
+    c.bench_function("loop_tactics_3mm", |b| {
+        b.iter(|| black_box(pass.run(black_box(&prog), black_box(&scop))))
+    });
+}
+
+criterion_group!(benches, bench_frontend, bench_scop, bench_tactics);
+criterion_main!(benches);

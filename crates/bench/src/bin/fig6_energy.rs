@@ -1,0 +1,40 @@
+//! Regenerates Fig. 6 (left): energy for host vs host+CIM plus the
+//! MACs-per-CIM-write compute intensity, for the seven PolyBench kernels,
+//! with the Geomean and Selective Geomean summary rows.
+//!
+//! Usage: `cargo run --release -p tdo-bench --bin fig6_energy [--dataset=small|medium|large]`
+
+use tdo_bench::{dataset_from_args, fig6_geomeans, run_fig6};
+
+fn main() {
+    let dataset = dataset_from_args();
+    eprintln!("running fig6 energy study at {dataset:?} (this simulates every kernel twice) ...");
+    let rows = run_fig6(dataset);
+
+    println!("FIG. 6 (LEFT) — ENERGY AND COMPUTE INTENSITY ({dataset:?})");
+    println!("{}", "=".repeat(86));
+    println!(
+        "{:<9} {:>14} {:>14} {:>12} {:>12} {:>16}",
+        "kernel", "host (mJ)", "host+CIM (mJ)", "improv.", "selective", "MACs/cim-write"
+    );
+    println!("{}", "-".repeat(86));
+    for r in &rows {
+        println!(
+            "{:<9} {:>14.4} {:>14.4} {:>11.2}x {:>11.2}x {:>16.1}",
+            r.kernel.name(),
+            r.always.host_energy().as_mj(),
+            r.always.cim_energy().as_mj(),
+            r.always.energy_improvement(),
+            r.selective_energy_x,
+            r.always.macs_per_write()
+        );
+    }
+    println!("{}", "-".repeat(86));
+    let (full, selective) = fig6_geomeans(&rows);
+    println!("{:<9} {:>43.2}x", "Geomean", full);
+    println!("{:<9} {:>43.2}x", "Sel.Geo", selective);
+    println!();
+    println!("paper annotations: full geomean 3.2x, selective geomean 32.6x;");
+    println!("expected shape: GEMM-like kernels (2mm, 3mm, gemm, conv) win large,");
+    println!("GEMV-like kernels (gesummv, bicg, mvt) lose and sit at MACs/write ~1.");
+}

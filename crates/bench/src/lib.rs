@@ -1,0 +1,91 @@
+//! # tdo-bench — figure and table regeneration harness
+//!
+//! One binary per artifact of the paper's evaluation:
+//!
+//! * `table1` — the system configuration (Table I);
+//! * `fig5_endurance` — lifetime vs PCM endurance, naive vs smart mapping;
+//! * `fig6_energy` — energy + MACs-per-write for the seven kernels;
+//! * `fig6_edp` — EDP and runtime improvements.
+//!
+//! Criterion micro-benchmarks (crossbar, compiler, machine, pipeline,
+//! ablation) live under `benches/`.
+
+use polybench::{init_fn, source, Dataset, Kernel};
+use tdo_cim::{compile, execute, geomean, CompileOptions, Comparison, ExecOptions};
+use tdo_tactics::OffloadPolicy;
+
+/// One row of the Fig. 6 data.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Kernel.
+    pub kernel: Kernel,
+    /// Host-only vs host+CIM comparison under the Always policy.
+    pub always: Comparison,
+    /// Energy improvement under the Selective policy (1.0 when the cost
+    /// model keeps the kernel on the host).
+    pub selective_energy_x: f64,
+    /// Whether the Selective policy offloaded anything in this kernel.
+    pub selective_offloaded: bool,
+}
+
+/// Runs the Fig. 6 study at a dataset size.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to compile or run (they are all tested).
+pub fn run_fig6(dataset: Dataset) -> Vec<Fig6Row> {
+    Kernel::ALL
+        .iter()
+        .map(|&kernel| {
+            let src = source(kernel, dataset);
+            let init = init_fn(kernel);
+            let exec_opts = ExecOptions::default();
+            let always = tdo_cim::compare(
+                kernel.name(),
+                &src,
+                &CompileOptions::with_tactics(),
+                &exec_opts,
+                &init,
+            )
+            .expect("comparison runs");
+
+            // Selective policy: reuse the Always runs when the decision is
+            // all-or-nothing; re-run only mixed cases.
+            let mut sel_opts = CompileOptions::with_tactics();
+            sel_opts.tactics.policy = OffloadPolicy::Selective;
+            let sel_compiled = compile(&src, &sel_opts).expect("compiles");
+            let report = sel_compiled.report.as_ref().expect("tactics ran");
+            let offloaded = report.kernels.iter().filter(|k| k.offloaded).count();
+            let selective_energy_x = if offloaded == 0 {
+                1.0
+            } else if offloaded == report.kernels.len() {
+                always.energy_improvement()
+            } else {
+                let sel_run =
+                    execute(&sel_compiled, &exec_opts, &init).expect("selective runs");
+                always.host.total_energy() / sel_run.total_energy()
+            };
+            Fig6Row { kernel, always, selective_energy_x, selective_offloaded: offloaded > 0 }
+        })
+        .collect()
+}
+
+/// Geometric means over the rows: `(full, selective)` — the "Geomean" and
+/// "Selective Geomean" bars of Fig. 6 (left). The selective mean is taken
+/// over the kernels the cost model offloads (the beneficial set), which is
+/// how the paper's 32.6x vs 3.2x pair reads.
+pub fn fig6_geomeans(rows: &[Fig6Row]) -> (f64, f64) {
+    let full = geomean(rows.iter().map(|r| r.always.energy_improvement()));
+    let selective = geomean(
+        rows.iter().filter(|r| r.selective_offloaded).map(|r| r.selective_energy_x),
+    );
+    (full, selective)
+}
+
+/// Parses the dataset from argv (defaults to Medium, the figure default).
+pub fn dataset_from_args() -> Dataset {
+    std::env::args()
+        .skip(1)
+        .find_map(|a| Dataset::parse(a.trim_start_matches("--dataset=")))
+        .unwrap_or(Dataset::Medium)
+}

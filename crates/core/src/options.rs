@@ -1,0 +1,78 @@
+//! Compilation and execution options.
+
+use cim_accel::AccelConfig;
+use cim_machine::MachineConfig;
+use cim_pcm::Fidelity;
+use cim_runtime::DriverConfig;
+use tdo_tactics::TacticsConfig;
+
+/// Options of the end-to-end pipeline — the two compilation strings of
+/// Section IV: `clang -O3 -march=native` (host) and
+/// `clang -O3 -march=native -enable-loop-tactics` (host + CIM).
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// `-enable-loop-tactics`: run detection + offloading.
+    pub enable_loop_tactics: bool,
+    /// Loop Tactics configuration (policy, fusion, cost model).
+    pub tactics: TacticsConfig,
+}
+
+impl CompileOptions {
+    /// Host-only compilation (`clang -O3 -march=native`).
+    pub fn host_only() -> Self {
+        CompileOptions { enable_loop_tactics: false, ..CompileOptions::default() }
+    }
+
+    /// Transparent CIM offloading (`-enable-loop-tactics`).
+    pub fn with_tactics() -> Self {
+        CompileOptions { enable_loop_tactics: true, ..CompileOptions::default() }
+    }
+}
+
+/// Options of the simulated execution environment.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Host platform configuration (Table I host column).
+    pub machine: MachineConfig,
+    /// Accelerator configuration (Table I CIM column).
+    pub accel: AccelConfig,
+    /// Driver cost configuration (wait policy, flush coverage).
+    pub driver: DriverConfig,
+    /// Numerical fidelity of the crossbar.
+    pub fidelity: Fidelity,
+    /// Record the accelerator event timeline (Fig. 2 (d)).
+    pub record_timeline: bool,
+    /// Runtime-side dirty tracking: skip the coherence sync (and keep
+    /// crossbar residency) for buffers the host has not written since the
+    /// last sync. The paper's lightweight runtime is conservative
+    /// (`false`); enabling this is an ablation showing a smarter runtime
+    /// can recover part of the fusion benefit without the compiler.
+    pub smart_sync: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            machine: MachineConfig::default(),
+            accel: AccelConfig::default(),
+            driver: DriverConfig::default(),
+            fidelity: Fidelity::Exact,
+            record_timeline: false,
+            smart_sync: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(!CompileOptions::host_only().enable_loop_tactics);
+        assert!(CompileOptions::with_tactics().enable_loop_tactics);
+        let e = ExecOptions::default();
+        assert_eq!(e.accel.rows, 256);
+        assert!(e.fidelity.is_exact());
+    }
+}

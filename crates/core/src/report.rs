@@ -1,0 +1,119 @@
+//! Comparison metrics and report formatting (Fig. 6 arithmetic).
+
+use crate::exec::RunResult;
+use cim_machine::units::{Energy, SimTime};
+use std::fmt;
+
+/// Host vs host+CIM comparison for one kernel.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Kernel label.
+    pub name: String,
+    /// Host-only run.
+    pub host: RunResult,
+    /// Offloaded run.
+    pub cim: RunResult,
+}
+
+impl Comparison {
+    /// Energy improvement factor (`>1` means CIM wins).
+    pub fn energy_improvement(&self) -> f64 {
+        self.host.total_energy() / self.cim.total_energy()
+    }
+
+    /// Runtime improvement factor.
+    pub fn runtime_improvement(&self) -> f64 {
+        self.host.wall_time() / self.cim.wall_time()
+    }
+
+    /// EDP improvement factor (the right plot of Fig. 6).
+    pub fn edp_improvement(&self) -> f64 {
+        self.host.edp() / self.cim.edp()
+    }
+
+    /// MACs per CIM write of the offloaded run (left plot, right axis).
+    pub fn macs_per_write(&self) -> f64 {
+        self.cim.macs_per_write()
+    }
+
+    /// Host energy (left plot, first bar).
+    pub fn host_energy(&self) -> Energy {
+        self.host.total_energy()
+    }
+
+    /// Host+CIM energy (left plot, second bar).
+    pub fn cim_energy(&self) -> Energy {
+        self.cim.total_energy()
+    }
+
+    /// Host runtime.
+    pub fn host_time(&self) -> SimTime {
+        self.host.wall_time()
+    }
+
+    /// Host+CIM runtime.
+    pub fn cim_time(&self) -> SimTime {
+        self.cim.wall_time()
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {}", self.name)?;
+        writeln!(
+            f,
+            "  energy  host {:>12}   host+cim {:>12}   improvement {:>8.2}x",
+            format!("{}", self.host_energy()),
+            format!("{}", self.cim_energy()),
+            self.energy_improvement()
+        )?;
+        writeln!(
+            f,
+            "  runtime host {:>12}   host+cim {:>12}   improvement {:>8.2}x",
+            format!("{}", self.host_time()),
+            format!("{}", self.cim_time()),
+            self.runtime_improvement()
+        )?;
+        writeln!(
+            f,
+            "  edp improvement {:>8.2}x   macs/cim-write {:>10.1}",
+            self.edp_improvement(),
+            self.macs_per_write()
+        )
+    }
+}
+
+/// Geometric mean of improvement factors (how the paper summarizes
+/// Fig. 6: "Geomean" over all kernels, "Selective Geomean" over the
+/// policy-filtered set).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean requires positive factors");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(Vec::<f64>::new()).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean([1.0, 0.0]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Affine forms over loop variables.
+//!
+//! Polly models statement domains and accesses as affine expressions; the
+//! SCoP detection in `tdo-poly` and the access-pattern matchers in
+//! `tdo-tactics` rely on recovering `sum(coeff_i * var_i) + c` shapes from
+//! IR expressions.
+
+use crate::expr::{Access, BinOp, Expr, UnOp};
+use crate::types::{ArrayId, VarId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// `sum(terms[v] * v) + constant` with integer coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AffineExpr {
+    /// Per-variable coefficients (zero coefficients are not stored).
+    pub terms: BTreeMap<VarId, i64>,
+    /// Constant offset.
+    pub constant: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        AffineExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// The single-variable expression `v`.
+    pub fn var(v: VarId) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, 1);
+        AffineExpr { terms, constant: 0 }
+    }
+
+    /// Coefficient of a variable (zero if absent).
+    pub fn coeff(&self, v: VarId) -> i64 {
+        self.terms.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Whether the expression is a pure constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether the expression is exactly `1 * v` for some variable.
+    pub fn as_single_var(&self) -> Option<VarId> {
+        if self.constant == 0 && self.terms.len() == 1 {
+            let (v, c) = self.terms.iter().next().expect("len 1");
+            if *c == 1 {
+                return Some(*v);
+            }
+        }
+        None
+    }
+
+    /// Adds another affine expression.
+    pub fn add(&self, o: &AffineExpr) -> AffineExpr {
+        let mut out = self.clone();
+        out.constant += o.constant;
+        for (v, c) in &o.terms {
+            let e = out.terms.entry(*v).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                out.terms.remove(v);
+            }
+        }
+        out
+    }
+
+    /// Subtracts another affine expression.
+    pub fn sub(&self, o: &AffineExpr) -> AffineExpr {
+        self.add(&o.scale(-1))
+    }
+
+    /// Multiplies by an integer.
+    pub fn scale(&self, k: i64) -> AffineExpr {
+        if k == 0 {
+            return AffineExpr::constant(0);
+        }
+        AffineExpr {
+            terms: self.terms.iter().map(|(v, c)| (*v, c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Evaluates under an environment mapping `VarId` index to value.
+    pub fn eval(&self, env: &[i64]) -> i64 {
+        self.constant + self.terms.iter().map(|(v, c)| c * env[v.0]).sum::<i64>()
+    }
+
+    /// Extracts an affine form from an IR expression, if it is affine with
+    /// integer literals (loads and float literals are not affine).
+    pub fn from_expr(e: &Expr) -> Option<AffineExpr> {
+        match e {
+            Expr::Int(c) => Some(AffineExpr::constant(*c)),
+            Expr::Var(v) => Some(AffineExpr::var(*v)),
+            Expr::Float(_) | Expr::Load(_) => None,
+            Expr::Unary(UnOp::Neg, e) => Some(AffineExpr::from_expr(e)?.scale(-1)),
+            Expr::Bin(op, l, r) => {
+                let l = AffineExpr::from_expr(l);
+                let r = AffineExpr::from_expr(r);
+                match op {
+                    BinOp::Add => Some(l?.add(&r?)),
+                    BinOp::Sub => Some(l?.sub(&r?)),
+                    BinOp::Mul => {
+                        let (l, r) = (l?, r?);
+                        if l.is_constant() {
+                            Some(r.scale(l.constant))
+                        } else if r.is_constant() {
+                            Some(l.scale(r.constant))
+                        } else {
+                            None
+                        }
+                    }
+                    BinOp::Div | BinOp::Min | BinOp::Max => None,
+                }
+            }
+        }
+    }
+
+    /// Converts back to an IR expression (for codegen).
+    pub fn to_expr(&self) -> Expr {
+        let mut acc: Option<Expr> = if self.constant != 0 || self.terms.is_empty() {
+            Some(Expr::Int(self.constant))
+        } else {
+            None
+        };
+        for (v, c) in &self.terms {
+            let term = if *c == 1 {
+                Expr::Var(*v)
+            } else {
+                Expr::mul(Expr::Int(*c), Expr::Var(*v))
+            };
+            acc = Some(match acc {
+                None => term,
+                Some(a) => Expr::add(a, term),
+            });
+        }
+        acc.expect("at least the constant")
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            if *c == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{c}*{v}")?;
+            }
+            first = false;
+        }
+        if self.constant != 0 || first {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// An array access whose subscripts are all affine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineAccess {
+    /// Accessed array.
+    pub array: ArrayId,
+    /// One affine subscript per dimension.
+    pub subs: Vec<AffineExpr>,
+}
+
+impl AffineAccess {
+    /// Extracts the affine form of an access, if every subscript is affine.
+    pub fn from_access(a: &Access) -> Option<AffineAccess> {
+        let subs = a.idx.iter().map(AffineExpr::from_expr).collect::<Option<Vec<_>>>()?;
+        Some(AffineAccess { array: a.array, subs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn from_expr_handles_affine_shapes() {
+        // 2*i + j - 3
+        let e = Expr::sub(
+            Expr::add(Expr::mul(Expr::Int(2), Expr::Var(v(0))), Expr::Var(v(1))),
+            Expr::Int(3),
+        );
+        let a = AffineExpr::from_expr(&e).expect("affine");
+        assert_eq!(a.coeff(v(0)), 2);
+        assert_eq!(a.coeff(v(1)), 1);
+        assert_eq!(a.constant, -3);
+        assert_eq!(a.eval(&[10, 5]), 22);
+    }
+
+    #[test]
+    fn non_affine_shapes_are_rejected() {
+        // i * j
+        let e = Expr::mul(Expr::Var(v(0)), Expr::Var(v(1)));
+        assert!(AffineExpr::from_expr(&e).is_none());
+        // i / 2
+        let e = Expr::div(Expr::Var(v(0)), Expr::Int(2));
+        assert!(AffineExpr::from_expr(&e).is_none());
+        // loads are not affine
+        let e = Expr::load(ArrayId(0), vec![Expr::Int(0)]);
+        assert!(AffineExpr::from_expr(&e).is_none());
+    }
+
+    #[test]
+    fn roundtrip_through_expr() {
+        let mut a = AffineExpr::var(v(2)).scale(3);
+        a.constant = 7;
+        let e = a.to_expr();
+        let back = AffineExpr::from_expr(&e).expect("affine");
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn arithmetic_cancels_terms() {
+        let a = AffineExpr::var(v(0)).add(&AffineExpr::var(v(1)));
+        let b = a.sub(&AffineExpr::var(v(1)));
+        assert_eq!(b.as_single_var(), Some(v(0)));
+        assert!(!b.terms.contains_key(&v(1)));
+    }
+
+    #[test]
+    fn single_var_detection() {
+        assert_eq!(AffineExpr::var(v(3)).as_single_var(), Some(v(3)));
+        assert_eq!(AffineExpr::var(v(3)).scale(2).as_single_var(), None);
+        assert_eq!(AffineExpr::constant(5).as_single_var(), None);
+    }
+
+    #[test]
+    fn affine_access_extraction() {
+        let acc = Access {
+            array: ArrayId(1),
+            idx: vec![Expr::Var(v(0)), Expr::add(Expr::Var(v(1)), Expr::Int(1))],
+        };
+        let aa = AffineAccess::from_access(&acc).expect("affine");
+        assert_eq!(aa.subs.len(), 2);
+        assert_eq!(aa.subs[1].constant, 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = AffineExpr::var(v(0)).scale(2).add(&AffineExpr::constant(1));
+        assert_eq!(format!("{a}"), "2*%0 + 1");
+        assert_eq!(format!("{}", AffineExpr::constant(0)), "0");
+    }
+}

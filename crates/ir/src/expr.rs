@@ -1,0 +1,166 @@
+//! Expressions of the loop IR.
+
+use crate::types::{ArrayId, VarId};
+
+/// Binary operators. `Min`/`Max` arise from tiling (partial tiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (float or exact integer).
+    Div,
+    /// Minimum of two values.
+    Min,
+    /// Maximum of two values.
+    Max,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// An array (or scalar) access with one index expression per dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// Target array.
+    pub array: ArrayId,
+    /// Index expressions (empty for scalars).
+    pub idx: Vec<Expr>,
+}
+
+impl Access {
+    /// A scalar access.
+    pub fn scalar(array: ArrayId) -> Self {
+        Access { array, idx: Vec::new() }
+    }
+}
+
+/// An IR expression. Loop variables are integers; array elements are f32
+/// (evaluated in f64 internally); literal types follow the constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Loop-variable read.
+    Var(VarId),
+    /// Array element read.
+    Load(Access),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder DSL, not arithmetic on Expr values
+impl Expr {
+    /// `lhs + rhs`.
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `lhs - rhs`.
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `lhs * rhs`.
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `lhs / rhs`.
+    pub fn div(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `min(lhs, rhs)`.
+    pub fn min(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Min, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `max(lhs, rhs)`.
+    pub fn max(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Max, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `-e`.
+    pub fn neg(e: Expr) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(e))
+    }
+
+    /// A load of `array[idx...]`.
+    pub fn load(array: ArrayId, idx: Vec<Expr>) -> Expr {
+        Expr::Load(Access { array, idx })
+    }
+
+    /// Visits every access in the expression tree.
+    pub fn visit_accesses<'a>(&'a self, f: &mut impl FnMut(&'a Access)) {
+        match self {
+            Expr::Load(a) => {
+                f(a);
+                for e in &a.idx {
+                    e.visit_accesses(f);
+                }
+            }
+            Expr::Unary(_, e) => e.visit_accesses(f),
+            Expr::Bin(_, l, r) => {
+                l.visit_accesses(f);
+                r.visit_accesses(f);
+            }
+            Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => {}
+        }
+    }
+
+    /// Whether the expression mentions the given loop variable.
+    pub fn uses_var(&self, v: VarId) -> bool {
+        match self {
+            Expr::Var(x) => *x == v,
+            Expr::Int(_) | Expr::Float(_) => false,
+            Expr::Load(a) => a.idx.iter().any(|e| e.uses_var(v)),
+            Expr::Unary(_, e) => e.uses_var(v),
+            Expr::Bin(_, l, r) => l.uses_var(v) || r.uses_var(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let e = Expr::add(Expr::Int(1), Expr::mul(Expr::Var(VarId(0)), Expr::Int(2)));
+        assert!(matches!(e, Expr::Bin(BinOp::Add, _, _)));
+        assert!(e.uses_var(VarId(0)));
+        assert!(!e.uses_var(VarId(1)));
+    }
+
+    #[test]
+    fn visit_accesses_finds_nested_loads() {
+        let a0 = ArrayId(0);
+        let a1 = ArrayId(1);
+        // A[B[0]] + 1
+        let e = Expr::add(
+            Expr::load(a0, vec![Expr::load(a1, vec![Expr::Int(0)])]),
+            Expr::Float(1.0),
+        );
+        let mut seen = Vec::new();
+        e.visit_accesses(&mut |a| seen.push(a.array));
+        assert_eq!(seen, vec![a0, a1]);
+    }
+
+    #[test]
+    fn scalar_access_has_no_indices() {
+        let a = Access::scalar(ArrayId(3));
+        assert!(a.idx.is_empty());
+    }
+}

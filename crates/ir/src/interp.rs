@@ -1,0 +1,489 @@
+//! IR interpreter with pluggable execution backends.
+//!
+//! One interpreter drives two very different executions:
+//! * [`PureBackend`] — plain `Vec<f32>` storage, no cost model. Used for
+//!   reference runs and for semantic-preservation tests of the polyhedral
+//!   transformations (`tdo-poly`).
+//! * the costed backend in `tdo-cim` — storage in simulated physical
+//!   memory, every [`CostEvent`] retired on the Arm-A7 model, and
+//!   `polly_cim*` calls dispatched to the real runtime library.
+//!
+//! Both backends receive the same [`CostEvent`] stream and the same
+//! resolved runtime calls, so "host-only" and "host + CIM" executions are
+//! numerically comparable by construction.
+
+use crate::expr::{Access, BinOp, Expr, UnOp};
+use crate::stmt::{CallArg, CallStmt, CmpOp, Stmt};
+use crate::types::{ArrayId, Program};
+use std::fmt;
+
+/// Dynamic cost events emitted while interpreting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostEvent {
+    /// Integer ALU operation (includes address arithmetic).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Floating add/sub/min/max.
+    FpAdd,
+    /// Floating multiply.
+    FpMul,
+    /// Floating divide.
+    FpDiv,
+    /// Array element load.
+    Load,
+    /// Array element store.
+    Store,
+    /// Compare.
+    Cmp,
+    /// Branch.
+    Branch,
+    /// Call overhead (argument setup, branch-and-link).
+    CallOverhead,
+}
+
+/// Runtime interpretation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// An index left the declared extent.
+    OutOfBounds {
+        /// Array name.
+        array: String,
+        /// Flattened index that was requested.
+        flat: i64,
+        /// Element count of the array.
+        len: usize,
+    },
+    /// An expression had the wrong type (e.g. float used as index).
+    TypeError(String),
+    /// A call statement named an unknown runtime entry point.
+    UnknownCall(String),
+    /// A call statement had malformed arguments.
+    BadCallArgs(String),
+    /// Backend-specific failure (e.g. device error), carried as text.
+    Backend(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfBounds { array, flat, len } => {
+                write!(f, "index {flat} out of bounds for {array} (len {len})")
+            }
+            InterpError::TypeError(s) => write!(f, "type error: {s}"),
+            InterpError::UnknownCall(s) => write!(f, "unknown runtime call {s}"),
+            InterpError::BadCallArgs(s) => write!(f, "bad call arguments: {s}"),
+            InterpError::Backend(s) => write!(f, "backend error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// A dynamic value: loop variables are integers, data is floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer.
+    I(i64),
+    /// Float (f32 data widened for evaluation).
+    F(f64),
+}
+
+impl Value {
+    /// As an index.
+    ///
+    /// # Errors
+    ///
+    /// Type error if the value is a float.
+    pub fn as_index(self) -> Result<i64, InterpError> {
+        match self {
+            Value::I(v) => Ok(v),
+            Value::F(v) => Err(InterpError::TypeError(format!("float {v} used as index"))),
+        }
+    }
+
+    /// As a float (integers promote).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::I(v) => v as f64,
+            Value::F(v) => v,
+        }
+    }
+}
+
+/// A resolved call argument handed to the backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResolvedArg {
+    /// Evaluated numeric argument.
+    Num(Value),
+    /// Array handle.
+    Array(ArrayId),
+}
+
+/// Execution backend: storage, cost sink and runtime-call handler.
+pub trait Backend {
+    /// Reads element `flat` of `array`.
+    fn load(&mut self, array: ArrayId, flat: usize) -> f32;
+
+    /// Writes element `flat` of `array`.
+    fn store(&mut self, array: ArrayId, flat: usize, v: f32);
+
+    /// Receives `n` cost events (default: ignored).
+    fn cost(&mut self, _ev: CostEvent, _n: u64) {}
+
+    /// Handles a runtime-library call with resolved arguments.
+    ///
+    /// # Errors
+    ///
+    /// Unknown callee or malformed arguments.
+    fn call(
+        &mut self,
+        prog: &Program,
+        callee: &str,
+        args: &[ResolvedArg],
+    ) -> Result<(), InterpError>;
+}
+
+/// Runs a program to completion on the given backend.
+///
+/// # Errors
+///
+/// Propagates any [`InterpError`] from evaluation or the backend.
+pub fn run<B: Backend>(prog: &Program, backend: &mut B) -> Result<(), InterpError> {
+    let mut env = vec![0i64; prog.vars.len()];
+    let mut interp = Interp { prog, backend };
+    interp.exec_block(&prog.body, &mut env)
+}
+
+struct Interp<'p, B: Backend> {
+    prog: &'p Program,
+    backend: &'p mut B,
+}
+
+impl<'p, B: Backend> Interp<'p, B> {
+    fn exec_block(&mut self, stmts: &[Stmt], env: &mut Vec<i64>) -> Result<(), InterpError> {
+        for s in stmts {
+            self.exec_stmt(s, env)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, env: &mut Vec<i64>) -> Result<(), InterpError> {
+        match s {
+            Stmt::For(l) => {
+                let lo = self.eval(&l.lo, env)?.as_index()?;
+                let hi = self.eval(&l.hi, env)?.as_index()?;
+                let mut i = lo;
+                while i < hi {
+                    env[l.var.0] = i;
+                    self.backend.cost(CostEvent::Cmp, 1);
+                    self.backend.cost(CostEvent::Branch, 1);
+                    self.backend.cost(CostEvent::IntAlu, 1);
+                    self.exec_block(&l.body, env)?;
+                    i += l.step;
+                }
+                // Loop exit check.
+                self.backend.cost(CostEvent::Cmp, 1);
+                self.backend.cost(CostEvent::Branch, 1);
+                Ok(())
+            }
+            Stmt::Assign(a) => {
+                let v = self.eval(&a.value, env)?.as_f64();
+                let flat = self.flat_index(&a.target, env)?;
+                self.backend.cost(CostEvent::Store, 1);
+                self.backend.store(a.target.array, flat, v as f32);
+                Ok(())
+            }
+            Stmt::If(i) => {
+                let l = self.eval(&i.cond.lhs, env)?;
+                let r = self.eval(&i.cond.rhs, env)?;
+                self.backend.cost(CostEvent::Cmp, 1);
+                self.backend.cost(CostEvent::Branch, 1);
+                let taken = match (l, r) {
+                    (Value::I(a), Value::I(b)) => cmp_holds(i.cond.op, a as f64, b as f64),
+                    (a, b) => cmp_holds(i.cond.op, a.as_f64(), b.as_f64()),
+                };
+                if taken {
+                    self.exec_block(&i.then_body, env)
+                } else {
+                    self.exec_block(&i.else_body, env)
+                }
+            }
+            Stmt::Call(c) => self.exec_call(c, env),
+        }
+    }
+
+    fn exec_call(&mut self, c: &CallStmt, env: &mut Vec<i64>) -> Result<(), InterpError> {
+        let mut resolved = Vec::with_capacity(c.args.len());
+        for a in &c.args {
+            resolved.push(match a {
+                CallArg::Value(e) => ResolvedArg::Num(self.eval(e, env)?),
+                CallArg::Array(id) => ResolvedArg::Array(*id),
+            });
+        }
+        self.backend.cost(CostEvent::CallOverhead, 1);
+        self.backend.call(self.prog, &c.callee, &resolved)
+    }
+
+    fn flat_index(&mut self, a: &Access, env: &mut Vec<i64>) -> Result<usize, InterpError> {
+        let decl = self.prog.array(a.array);
+        if a.idx.len() != decl.dims.len() {
+            return Err(InterpError::TypeError(format!(
+                "{} indexed with {} subscripts, declared with {}",
+                decl.name,
+                a.idx.len(),
+                decl.dims.len()
+            )));
+        }
+        let mut flat: i64 = 0;
+        for (d, e) in a.idx.iter().enumerate() {
+            let v = self.eval(e, env)?.as_index()?;
+            if v < 0 || v as usize >= decl.dims[d] {
+                return Err(InterpError::OutOfBounds {
+                    array: decl.name.clone(),
+                    flat: v,
+                    len: decl.dims[d],
+                });
+            }
+            flat = flat * decl.dims[d] as i64 + v;
+            // One multiply-accumulate of address arithmetic per dim.
+            self.backend.cost(CostEvent::IntAlu, 1);
+        }
+        Ok(flat as usize)
+    }
+
+    fn eval(&mut self, e: &Expr, env: &mut Vec<i64>) -> Result<Value, InterpError> {
+        match e {
+            Expr::Int(v) => Ok(Value::I(*v)),
+            Expr::Float(v) => Ok(Value::F(*v)),
+            Expr::Var(v) => Ok(Value::I(env[v.0])),
+            Expr::Load(a) => {
+                let flat = self.flat_index(a, env)?;
+                self.backend.cost(CostEvent::Load, 1);
+                Ok(Value::F(self.backend.load(a.array, flat) as f64))
+            }
+            Expr::Unary(UnOp::Neg, e) => {
+                let v = self.eval(e, env)?;
+                Ok(match v {
+                    Value::I(v) => {
+                        self.backend.cost(CostEvent::IntAlu, 1);
+                        Value::I(-v)
+                    }
+                    Value::F(v) => {
+                        self.backend.cost(CostEvent::FpAdd, 1);
+                        Value::F(-v)
+                    }
+                })
+            }
+            Expr::Bin(op, l, r) => {
+                let l = self.eval(l, env)?;
+                let r = self.eval(r, env)?;
+                self.apply_bin(*op, l, r)
+            }
+        }
+    }
+
+    fn apply_bin(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, InterpError> {
+        if let (Value::I(a), Value::I(b)) = (l, r) {
+            let (ev, v) = match op {
+                BinOp::Add => (CostEvent::IntAlu, a + b),
+                BinOp::Sub => (CostEvent::IntAlu, a - b),
+                BinOp::Mul => (CostEvent::IntMul, a * b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(InterpError::TypeError("integer division by zero".into()));
+                    }
+                    (CostEvent::IntAlu, a / b)
+                }
+                BinOp::Min => (CostEvent::IntAlu, a.min(b)),
+                BinOp::Max => (CostEvent::IntAlu, a.max(b)),
+            };
+            self.backend.cost(ev, 1);
+            return Ok(Value::I(v));
+        }
+        let (a, b) = (l.as_f64(), r.as_f64());
+        // Kernels compute in f32; round intermediates to match hardware.
+        let (ev, v) = match op {
+            BinOp::Add => (CostEvent::FpAdd, (a as f32 + b as f32) as f64),
+            BinOp::Sub => (CostEvent::FpAdd, (a as f32 - b as f32) as f64),
+            BinOp::Mul => (CostEvent::FpMul, (a as f32 * b as f32) as f64),
+            BinOp::Div => (CostEvent::FpDiv, (a as f32 / b as f32) as f64),
+            BinOp::Min => (CostEvent::FpAdd, a.min(b)),
+            BinOp::Max => (CostEvent::FpAdd, a.max(b)),
+        };
+        self.backend.cost(ev, 1);
+        Ok(Value::F(v))
+    }
+}
+
+fn cmp_holds(op: CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
+pub mod calls;
+pub mod pure;
+
+pub use pure::PureBackend;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::types::VarId;
+
+    fn simple_program() -> Program {
+        // for i in 0..4: A[i] = i * 2.0
+        let mut p = Program::new("t");
+        let a = p.add_array("A", vec![4]);
+        let i = p.fresh_var("i");
+        p.body = vec![Stmt::for_loop(
+            i,
+            Expr::Int(0),
+            Expr::Int(4),
+            1,
+            vec![Stmt::assign(
+                Access { array: a, idx: vec![Expr::Var(i)] },
+                Expr::mul(Expr::Var(i), Expr::Float(2.0)),
+            )],
+        )];
+        p
+    }
+
+    #[test]
+    fn pure_run_computes_values() {
+        let p = simple_program();
+        let mut b = PureBackend::for_program(&p);
+        run(&p, &mut b).expect("runs");
+        assert_eq!(b.array(ArrayId(0)), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn cost_events_are_emitted() {
+        #[derive(Default)]
+        struct Counter {
+            arrays: Vec<Vec<f32>>,
+            loads: u64,
+            stores: u64,
+            branches: u64,
+        }
+        impl Backend for Counter {
+            fn load(&mut self, a: ArrayId, flat: usize) -> f32 {
+                self.arrays[a.0][flat]
+            }
+            fn store(&mut self, a: ArrayId, flat: usize, v: f32) {
+                self.arrays[a.0][flat] = v;
+            }
+            fn cost(&mut self, ev: CostEvent, n: u64) {
+                match ev {
+                    CostEvent::Load => self.loads += n,
+                    CostEvent::Store => self.stores += n,
+                    CostEvent::Branch => self.branches += n,
+                    _ => {}
+                }
+            }
+            fn call(&mut self, _: &Program, c: &str, _: &[ResolvedArg]) -> Result<(), InterpError> {
+                Err(InterpError::UnknownCall(c.into()))
+            }
+        }
+        let p = simple_program();
+        let mut b = Counter { arrays: vec![vec![0.0; 4]], ..Counter::default() };
+        run(&p, &mut b).expect("runs");
+        assert_eq!(b.stores, 4);
+        assert_eq!(b.loads, 0);
+        assert_eq!(b.branches, 5); // 4 iterations + exit check
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", vec![2]);
+        p.body = vec![Stmt::assign(
+            Access { array: a, idx: vec![Expr::Int(5)] },
+            Expr::Float(0.0),
+        )];
+        let mut b = PureBackend::for_program(&p);
+        let err = run(&p, &mut b).unwrap_err();
+        assert!(matches!(err, InterpError::OutOfBounds { flat: 5, .. }));
+    }
+
+    #[test]
+    fn float_as_index_is_type_error() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", vec![2]);
+        p.body = vec![Stmt::assign(
+            Access { array: a, idx: vec![Expr::Float(1.5)] },
+            Expr::Float(0.0),
+        )];
+        let mut b = PureBackend::for_program(&p);
+        assert!(matches!(run(&p, &mut b), Err(InterpError::TypeError(_))));
+    }
+
+    #[test]
+    fn min_max_and_if_work() {
+        // A[0] = min(3, 5); if (1 < 2) A[1] = max(3.0, 4.0) else A[1] = 0
+        let mut p = Program::new("t");
+        let a = p.add_array("A", vec![2]);
+        p.body = vec![
+            Stmt::assign(
+                Access { array: a, idx: vec![Expr::Int(0)] },
+                Expr::min(Expr::Int(3), Expr::Int(5)),
+            ),
+            Stmt::If(crate::stmt::IfStmt {
+                cond: crate::stmt::Cond { op: CmpOp::Lt, lhs: Expr::Int(1), rhs: Expr::Int(2) },
+                then_body: vec![Stmt::assign(
+                    Access { array: a, idx: vec![Expr::Int(1)] },
+                    Expr::max(Expr::Float(3.0), Expr::Float(4.0)),
+                )],
+                else_body: vec![Stmt::assign(
+                    Access { array: a, idx: vec![Expr::Int(1)] },
+                    Expr::Float(0.0),
+                )],
+            }),
+        ];
+        let mut b = PureBackend::for_program(&p);
+        run(&p, &mut b).expect("runs");
+        assert_eq!(b.array(a), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn nested_loop_bounds_reference_outer_vars() {
+        // for i in 0..3: for j in i..3: A[i][j] = 1
+        let mut p = Program::new("t");
+        let a = p.add_array("A", vec![3, 3]);
+        let i = p.fresh_var("i");
+        let j = p.fresh_var("j");
+        p.body = vec![Stmt::for_loop(
+            i,
+            Expr::Int(0),
+            Expr::Int(3),
+            1,
+            vec![Stmt::for_loop(
+                j,
+                Expr::Var(i),
+                Expr::Int(3),
+                1,
+                vec![Stmt::assign(
+                    Access { array: a, idx: vec![Expr::Var(i), Expr::Var(j)] },
+                    Expr::Float(1.0),
+                )],
+            )],
+        )];
+        let mut b = PureBackend::for_program(&p);
+        run(&p, &mut b).expect("runs");
+        let sum: f32 = b.array(a).iter().sum();
+        assert_eq!(sum, 6.0); // upper triangle incl. diagonal
+    }
+
+    #[test]
+    fn var_id_display() {
+        assert_eq!(VarId(3).to_string(), "%3");
+        assert_eq!(ArrayId(1).to_string(), "@1");
+    }
+}

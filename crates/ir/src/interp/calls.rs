@@ -1,0 +1,410 @@
+//! Canonical argument layouts of the `polly_cim*` runtime calls.
+//!
+//! Loop Tactics emits these calls (Listing 1); both the pure backend and
+//! the machine-coupled executor parse them with the helpers here, so the
+//! ABI is defined in exactly one place.
+
+use super::{InterpError, ResolvedArg, Value};
+use crate::types::ArrayId;
+
+/// Parsed `polly_cimBlasSGemm` / `polly_cimBlasSGemmView` arguments.
+///
+/// The `View` variant adds `(row, col)` origins into each operand so that
+/// compiler-tiled code (Listing 3) can hand sub-matrices to the runtime;
+/// the plain call leaves all origins at zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmCall {
+    /// Transpose `A`.
+    pub trans_a: bool,
+    /// Transpose `B` (unsupported by the device; kept for ABI fidelity).
+    pub trans_b: bool,
+    /// Result rows.
+    pub m: usize,
+    /// Result columns.
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Product scale.
+    pub alpha: f64,
+    /// Left operand.
+    pub a: ArrayId,
+    /// Leading dimension of `A`.
+    pub lda: usize,
+    /// `(row, col)` origin into `A`.
+    pub a_off: (usize, usize),
+    /// Right operand.
+    pub b: ArrayId,
+    /// Leading dimension of `B`.
+    pub ldb: usize,
+    /// `(row, col)` origin into `B`.
+    pub b_off: (usize, usize),
+    /// Accumulator scale.
+    pub beta: f64,
+    /// Result operand.
+    pub c: ArrayId,
+    /// Leading dimension of `C`.
+    pub ldc: usize,
+    /// `(row, col)` origin into `C`.
+    pub c_off: (usize, usize),
+}
+
+/// Parsed `polly_cimBlasSGemv` arguments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemvCall {
+    /// Transpose `A`.
+    pub trans_a: bool,
+    /// Output length.
+    pub m: usize,
+    /// Input length.
+    pub k: usize,
+    /// Product scale.
+    pub alpha: f64,
+    /// Matrix operand.
+    pub a: ArrayId,
+    /// Leading dimension of `A`.
+    pub lda: usize,
+    /// Input vector.
+    pub x: ArrayId,
+    /// Accumulator scale.
+    pub beta: f64,
+    /// Output vector.
+    pub y: ArrayId,
+}
+
+/// Parsed `polly_cimBlasGemmBatched` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedCall {
+    /// Shared GEMM shape/scales.
+    pub template: GemmCall,
+    /// Per-problem `(A, B, C)` operands.
+    pub problems: Vec<(ArrayId, ArrayId, ArrayId)>,
+}
+
+/// Parsed `polly_cimConv2d` arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvCall {
+    /// Input image.
+    pub img: ArrayId,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+    /// Filter.
+    pub filt: ArrayId,
+    /// Filter height.
+    pub fh: usize,
+    /// Filter width.
+    pub fw: usize,
+    /// Output image.
+    pub out: ArrayId,
+}
+
+/// Any recognized runtime call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CimCall {
+    /// `polly_cimInit(device)`.
+    Init(i64),
+    /// `polly_cimMalloc(array)`.
+    Malloc(ArrayId),
+    /// `polly_cimHostToDev(array)`.
+    HostToDev(ArrayId),
+    /// `polly_cimDevToHost(array)`.
+    DevToHost(ArrayId),
+    /// `polly_cimFree(array)`.
+    Free(ArrayId),
+    /// `polly_cimBlasSGemm(...)`.
+    Gemm(GemmCall),
+    /// `polly_cimBlasSGemv(...)`.
+    Gemv(GemvCall),
+    /// `polly_cimBlasGemmBatched(...)`.
+    Batched(BatchedCall),
+    /// `polly_cimConv2d(...)`.
+    Conv(ConvCall),
+}
+
+struct Args<'a> {
+    callee: &'a str,
+    args: &'a [ResolvedArg],
+    at: usize,
+}
+
+impl<'a> Args<'a> {
+    fn num(&mut self) -> Result<f64, InterpError> {
+        match self.args.get(self.at) {
+            Some(ResolvedArg::Num(v)) => {
+                self.at += 1;
+                Ok(v.as_f64())
+            }
+            other => Err(InterpError::BadCallArgs(format!(
+                "{}: expected numeric argument {} (got {other:?})",
+                self.callee, self.at
+            ))),
+        }
+    }
+
+    fn usize(&mut self) -> Result<usize, InterpError> {
+        let v = self.num()?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(InterpError::BadCallArgs(format!(
+                "{}: argument {} must be a non-negative integer (got {v})",
+                self.callee,
+                self.at - 1
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    fn flag(&mut self) -> Result<bool, InterpError> {
+        Ok(self.usize()? != 0)
+    }
+
+    fn array(&mut self) -> Result<ArrayId, InterpError> {
+        match self.args.get(self.at) {
+            Some(ResolvedArg::Array(id)) => {
+                self.at += 1;
+                Ok(*id)
+            }
+            other => Err(InterpError::BadCallArgs(format!(
+                "{}: expected array argument {} (got {other:?})",
+                self.callee, self.at
+            ))),
+        }
+    }
+
+    fn finish(&self) -> Result<(), InterpError> {
+        if self.at == self.args.len() {
+            Ok(())
+        } else {
+            Err(InterpError::BadCallArgs(format!(
+                "{}: {} trailing arguments",
+                self.callee,
+                self.args.len() - self.at
+            )))
+        }
+    }
+}
+
+/// Parses a resolved runtime call.
+///
+/// # Errors
+///
+/// [`InterpError::UnknownCall`] for unrecognized callees and
+/// [`InterpError::BadCallArgs`] for malformed argument lists.
+pub fn parse(callee: &str, args: &[ResolvedArg]) -> Result<CimCall, InterpError> {
+    let mut a = Args { callee, args, at: 0 };
+    let call = match callee {
+        "polly_cimInit" => {
+            let dev = a.num()? as i64;
+            CimCall::Init(dev)
+        }
+        "polly_cimMalloc" => CimCall::Malloc(a.array()?),
+        "polly_cimHostToDev" => CimCall::HostToDev(a.array()?),
+        "polly_cimDevToHost" => CimCall::DevToHost(a.array()?),
+        "polly_cimFree" => CimCall::Free(a.array()?),
+        "polly_cimBlasSGemm" => CimCall::Gemm(parse_gemm(&mut a)?),
+        "polly_cimBlasSGemmView" => CimCall::Gemm(parse_gemm_view(&mut a)?),
+        "polly_cimBlasSGemv" => CimCall::Gemv(GemvCall {
+            trans_a: a.flag()?,
+            m: a.usize()?,
+            k: a.usize()?,
+            alpha: a.num()?,
+            a: a.array()?,
+            lda: a.usize()?,
+            x: a.array()?,
+            beta: a.num()?,
+            y: a.array()?,
+        }),
+        "polly_cimBlasGemmBatched" => {
+            let trans_a = a.flag()?;
+            let trans_b = a.flag()?;
+            let m = a.usize()?;
+            let n = a.usize()?;
+            let k = a.usize()?;
+            let alpha = a.num()?;
+            let lda = a.usize()?;
+            let ldb = a.usize()?;
+            let beta = a.num()?;
+            let ldc = a.usize()?;
+            let count = a.usize()?;
+            let mut problems = Vec::with_capacity(count);
+            for _ in 0..count {
+                problems.push((a.array()?, a.array()?, a.array()?));
+            }
+            // Placeholder ids; per-problem operands come from `problems`.
+            let template = GemmCall {
+                trans_a,
+                trans_b,
+                m,
+                n,
+                k,
+                alpha,
+                a: ArrayId(usize::MAX),
+                lda,
+                a_off: (0, 0),
+                b: ArrayId(usize::MAX),
+                ldb,
+                b_off: (0, 0),
+                beta,
+                c: ArrayId(usize::MAX),
+                ldc,
+                c_off: (0, 0),
+            };
+            CimCall::Batched(BatchedCall { template, problems })
+        }
+        "polly_cimConv2d" => CimCall::Conv(ConvCall {
+            img: a.array()?,
+            h: a.usize()?,
+            w: a.usize()?,
+            filt: a.array()?,
+            fh: a.usize()?,
+            fw: a.usize()?,
+            out: a.array()?,
+        }),
+        other => return Err(InterpError::UnknownCall(other.into())),
+    };
+    a.finish()?;
+    Ok(call)
+}
+
+/// Convenience constructor for resolved numeric args in tests.
+pub fn num(v: f64) -> ResolvedArg {
+    ResolvedArg::Num(Value::F(v))
+}
+
+/// Convenience constructor for resolved integer args in tests.
+pub fn int(v: i64) -> ResolvedArg {
+    ResolvedArg::Num(Value::I(v))
+}
+
+/// Convenience constructor for resolved array args in tests.
+pub fn arr(i: usize) -> ResolvedArg {
+    ResolvedArg::Array(ArrayId(i))
+}
+
+fn parse_gemm(a: &mut Args<'_>) -> Result<GemmCall, InterpError> {
+    Ok(GemmCall {
+        trans_a: a.flag()?,
+        trans_b: a.flag()?,
+        m: a.usize()?,
+        n: a.usize()?,
+        k: a.usize()?,
+        alpha: a.num()?,
+        a: a.array()?,
+        lda: a.usize()?,
+        a_off: (0, 0),
+        b: a.array()?,
+        ldb: a.usize()?,
+        b_off: (0, 0),
+        beta: a.num()?,
+        c: a.array()?,
+        ldc: a.usize()?,
+        c_off: (0, 0),
+    })
+}
+
+fn parse_gemm_view(a: &mut Args<'_>) -> Result<GemmCall, InterpError> {
+    Ok(GemmCall {
+        trans_a: a.flag()?,
+        trans_b: a.flag()?,
+        m: a.usize()?,
+        n: a.usize()?,
+        k: a.usize()?,
+        alpha: a.num()?,
+        a: a.array()?,
+        lda: a.usize()?,
+        a_off: (a.usize()?, a.usize()?),
+        b: a.array()?,
+        ldb: a.usize()?,
+        b_off: (a.usize()?, a.usize()?),
+        beta: a.num()?,
+        c: a.array()?,
+        ldc: a.usize()?,
+        c_off: (a.usize()?, a.usize()?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_gemm_call() {
+        let args = [
+            int(0),
+            int(0),
+            int(4),
+            int(4),
+            int(4),
+            num(1.5),
+            arr(0),
+            int(4),
+            arr(1),
+            int(4),
+            num(0.0),
+            arr(2),
+            int(4),
+        ];
+        let call = parse("polly_cimBlasSGemm", &args).expect("parses");
+        let CimCall::Gemm(g) = call else { panic!("wrong variant") };
+        assert_eq!(g.m, 4);
+        assert_eq!(g.alpha, 1.5);
+        assert_eq!(g.c, ArrayId(2));
+        assert!(!g.trans_a);
+    }
+
+    #[test]
+    fn parse_batched_call() {
+        let args = [
+            int(0),
+            int(0),
+            int(2),
+            int(2),
+            int(2),
+            num(1.0),
+            int(2),
+            int(2),
+            num(0.0),
+            int(2),
+            int(2), // count
+            arr(0),
+            arr(1),
+            arr(2),
+            arr(0),
+            arr(3),
+            arr(4),
+        ];
+        let call = parse("polly_cimBlasGemmBatched", &args).expect("parses");
+        let CimCall::Batched(b) = call else { panic!("wrong variant") };
+        assert_eq!(b.problems.len(), 2);
+        assert_eq!(b.problems[0].0, b.problems[1].0); // shared A
+    }
+
+    #[test]
+    fn unknown_callee_rejected() {
+        assert!(matches!(parse("cudaMalloc", &[]), Err(InterpError::UnknownCall(_))));
+    }
+
+    #[test]
+    fn trailing_arguments_rejected() {
+        let args = [int(0), int(7)];
+        assert!(matches!(parse("polly_cimInit", &args), Err(InterpError::BadCallArgs(_))));
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let args = [arr(0)];
+        assert!(matches!(parse("polly_cimInit", &args), Err(InterpError::BadCallArgs(_))));
+        let args = [int(0)];
+        assert!(matches!(parse("polly_cimMalloc", &args), Err(InterpError::BadCallArgs(_))));
+    }
+
+    #[test]
+    fn simple_memory_calls() {
+        assert_eq!(parse("polly_cimInit", &[int(0)]).unwrap(), CimCall::Init(0));
+        assert_eq!(parse("polly_cimMalloc", &[arr(3)]).unwrap(), CimCall::Malloc(ArrayId(3)));
+        assert_eq!(
+            parse("polly_cimDevToHost", &[arr(1)]).unwrap(),
+            CimCall::DevToHost(ArrayId(1))
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Pure (uncosted) backend: reference semantics for programs, including
+//! the functional meaning of every `polly_cim*` runtime call.
+//!
+//! Transformation correctness tests run a program before and after a
+//! rewrite on this backend and require identical array contents: the
+//! rewritten program's accelerator calls must compute exactly what the
+//! loops they replaced computed.
+
+use super::calls::{parse, BatchedCall, CimCall, ConvCall, GemmCall, GemvCall};
+use super::{Backend, InterpError, ResolvedArg};
+use crate::types::{ArrayId, Program};
+
+/// Reference storage backend.
+#[derive(Debug, Clone)]
+pub struct PureBackend {
+    arrays: Vec<Vec<f32>>,
+}
+
+impl PureBackend {
+    /// Allocates zeroed storage for every array of `prog`, applying scalar
+    /// initializers.
+    pub fn for_program(prog: &Program) -> Self {
+        let arrays = prog
+            .arrays
+            .iter()
+            .map(|d| {
+                let mut v = vec![0f32; d.elem_count()];
+                if let Some(init) = d.scalar_init {
+                    v[0] = init as f32;
+                }
+                v
+            })
+            .collect();
+        PureBackend { arrays }
+    }
+
+    /// Contents of an array.
+    pub fn array(&self, id: ArrayId) -> &[f32] {
+        &self.arrays[id.0]
+    }
+
+    /// Overwrites an array's contents (harness initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the declared element count.
+    pub fn set_array(&mut self, id: ArrayId, data: &[f32]) {
+        assert_eq!(self.arrays[id.0].len(), data.len(), "array size mismatch");
+        self.arrays[id.0].copy_from_slice(data);
+    }
+
+    /// All arrays, in declaration order (for whole-state comparisons).
+    pub fn into_arrays(self) -> Vec<Vec<f32>> {
+        self.arrays
+    }
+
+    fn gemm(&mut self, g: &GemmCall) -> Result<(), InterpError> {
+        let a = self.arrays[g.a.0].clone();
+        let b = self.arrays[g.b.0].clone();
+        let c = &mut self.arrays[g.c.0];
+        let at = |i: usize, kk: usize| -> f32 {
+            if g.trans_a {
+                a[(g.a_off.0 + kk) * g.lda + g.a_off.1 + i]
+            } else {
+                a[(g.a_off.0 + i) * g.lda + g.a_off.1 + kk]
+            }
+        };
+        let bt = |kk: usize, j: usize| -> f32 {
+            if g.trans_b {
+                b[(g.b_off.0 + j) * g.ldb + g.b_off.1 + kk]
+            } else {
+                b[(g.b_off.0 + kk) * g.ldb + g.b_off.1 + j]
+            }
+        };
+        for i in 0..g.m {
+            for j in 0..g.n {
+                let mut acc = 0f32;
+                for kk in 0..g.k {
+                    acc += at(i, kk) * bt(kk, j);
+                }
+                let ci = (g.c_off.0 + i) * g.ldc + g.c_off.1 + j;
+                let old = c[ci];
+                c[ci] = g.alpha as f32 * acc + g.beta as f32 * old;
+            }
+        }
+        Ok(())
+    }
+
+    fn gemv(&mut self, g: &GemvCall) -> Result<(), InterpError> {
+        let a = self.arrays[g.a.0].clone();
+        let x = self.arrays[g.x.0].clone();
+        let y = &mut self.arrays[g.y.0];
+        for i in 0..g.m {
+            let mut acc = 0f32;
+            for kk in 0..g.k {
+                let av = if g.trans_a { a[kk * g.lda + i] } else { a[i * g.lda + kk] };
+                acc += av * x[kk];
+            }
+            y[i] = g.alpha as f32 * acc + g.beta as f32 * y[i];
+        }
+        Ok(())
+    }
+
+    fn conv(&mut self, c: &ConvCall) -> Result<(), InterpError> {
+        let img = self.arrays[c.img.0].clone();
+        let filt = self.arrays[c.filt.0].clone();
+        let out = &mut self.arrays[c.out.0];
+        let (oh, ow) = (c.h - c.fh + 1, c.w - c.fw + 1);
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut acc = 0f32;
+                for fr in 0..c.fh {
+                    for fc in 0..c.fw {
+                        acc += filt[fr * c.fw + fc] * img[(oi + fr) * c.w + oj + fc];
+                    }
+                }
+                // The matched source is a reduction (`out[i][j] += ...`):
+                // accumulate into the existing output.
+                out[oi * ow + oj] += acc;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Backend for PureBackend {
+    fn load(&mut self, array: ArrayId, flat: usize) -> f32 {
+        self.arrays[array.0][flat]
+    }
+
+    fn store(&mut self, array: ArrayId, flat: usize, v: f32) {
+        self.arrays[array.0][flat] = v;
+    }
+
+    fn call(
+        &mut self,
+        _prog: &Program,
+        callee: &str,
+        args: &[ResolvedArg],
+    ) -> Result<(), InterpError> {
+        match parse(callee, args)? {
+            CimCall::Init(_)
+            | CimCall::Malloc(_)
+            | CimCall::HostToDev(_)
+            | CimCall::DevToHost(_)
+            | CimCall::Free(_) => Ok(()), // single storage: data movement is a no-op
+            CimCall::Gemm(g) => self.gemm(&g),
+            CimCall::Gemv(g) => self.gemv(&g),
+            CimCall::Batched(BatchedCall { template, problems }) => {
+                for (a, b, c) in problems {
+                    self.gemm(&GemmCall { a, b, c, ..template })?;
+                }
+                Ok(())
+            }
+            CimCall::Conv(c) => self.conv(&c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::calls::{arr, int, num};
+    use super::*;
+
+    fn prog_with(names: &[(&str, Vec<usize>)]) -> Program {
+        let mut p = Program::new("t");
+        for (n, d) in names {
+            p.add_array(*n, d.clone());
+        }
+        p
+    }
+
+    #[test]
+    fn gemm_call_semantics() {
+        let p = prog_with(&[("A", vec![2, 2]), ("B", vec![2, 2]), ("C", vec![2, 2])]);
+        let mut b = PureBackend::for_program(&p);
+        b.set_array(ArrayId(0), &[1.0, 2.0, 3.0, 4.0]);
+        b.set_array(ArrayId(1), &[5.0, 6.0, 7.0, 8.0]);
+        let args = [
+            int(0),
+            int(0),
+            int(2),
+            int(2),
+            int(2),
+            num(1.0),
+            arr(0),
+            int(2),
+            arr(1),
+            int(2),
+            num(0.0),
+            arr(2),
+            int(2),
+        ];
+        b.call(&p, "polly_cimBlasSGemm", &args).expect("gemm");
+        assert_eq!(b.array(ArrayId(2)), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transposed_gemv_semantics() {
+        let p = prog_with(&[("A", vec![2, 2]), ("x", vec![2]), ("y", vec![2])]);
+        let mut b = PureBackend::for_program(&p);
+        b.set_array(ArrayId(0), &[1.0, 2.0, 3.0, 4.0]);
+        b.set_array(ArrayId(1), &[1.0, 1.0]);
+        let args =
+            [int(1), int(2), int(2), num(1.0), arr(0), int(2), arr(1), num(0.0), arr(2)];
+        b.call(&p, "polly_cimBlasSGemv", &args).expect("gemv");
+        assert_eq!(b.array(ArrayId(2)), &[4.0, 6.0]); // A^T x
+    }
+
+    #[test]
+    fn conv_call_semantics() {
+        let p = prog_with(&[("img", vec![3, 3]), ("f", vec![2, 2]), ("out", vec![2, 2])]);
+        let mut b = PureBackend::for_program(&p);
+        b.set_array(ArrayId(0), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        b.set_array(ArrayId(1), &[1.0, 0.0, 0.0, 1.0]);
+        let args = [arr(0), int(3), int(3), arr(1), int(2), int(2), arr(2)];
+        b.call(&p, "polly_cimConv2d", &args).expect("conv");
+        assert_eq!(b.array(ArrayId(2)), &[6.0, 8.0, 12.0, 14.0]); // img[i][j]+img[i+1][j+1]
+    }
+
+    #[test]
+    fn memory_management_calls_are_noops() {
+        let p = prog_with(&[("A", vec![2])]);
+        let mut b = PureBackend::for_program(&p);
+        b.set_array(ArrayId(0), &[1.0, 2.0]);
+        for callee in ["polly_cimMalloc", "polly_cimHostToDev", "polly_cimDevToHost", "polly_cimFree"] {
+            b.call(&p, callee, &[arr(0)]).expect("noop");
+        }
+        b.call(&p, "polly_cimInit", &[int(0)]).expect("init");
+        assert_eq!(b.array(ArrayId(0)), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scalar_init_applies() {
+        let mut p = Program::new("t");
+        let s = p.add_scalar("alpha", Some(2.5));
+        let b = PureBackend::for_program(&p);
+        assert_eq!(b.array(s), &[2.5]);
+    }
+}

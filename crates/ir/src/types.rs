@@ -1,0 +1,145 @@
+//! Core identifiers and the program container.
+
+use std::fmt;
+
+/// Identifies an array (or scalar, a 0-dimensional array) in a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub usize);
+
+/// Identifies an integer loop variable in a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Declaration of an `f32` array. Scalars are 0-dimensional arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Extent of each dimension (compile-time constants, PolyBench-style).
+    pub dims: Vec<usize>,
+    /// Optional initial value for scalars (e.g. `float alpha = 1.5;`).
+    pub scalar_init: Option<f64>,
+}
+
+impl ArrayDecl {
+    /// Total element count (1 for scalars).
+    pub fn elem_count(&self) -> usize {
+        self.dims.iter().product::<usize>().max(1)
+    }
+
+    /// Row-major strides, innermost last.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Whether this is a scalar.
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+}
+
+/// A whole compilation unit: array declarations plus the kernel body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Kernel name (from the source function).
+    pub name: String,
+    /// Array/scalar declarations, indexed by [`ArrayId`].
+    pub arrays: Vec<ArrayDecl>,
+    /// Loop variable names, indexed by [`VarId`].
+    pub vars: Vec<String>,
+    /// Kernel body.
+    pub body: Vec<crate::stmt::Stmt>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), ..Program::default() }
+    }
+
+    /// Declares an array, returning its id.
+    pub fn add_array(&mut self, name: impl Into<String>, dims: Vec<usize>) -> ArrayId {
+        self.arrays.push(ArrayDecl { name: name.into(), dims, scalar_init: None });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Declares a scalar with an optional initial value, returning its id.
+    pub fn add_scalar(&mut self, name: impl Into<String>, init: Option<f64>) -> ArrayId {
+        self.arrays.push(ArrayDecl { name: name.into(), dims: Vec::new(), scalar_init: init });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Creates a fresh loop variable, returning its id.
+    pub fn fresh_var(&mut self, name: impl Into<String>) -> VarId {
+        self.vars.push(name.into());
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Looks up an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().position(|a| a.name == name).map(ArrayId)
+    }
+
+    /// The declaration of an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale (from another program).
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// The name of a loop variable.
+    pub fn var_name(&self, id: VarId) -> &str {
+        &self.vars[id.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let d = ArrayDecl { name: "A".into(), dims: vec![4, 5, 6], scalar_init: None };
+        assert_eq!(d.strides(), vec![30, 6, 1]);
+        assert_eq!(d.elem_count(), 120);
+    }
+
+    #[test]
+    fn scalars_have_one_element() {
+        let d = ArrayDecl { name: "alpha".into(), dims: vec![], scalar_init: Some(1.5) };
+        assert!(d.is_scalar());
+        assert_eq!(d.elem_count(), 1);
+        assert_eq!(d.strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn program_bookkeeping() {
+        let mut p = Program::new("k");
+        let a = p.add_array("A", vec![8, 8]);
+        let s = p.add_scalar("alpha", Some(2.0));
+        let v = p.fresh_var("i");
+        assert_eq!(p.array_by_name("A"), Some(a));
+        assert_eq!(p.array_by_name("alpha"), Some(s));
+        assert_eq!(p.array_by_name("nope"), None);
+        assert_eq!(p.var_name(v), "i");
+        assert_eq!(p.array(s).scalar_init, Some(2.0));
+    }
+}

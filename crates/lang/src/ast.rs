@@ -1,0 +1,180 @@
+//! Abstract syntax tree of the mini-C kernel language.
+
+use crate::error::Pos;
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `const int N = <const-expr>;`
+    Const {
+        /// Constant name.
+        name: String,
+        /// Value expression (const-evaluated during lowering).
+        value: AExpr,
+        /// Position.
+        pos: Pos,
+    },
+    /// `float A[N][M];` or `float alpha = 1.5;`
+    Array {
+        /// Array name.
+        name: String,
+        /// Dimension expressions (empty for scalars).
+        dims: Vec<AExpr>,
+        /// Scalar initializer.
+        init: Option<f64>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `void kernel() { ... }`
+    Func {
+        /// Function name.
+        name: String,
+        /// Body statements.
+        body: Vec<AStmt>,
+        /// Position.
+        pos: Pos,
+    },
+}
+
+/// Comparison in a `for` condition or `if`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ACmp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+/// An l-value (also used as a load expression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ALval {
+    /// Array or scalar name.
+    pub name: String,
+    /// Subscripts.
+    pub idx: Vec<AExpr>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// Binary operators in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ABinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AExpr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Float literal.
+    Float(f64, Pos),
+    /// Identifier or indexed reference.
+    Ref(ALval),
+    /// Negation.
+    Neg(Box<AExpr>, Pos),
+    /// Binary operation.
+    Bin(ABinOp, Box<AExpr>, Box<AExpr>, Pos),
+}
+
+impl AExpr {
+    /// Source position of the expression head.
+    pub fn pos(&self) -> Pos {
+        match self {
+            AExpr::Int(_, p) | AExpr::Float(_, p) | AExpr::Neg(_, p) | AExpr::Bin(_, _, _, p) => *p,
+            AExpr::Ref(l) => l.pos,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AStmt {
+    /// `for (int i = lo; i < hi; i++) body`
+    For {
+        /// Induction variable name.
+        var: String,
+        /// Initialization expression.
+        init: AExpr,
+        /// Condition operator (`<` or `<=`).
+        cmp: ACmp,
+        /// Bound expression.
+        bound: AExpr,
+        /// Step (`i++` is 1).
+        step: i64,
+        /// Body.
+        body: Vec<AStmt>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `if (a < b) ... else ...`
+    If {
+        /// Left comparison operand.
+        lhs: AExpr,
+        /// Comparison operator.
+        cmp: ACmp,
+        /// Right comparison operand.
+        rhs: AExpr,
+        /// Taken branch.
+        then_body: Vec<AStmt>,
+        /// Else branch.
+        else_body: Vec<AStmt>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `lval op= expr;`
+    Assign {
+        /// Destination.
+        lval: ALval,
+        /// Operator.
+        op: AssignOp,
+        /// Value.
+        value: AExpr,
+        /// Position.
+        pos: Pos,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_pos_propagates() {
+        let p = Pos { line: 2, col: 5 };
+        let e = AExpr::Neg(Box::new(AExpr::Int(1, Pos::default())), p);
+        assert_eq!(e.pos(), p);
+        let l = ALval { name: "A".into(), idx: vec![], pos: p };
+        assert_eq!(AExpr::Ref(l).pos(), p);
+    }
+}

@@ -1,0 +1,53 @@
+//! Front-end diagnostics with source positions.
+
+use std::fmt;
+
+/// A position in the source text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number.
+    pub line: u32,
+    /// Column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A front-end error (lexing, parsing or semantic analysis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Where it happened.
+    pub pos: Pos,
+}
+
+impl FrontendError {
+    /// Creates an error at a position.
+    pub fn new(msg: impl Into<String>, pos: Pos) -> Self {
+        FrontendError { msg: msg.into(), pos }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = FrontendError::new("unexpected token", Pos { line: 3, col: 14 });
+        assert_eq!(e.to_string(), "3:14: unexpected token");
+    }
+}

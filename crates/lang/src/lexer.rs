@@ -1,0 +1,229 @@
+//! Tokenizer for the mini-C kernel language.
+
+use crate::error::{FrontendError, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Punctuation or operator (`"("`, `"+="`, ...).
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Source position of its first character.
+    pub pos: Pos,
+}
+
+const PUNCTS2: &[&str] = &["+=", "-=", "*=", "/=", "==", "!=", "<=", ">=", "++", "--"];
+const PUNCTS1: &[&str] = &["+", "-", "*", "/", "%", "=", "<", ">", "(", ")", "[", "]", "{", "}", ";", ","];
+
+/// Tokenizes the whole input.
+///
+/// # Errors
+///
+/// Returns an error for unrecognized characters or malformed numbers.
+pub fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        // Whitespace.
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            i += 2;
+            col += 2;
+            while i + 1 < n && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+            if i + 1 >= n {
+                return Err(FrontendError::new("unterminated block comment", pos));
+            }
+            i += 2;
+            col += 2;
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            col += (i - start) as u32;
+            out.push(Token { tok: Tok::Ident(text), pos });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit()) {
+            let start = i;
+            let mut is_float = false;
+            while i < n
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || ((bytes[i] == '+' || bytes[i] == '-')
+                        && i > start
+                        && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+            {
+                if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            // Trailing f suffix (C float literals).
+            if i < n && (bytes[i] == 'f' || bytes[i] == 'F') {
+                is_float = true;
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let text_trim = text.trim_end_matches(['f', 'F']);
+            col += (i - start) as u32;
+            let tok = if is_float {
+                Tok::Float(text_trim.parse::<f64>().map_err(|_| {
+                    FrontendError::new(format!("malformed float literal `{text}`"), pos)
+                })?)
+            } else {
+                Tok::Int(text_trim.parse::<i64>().map_err(|_| {
+                    FrontendError::new(format!("malformed integer literal `{text}`"), pos)
+                })?)
+            };
+            out.push(Token { tok, pos });
+            continue;
+        }
+        // Two-char punctuation.
+        if i + 1 < n {
+            let two: String = bytes[i..i + 2].iter().collect();
+            if let Some(p) = PUNCTS2.iter().find(|p| **p == two) {
+                out.push(Token { tok: Tok::Punct(p), pos });
+                i += 2;
+                col += 2;
+                continue;
+            }
+        }
+        let one = c.to_string();
+        if let Some(p) = PUNCTS1.iter().find(|p| **p == one) {
+            out.push(Token { tok: Tok::Punct(p), pos });
+            i += 1;
+            col += 1;
+            continue;
+        }
+        return Err(FrontendError::new(format!("unrecognized character `{c}`"), pos));
+    }
+    out.push(Token { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).expect("lexes").into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        let toks = kinds("float A[8];");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("float".into()),
+                Tok::Ident("A".into()),
+                Tok::Punct("["),
+                Tok::Int(8),
+                Tok::Punct("]"),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        let toks = kinds("i++ x += 1.5e-2 a <= b");
+        assert!(toks.contains(&Tok::Punct("++")));
+        assert!(toks.contains(&Tok::Punct("+=")));
+        assert!(toks.contains(&Tok::Punct("<=")));
+        assert!(toks.contains(&Tok::Float(1.5e-2)));
+    }
+
+    #[test]
+    fn float_suffix_and_leading_dot() {
+        assert!(kinds("1.0f").contains(&Tok::Float(1.0)));
+        assert!(kinds("2f").contains(&Tok::Float(2.0)));
+        assert!(kinds(".5").contains(&Tok::Float(0.5)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a // line\n b /* block\n across */ c");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").expect("lexes");
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unrecognized_character_errors() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.msg.contains('$'));
+        assert_eq!(err.pos.line, 1);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+}

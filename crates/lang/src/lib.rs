@@ -1,0 +1,33 @@
+//! # tdo-lang — mini-C front-end
+//!
+//! The entry point of the TDO-CIM flow is "an application written in a
+//! high-level language" (Section III-A); the paper uses Clang. This crate
+//! provides the equivalent front-end for a C subset sufficient for
+//! PolyBench-style kernels: global constants, global `f32` arrays and
+//! scalars, counted `for` loops, `if` statements and (compound)
+//! assignments. [`compile`] takes source text to a [`tdo_ir::Program`].
+//!
+//! ```
+//! let src = r#"
+//!     const int N = 4;
+//!     float y[N]; float A[N][N]; float x[N];
+//!     void kernel() {
+//!       for (int i = 0; i < N; i++)
+//!         for (int j = 0; j < N; j++)
+//!           y[i] += A[i][j] * x[j];
+//!     }
+//! "#;
+//! let prog = tdo_lang::compile(src)?;
+//! assert_eq!(prog.arrays.len(), 3);
+//! # Ok::<(), tdo_lang::FrontendError>(())
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use error::{FrontendError, Pos};
+pub use lower::compile;
+pub use parser::parse;

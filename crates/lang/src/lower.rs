@@ -1,0 +1,428 @@
+//! Semantic analysis and lowering from AST to the loop IR.
+//!
+//! Resolves constants, binds arrays and loop variables, enforces the type
+//! discipline (integer index expressions, float data expressions), expands
+//! compound assignments and normalizes `<=` loops to exclusive bounds.
+
+use crate::ast::{ABinOp, ACmp, AExpr, ALval, AssignOp, AStmt, Item};
+use crate::error::{FrontendError, Pos};
+use crate::parser::parse;
+use std::collections::HashMap;
+use tdo_ir::{Access, ArrayId, CmpOp, Cond, Expr, IfStmt, Program, Stmt, VarId};
+
+/// Compiles source text all the way to an IR [`Program`].
+///
+/// # Errors
+///
+/// Lexical, syntactic or semantic errors with source positions.
+pub fn compile(src: &str) -> Result<Program, FrontendError> {
+    let items = parse(src)?;
+    lower(&items)
+}
+
+/// Lowers parsed items to an IR [`Program`].
+///
+/// The entry point is the function named `kernel`, or the only function if
+/// there is exactly one.
+///
+/// # Errors
+///
+/// Semantic errors (unknown names, rank mismatches, non-integer indices,
+/// missing entry point).
+pub fn lower(items: &[Item]) -> Result<Program, FrontendError> {
+    let mut lw = Lowerer {
+        prog: Program::new("kernel"),
+        consts: HashMap::new(),
+        arrays: HashMap::new(),
+        scopes: Vec::new(),
+    };
+    let mut funcs: Vec<(&String, &Vec<AStmt>, Pos)> = Vec::new();
+    for item in items {
+        match item {
+            Item::Const { name, value, pos } => {
+                let v = lw.eval_const(value)?;
+                if lw.consts.insert(name.clone(), v).is_some() {
+                    return Err(FrontendError::new(format!("constant `{name}` redefined"), *pos));
+                }
+            }
+            Item::Array { name, dims, init, pos } => {
+                if lw.arrays.contains_key(name) || lw.consts.contains_key(name) {
+                    return Err(FrontendError::new(format!("`{name}` redefined"), *pos));
+                }
+                if init.is_some() && !dims.is_empty() {
+                    return Err(FrontendError::new(
+                        format!("array `{name}` cannot have a scalar initializer"),
+                        *pos,
+                    ));
+                }
+                let mut extents = Vec::with_capacity(dims.len());
+                for d in dims {
+                    let v = lw.eval_const(d)?;
+                    if v <= 0 {
+                        return Err(FrontendError::new(
+                            format!("dimension of `{name}` must be positive (got {v})"),
+                            d.pos(),
+                        ));
+                    }
+                    extents.push(v as usize);
+                }
+                let id = if extents.is_empty() {
+                    lw.prog.add_scalar(name.clone(), *init)
+                } else {
+                    lw.prog.add_array(name.clone(), extents)
+                };
+                lw.arrays.insert(name.clone(), id);
+            }
+            Item::Func { name, body, pos } => funcs.push((name, body, *pos)),
+        }
+    }
+    let entry = match funcs.iter().find(|(n, _, _)| n.as_str() == "kernel") {
+        Some(f) => f,
+        None if funcs.len() == 1 => &funcs[0],
+        None => {
+            return Err(FrontendError::new(
+                if funcs.is_empty() {
+                    "no function defined".to_string()
+                } else {
+                    "multiple functions but none named `kernel`".to_string()
+                },
+                Pos::default(),
+            ))
+        }
+    };
+    lw.prog.name = format!("kernel_{}", entry.0).replace("kernel_kernel", "kernel");
+    let body = lw.lower_block(entry.1)?;
+    lw.prog.body = body;
+    Ok(lw.prog)
+}
+
+struct Lowerer {
+    prog: Program,
+    consts: HashMap<String, i64>,
+    arrays: HashMap<String, ArrayId>,
+    scopes: Vec<(String, VarId)>,
+}
+
+impl Lowerer {
+    fn eval_const(&self, e: &AExpr) -> Result<i64, FrontendError> {
+        match e {
+            AExpr::Int(v, _) => Ok(*v),
+            AExpr::Float(v, p) => {
+                Err(FrontendError::new(format!("expected integer constant, got {v}"), *p))
+            }
+            AExpr::Ref(l) => {
+                if !l.idx.is_empty() {
+                    return Err(FrontendError::new("constant expression indexes an array", l.pos));
+                }
+                self.consts.get(&l.name).copied().ok_or_else(|| {
+                    FrontendError::new(format!("`{}` is not a constant", l.name), l.pos)
+                })
+            }
+            AExpr::Neg(inner, _) => Ok(-self.eval_const(inner)?),
+            AExpr::Bin(op, a, b, p) => {
+                let (a, b) = (self.eval_const(a)?, self.eval_const(b)?);
+                match op {
+                    ABinOp::Add => Ok(a + b),
+                    ABinOp::Sub => Ok(a - b),
+                    ABinOp::Mul => Ok(a * b),
+                    ABinOp::Div => {
+                        if b == 0 {
+                            Err(FrontendError::new("constant division by zero", *p))
+                        } else {
+                            Ok(a / b)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<VarId> {
+        self.scopes.iter().rev().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    fn lower_block(&mut self, stmts: &[AStmt]) -> Result<Vec<Stmt>, FrontendError> {
+        stmts.iter().map(|s| self.lower_stmt(s)).collect()
+    }
+
+    fn lower_stmt(&mut self, s: &AStmt) -> Result<Stmt, FrontendError> {
+        match s {
+            AStmt::For { var, init, cmp, bound, step, body, .. } => {
+                let lo = self.lower_index_expr(init)?;
+                let mut hi = self.lower_index_expr(bound)?;
+                if *cmp == ACmp::Le {
+                    hi = Expr::add(hi, Expr::Int(1));
+                }
+                let v = self.prog.fresh_var(var.clone());
+                self.scopes.push((var.clone(), v));
+                let body = self.lower_block(body)?;
+                self.scopes.pop();
+                Ok(Stmt::for_loop(v, lo, hi, *step, body))
+            }
+            AStmt::If { lhs, cmp, rhs, then_body, else_body, .. } => {
+                let cond = Cond {
+                    op: lower_cmp(*cmp),
+                    lhs: self.lower_value_expr(lhs)?,
+                    rhs: self.lower_value_expr(rhs)?,
+                };
+                Ok(Stmt::If(IfStmt {
+                    cond,
+                    then_body: self.lower_block(then_body)?,
+                    else_body: self.lower_block(else_body)?,
+                }))
+            }
+            AStmt::Assign { lval, op, value, pos } => {
+                if self.lookup_var(&lval.name).is_some() {
+                    return Err(FrontendError::new(
+                        format!("cannot assign to loop variable `{}`", lval.name),
+                        *pos,
+                    ));
+                }
+                let target = self.lower_lval(lval)?;
+                let rhs = self.lower_value_expr(value)?;
+                let value = match op {
+                    AssignOp::Set => rhs,
+                    AssignOp::Add => Expr::add(Expr::Load(target.clone()), rhs),
+                    AssignOp::Sub => Expr::sub(Expr::Load(target.clone()), rhs),
+                    AssignOp::Mul => Expr::mul(Expr::Load(target.clone()), rhs),
+                    AssignOp::Div => Expr::div(Expr::Load(target.clone()), rhs),
+                };
+                Ok(Stmt::assign(target, value))
+            }
+        }
+    }
+
+    fn lower_lval(&mut self, l: &ALval) -> Result<Access, FrontendError> {
+        let Some(&id) = self.arrays.get(&l.name) else {
+            return Err(FrontendError::new(
+                format!("`{}` is not a declared array or scalar", l.name),
+                l.pos,
+            ));
+        };
+        let rank = self.prog.array(id).dims.len();
+        if l.idx.len() != rank {
+            return Err(FrontendError::new(
+                format!("`{}` has rank {rank}, indexed with {} subscripts", l.name, l.idx.len()),
+                l.pos,
+            ));
+        }
+        let idx =
+            l.idx.iter().map(|e| self.lower_index_expr(e)).collect::<Result<Vec<_>, _>>()?;
+        Ok(Access { array: id, idx })
+    }
+
+    /// Integer-typed expressions: loop variables, constants, int literals.
+    fn lower_index_expr(&mut self, e: &AExpr) -> Result<Expr, FrontendError> {
+        match e {
+            AExpr::Int(v, _) => Ok(Expr::Int(*v)),
+            AExpr::Float(v, p) => {
+                Err(FrontendError::new(format!("float {v} in integer context"), *p))
+            }
+            AExpr::Ref(l) => {
+                if let Some(v) = self.lookup_var(&l.name) {
+                    if !l.idx.is_empty() {
+                        return Err(FrontendError::new(
+                            format!("loop variable `{}` cannot be indexed", l.name),
+                            l.pos,
+                        ));
+                    }
+                    return Ok(Expr::Var(v));
+                }
+                if let Some(c) = self.consts.get(&l.name) {
+                    return Ok(Expr::Int(*c));
+                }
+                Err(FrontendError::new(
+                    format!(
+                        "`{}` used in integer context (array elements cannot index arrays)",
+                        l.name
+                    ),
+                    l.pos,
+                ))
+            }
+            AExpr::Neg(inner, _) => Ok(Expr::neg(self.lower_index_expr(inner)?)),
+            AExpr::Bin(op, a, b, _) => {
+                let a = self.lower_index_expr(a)?;
+                let b = self.lower_index_expr(b)?;
+                Ok(match op {
+                    ABinOp::Add => Expr::add(a, b),
+                    ABinOp::Sub => Expr::sub(a, b),
+                    ABinOp::Mul => Expr::mul(a, b),
+                    ABinOp::Div => Expr::div(a, b),
+                })
+            }
+        }
+    }
+
+    /// Float-typed (data) expressions: everything is allowed; identifiers
+    /// resolve to loop variables, constants or array loads.
+    fn lower_value_expr(&mut self, e: &AExpr) -> Result<Expr, FrontendError> {
+        match e {
+            AExpr::Int(v, _) => Ok(Expr::Int(*v)),
+            AExpr::Float(v, _) => Ok(Expr::Float(*v)),
+            AExpr::Ref(l) => {
+                if let Some(v) = self.lookup_var(&l.name) {
+                    if !l.idx.is_empty() {
+                        return Err(FrontendError::new(
+                            format!("loop variable `{}` cannot be indexed", l.name),
+                            l.pos,
+                        ));
+                    }
+                    return Ok(Expr::Var(v));
+                }
+                if let Some(c) = self.consts.get(&l.name) {
+                    return Ok(Expr::Int(*c));
+                }
+                let access = self.lower_lval(l)?;
+                Ok(Expr::Load(access))
+            }
+            AExpr::Neg(inner, _) => Ok(Expr::neg(self.lower_value_expr(inner)?)),
+            AExpr::Bin(op, a, b, _) => {
+                let a = self.lower_value_expr(a)?;
+                let b = self.lower_value_expr(b)?;
+                Ok(match op {
+                    ABinOp::Add => Expr::add(a, b),
+                    ABinOp::Sub => Expr::sub(a, b),
+                    ABinOp::Mul => Expr::mul(a, b),
+                    ABinOp::Div => Expr::div(a, b),
+                })
+            }
+        }
+    }
+}
+
+fn lower_cmp(c: ACmp) -> CmpOp {
+    match c {
+        ACmp::Lt => CmpOp::Lt,
+        ACmp::Le => CmpOp::Le,
+        ACmp::Gt => CmpOp::Gt,
+        ACmp::Ge => CmpOp::Ge,
+        ACmp::Eq => CmpOp::Eq,
+        ACmp::Ne => CmpOp::Ne,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdo_ir::interp::{run, PureBackend};
+    use tdo_ir::verify::verify;
+
+    const GEMM_SRC: &str = r#"
+        const int N = 4;
+        float A[N][N]; float B[N][N]; float C[N][N];
+        float alpha = 2.0; float beta = 0.5;
+        void kernel() {
+          for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++) {
+              C[i][j] = beta * C[i][j];
+              for (int k = 0; k < N; k++)
+                C[i][j] += alpha * A[i][k] * B[k][j];
+            }
+        }
+    "#;
+
+    #[test]
+    fn gemm_lowers_verifies_and_runs() {
+        let p = compile(GEMM_SRC).expect("compiles");
+        verify(&p).expect("well-formed");
+        let a = p.array_by_name("A").expect("A");
+        let b = p.array_by_name("B").expect("B");
+        let c = p.array_by_name("C").expect("C");
+        let mut be = PureBackend::for_program(&p);
+        // A = B = I.
+        let mut ident = vec![0f32; 16];
+        for i in 0..4 {
+            ident[i * 4 + i] = 1.0;
+        }
+        be.set_array(a, &ident);
+        be.set_array(b, &ident);
+        be.set_array(c, &[1.0; 16]);
+        run(&p, &mut be).expect("runs");
+        // C = 2*I*I + 0.5*1 => diag 2.5, off-diag 0.5.
+        let out = be.array(c);
+        assert_eq!(out[0], 2.5);
+        assert_eq!(out[1], 0.5);
+    }
+
+    #[test]
+    fn le_bound_normalizes_to_exclusive() {
+        let src = "float A[5]; void kernel() { for (int i = 0; i <= 4; i++) A[i] = 1.0; }";
+        let p = compile(src).expect("compiles");
+        let mut be = PureBackend::for_program(&p);
+        run(&p, &mut be).expect("runs");
+        assert_eq!(be.array(ArrayId(0)), &[1.0; 5]);
+    }
+
+    #[test]
+    fn sibling_loops_can_reuse_names() {
+        let src = r#"
+            float A[4]; float B[4];
+            void kernel() {
+              for (int i = 0; i < 4; i++) A[i] = 1.0;
+              for (int i = 0; i < 4; i++) B[i] = 2.0;
+            }
+        "#;
+        let p = compile(src).expect("compiles");
+        verify(&p).expect("well-formed");
+        assert_eq!(p.vars.len(), 2); // two distinct VarIds named i
+    }
+
+    #[test]
+    fn unknown_name_is_reported_with_position() {
+        let src = "void kernel() { X[0] = 1.0; }";
+        let err = compile(src).unwrap_err();
+        assert!(err.msg.contains('X'));
+        assert_eq!(err.pos.line, 1);
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let src = "float A[4][4]; void kernel() { A[0] = 1.0; }";
+        let err = compile(src).unwrap_err();
+        assert!(err.msg.contains("rank"));
+    }
+
+    #[test]
+    fn float_index_rejected() {
+        let src = "float A[4]; void kernel() { A[1.5] = 1.0; }";
+        let err = compile(src).unwrap_err();
+        assert!(err.msg.contains("integer context"));
+    }
+
+    #[test]
+    fn indirect_indexing_rejected() {
+        let src = "float A[4]; float B[4]; void kernel() { for (int i = 0; i < 4; i++) A[B[i]] = 1.0; }";
+        assert!(compile(src).is_err());
+    }
+
+    #[test]
+    fn loop_variable_assignment_rejected() {
+        let src = "float A[4]; void kernel() { for (int i = 0; i < 4; i++) i = 0; }";
+        let err = compile(src).unwrap_err();
+        assert!(err.msg.contains("loop variable"));
+    }
+
+    #[test]
+    fn entry_point_selection() {
+        let src = "float A[1]; void other() { A[0] = 1.0; }";
+        assert!(compile(src).is_ok()); // single function is the entry
+        let src2 = "float A[1]; void a() { } void b() { }";
+        assert!(compile(src2).is_err()); // ambiguous
+    }
+
+    #[test]
+    fn const_arithmetic() {
+        let src = "const int N = 2 * 3 + 1; float A[N]; void kernel() { A[6] = 1.0; }";
+        let p = compile(src).expect("compiles");
+        assert_eq!(p.array(ArrayId(0)).dims, vec![7]);
+    }
+
+    #[test]
+    fn compound_assignments_expand() {
+        let src = "float x = 10.0; void kernel() { x *= 2.0; x -= 5.0; x /= 3.0; }";
+        let p = compile(src).expect("compiles");
+        let mut be = PureBackend::for_program(&p);
+        run(&p, &mut be).expect("runs");
+        assert_eq!(be.array(ArrayId(0))[0], 5.0);
+    }
+}

@@ -1,0 +1,453 @@
+//! Recursive-descent parser for the mini-C kernel language.
+//!
+//! The accepted subset is what PolyBench-style kernels need: global
+//! constants, global `float` arrays/scalars, and functions containing
+//! counted `for` loops, `if` statements and (compound) assignments.
+
+use crate::ast::{ABinOp, ACmp, AExpr, ALval, AssignOp, AStmt, Item};
+use crate::error::{FrontendError, Pos};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parses a full translation unit.
+///
+/// # Errors
+///
+/// Lexical or syntactic errors with positions.
+pub fn parse(src: &str) -> Result<Vec<Item>, FrontendError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    let mut items = Vec::new();
+    while !p.peek_is_eof() {
+        items.push(p.item()?);
+    }
+    Ok(items)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.at]
+    }
+
+    fn peek_is_eof(&self) -> bool {
+        matches!(self.peek().tok, Tok::Eof)
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.at].clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<Pos, FrontendError> {
+        let pos = self.pos();
+        match &self.peek().tok {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(pos)
+            }
+            other => Err(FrontendError::new(format!("expected `{p}`, found {other:?}"), pos)),
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Pos), FrontendError> {
+        let pos = self.pos();
+        match &self.peek().tok {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok((s, pos))
+            }
+            other => Err(FrontendError::new(format!("expected identifier, found {other:?}"), pos)),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<Pos, FrontendError> {
+        let pos = self.pos();
+        match &self.peek().tok {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(pos)
+            }
+            other => Err(FrontendError::new(format!("expected `{kw}`, found {other:?}"), pos)),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s == kw)
+    }
+
+    fn item(&mut self) -> Result<Item, FrontendError> {
+        if self.peek_keyword("const") {
+            let pos = self.keyword("const")?;
+            self.keyword("int")?;
+            let (name, _) = self.ident()?;
+            self.eat_punct("=")?;
+            let value = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Item::Const { name, value, pos });
+        }
+        if self.peek_keyword("float") {
+            let pos = self.keyword("float")?;
+            let (name, _) = self.ident()?;
+            let mut dims = Vec::new();
+            while self.try_punct("[") {
+                dims.push(self.expr()?);
+                self.eat_punct("]")?;
+            }
+            let mut init = None;
+            if self.try_punct("=") {
+                let e = self.expr()?;
+                init = Some(match e {
+                    AExpr::Float(v, _) => v,
+                    AExpr::Int(v, _) => v as f64,
+                    AExpr::Neg(inner, _) => match *inner {
+                        AExpr::Float(v, _) => -v,
+                        AExpr::Int(v, _) => -(v as f64),
+                        _ => {
+                            return Err(FrontendError::new(
+                                "initializer must be a literal",
+                                pos,
+                            ))
+                        }
+                    },
+                    _ => return Err(FrontendError::new("initializer must be a literal", pos)),
+                });
+            }
+            self.eat_punct(";")?;
+            return Ok(Item::Array { name, dims, init, pos });
+        }
+        if self.peek_keyword("void") {
+            let pos = self.keyword("void")?;
+            let (name, _) = self.ident()?;
+            self.eat_punct("(")?;
+            self.eat_punct(")")?;
+            let body = self.block()?;
+            return Ok(Item::Func { name, body, pos });
+        }
+        Err(FrontendError::new(
+            format!("expected `const`, `float` or `void`, found {:?}", self.peek().tok),
+            self.pos(),
+        ))
+    }
+
+    fn block(&mut self) -> Result<Vec<AStmt>, FrontendError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.try_punct("}") {
+            if self.peek_is_eof() {
+                return Err(FrontendError::new("unexpected end of input in block", self.pos()));
+            }
+            if self.try_punct(";") {
+                continue; // empty statement
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<AStmt>, FrontendError> {
+        if matches!(&self.peek().tok, Tok::Punct("{")) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<AStmt, FrontendError> {
+        if self.peek_keyword("for") {
+            return self.for_stmt();
+        }
+        if self.peek_keyword("if") {
+            return self.if_stmt();
+        }
+        // Assignment.
+        let lval = self.lval()?;
+        let pos = self.pos();
+        let op = if self.try_punct("=") {
+            AssignOp::Set
+        } else if self.try_punct("+=") {
+            AssignOp::Add
+        } else if self.try_punct("-=") {
+            AssignOp::Sub
+        } else if self.try_punct("*=") {
+            AssignOp::Mul
+        } else if self.try_punct("/=") {
+            AssignOp::Div
+        } else {
+            return Err(FrontendError::new(
+                format!("expected assignment operator, found {:?}", self.peek().tok),
+                pos,
+            ));
+        };
+        let value = self.expr()?;
+        self.eat_punct(";")?;
+        Ok(AStmt::Assign { lval, op, value, pos })
+    }
+
+    fn cmp_op(&mut self) -> Result<ACmp, FrontendError> {
+        let pos = self.pos();
+        for (p, c) in [
+            ("<=", ACmp::Le),
+            (">=", ACmp::Ge),
+            ("==", ACmp::Eq),
+            ("!=", ACmp::Ne),
+            ("<", ACmp::Lt),
+            (">", ACmp::Gt),
+        ] {
+            if self.try_punct(p) {
+                return Ok(c);
+            }
+        }
+        Err(FrontendError::new(
+            format!("expected comparison operator, found {:?}", self.peek().tok),
+            pos,
+        ))
+    }
+
+    fn for_stmt(&mut self) -> Result<AStmt, FrontendError> {
+        let pos = self.keyword("for")?;
+        self.eat_punct("(")?;
+        self.keyword("int")?;
+        let (var, _) = self.ident()?;
+        self.eat_punct("=")?;
+        let init = self.expr()?;
+        self.eat_punct(";")?;
+        let (cvar, cpos) = self.ident()?;
+        if cvar != var {
+            return Err(FrontendError::new(
+                format!("loop condition tests `{cvar}` but the loop variable is `{var}`"),
+                cpos,
+            ));
+        }
+        let cmp = self.cmp_op()?;
+        if !matches!(cmp, ACmp::Lt | ACmp::Le) {
+            return Err(FrontendError::new("loop condition must use `<` or `<=`", cpos));
+        }
+        let bound = self.expr()?;
+        self.eat_punct(";")?;
+        let (svar, spos) = self.ident()?;
+        if svar != var {
+            return Err(FrontendError::new(
+                format!("loop step updates `{svar}` but the loop variable is `{var}`"),
+                spos,
+            ));
+        }
+        let step = if self.try_punct("++") {
+            1
+        } else if self.try_punct("+=") {
+            match self.expr()? {
+                AExpr::Int(v, _) if v > 0 => v,
+                _ => {
+                    return Err(FrontendError::new(
+                        "loop step must be a positive integer literal",
+                        spos,
+                    ))
+                }
+            }
+        } else {
+            return Err(FrontendError::new("expected `++` or `+=` in loop step", spos));
+        };
+        self.eat_punct(")")?;
+        let body = self.stmt_or_block()?;
+        Ok(AStmt::For { var, init, cmp, bound, step, body, pos })
+    }
+
+    fn if_stmt(&mut self) -> Result<AStmt, FrontendError> {
+        let pos = self.keyword("if")?;
+        self.eat_punct("(")?;
+        let lhs = self.expr()?;
+        let cmp = self.cmp_op()?;
+        let rhs = self.expr()?;
+        self.eat_punct(")")?;
+        let then_body = self.stmt_or_block()?;
+        let else_body = if self.peek_keyword("else") {
+            self.keyword("else")?;
+            self.stmt_or_block()?
+        } else {
+            Vec::new()
+        };
+        Ok(AStmt::If { lhs, cmp, rhs, then_body, else_body, pos })
+    }
+
+    fn lval(&mut self) -> Result<ALval, FrontendError> {
+        let (name, pos) = self.ident()?;
+        let mut idx = Vec::new();
+        while self.try_punct("[") {
+            idx.push(self.expr()?);
+            self.eat_punct("]")?;
+        }
+        Ok(ALval { name, idx, pos })
+    }
+
+    fn expr(&mut self) -> Result<AExpr, FrontendError> {
+        self.additive()
+    }
+
+    fn additive(&mut self) -> Result<AExpr, FrontendError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let pos = self.pos();
+            if self.try_punct("+") {
+                let rhs = self.multiplicative()?;
+                lhs = AExpr::Bin(ABinOp::Add, Box::new(lhs), Box::new(rhs), pos);
+            } else if self.try_punct("-") {
+                let rhs = self.multiplicative()?;
+                lhs = AExpr::Bin(ABinOp::Sub, Box::new(lhs), Box::new(rhs), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<AExpr, FrontendError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let pos = self.pos();
+            if self.try_punct("*") {
+                let rhs = self.unary()?;
+                lhs = AExpr::Bin(ABinOp::Mul, Box::new(lhs), Box::new(rhs), pos);
+            } else if self.try_punct("/") {
+                let rhs = self.unary()?;
+                lhs = AExpr::Bin(ABinOp::Div, Box::new(lhs), Box::new(rhs), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<AExpr, FrontendError> {
+        let pos = self.pos();
+        if self.try_punct("-") {
+            let inner = self.unary()?;
+            return Ok(AExpr::Neg(Box::new(inner), pos));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AExpr, FrontendError> {
+        let pos = self.pos();
+        match self.peek().tok.clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(AExpr::Int(v, pos))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(AExpr::Float(v, pos))
+            }
+            Tok::Ident(_) => Ok(AExpr::Ref(self.lval()?)),
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            other => Err(FrontendError::new(format!("expected expression, found {other:?}"), pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_gemm_source() {
+        let src = r#"
+            const int N = 8;
+            float A[N][N]; float B[N][N]; float C[N][N];
+            float alpha = 1.5; float beta;
+            void kernel() {
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++) {
+                  C[i][j] = beta * C[i][j];
+                  for (int k = 0; k < N; k++)
+                    C[i][j] += alpha * A[i][k] * B[k][j];
+                }
+            }
+        "#;
+        let items = parse(src).expect("parses");
+        assert_eq!(items.len(), 7);
+        assert!(matches!(items[0], Item::Const { .. }));
+        assert!(matches!(items.last(), Some(Item::Func { .. })));
+    }
+
+    #[test]
+    fn rejects_mismatched_loop_variable() {
+        let src = "void kernel() { for (int i = 0; j < 4; i++) { } }";
+        let err = parse(src).unwrap_err();
+        assert!(err.msg.contains("loop condition"));
+    }
+
+    #[test]
+    fn rejects_decreasing_loops() {
+        let src = "void kernel() { for (int i = 0; i > 4; i++) { } }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn step_variants() {
+        let src = "void kernel() { for (int i = 0; i < 8; i += 2) { } }";
+        let items = parse(src).expect("parses");
+        let Item::Func { body, .. } = &items[0] else { panic!() };
+        let AStmt::For { step, .. } = &body[0] else { panic!() };
+        assert_eq!(*step, 2);
+    }
+
+    #[test]
+    fn if_else_parses() {
+        let src = "float x; void kernel() { if (1 < 2) x = 1.0; else x = 2.0; }";
+        let items = parse(src).expect("parses");
+        let Item::Func { body, .. } = &items[1] else { panic!() };
+        let AStmt::If { else_body, .. } = &body[0] else { panic!() };
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn precedence_is_standard() {
+        let src = "float x; void kernel() { x = 1.0 + 2.0 * 3.0; }";
+        let items = parse(src).expect("parses");
+        let Item::Func { body, .. } = &items[1] else { panic!() };
+        let AStmt::Assign { value, .. } = &body[0] else { panic!() };
+        // + at the top, * nested.
+        let AExpr::Bin(ABinOp::Add, _, rhs, _) = value else { panic!("got {value:?}") };
+        assert!(matches!(**rhs, AExpr::Bin(ABinOp::Mul, _, _, _)));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let src = "void kernel() {\n  x ~ 1;\n}";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn scalar_initializers() {
+        let src = "float a = -2.5; float b = 3; void kernel() { }";
+        let items = parse(src).expect("parses");
+        let Item::Array { init, .. } = &items[0] else { panic!() };
+        assert_eq!(*init, Some(-2.5));
+        let Item::Array { init, .. } = &items[1] else { panic!() };
+        assert_eq!(*init, Some(3.0));
+    }
+}

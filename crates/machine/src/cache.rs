@@ -1,0 +1,470 @@
+//! Set-associative write-back cache simulator.
+//!
+//! Models the Arm-A7 two-level hierarchy of the paper's host (L1-I/D 32 KiB,
+//! shared L2 2 MiB). Only the data side is simulated explicitly; instruction
+//! fetch energy is folded into the per-instruction constant (Table I:
+//! 128 pJ/inst *including cache*). The hierarchy provides the two things the
+//! evaluation depends on: miss-driven stall cycles for host run-time, and
+//! the dirty-line count that prices the driver's cache flush before each
+//! accelerator invocation (Section II-E).
+
+use std::fmt;
+
+/// Geometry and policy of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// line size, or capacity not divisible by `ways * line_bytes`).
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two() && self.line_bytes >= 4);
+        assert!(self.ways >= 1);
+        let per_way = self.size_bytes / self.ways as u64;
+        assert!(
+            per_way.is_multiple_of(self.line_bytes) && per_way > 0,
+            "cache capacity must divide evenly into ways of whole lines"
+        );
+        (per_way / self.line_bytes) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// Hit/miss statistics of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction or flush.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; zero when the cache was never accessed.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of a single line-granular cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent; `writeback` reports whether a dirty victim was
+    /// evicted to the next level.
+    Miss {
+        /// Dirty victim evicted.
+        writeback: bool,
+    },
+}
+
+/// One set-associative, write-back, write-allocate cache level with LRU
+/// replacement.
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache").field("cfg", &self.cfg).field("stats", &self.stats).finish()
+    }
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets: (0..sets).map(|_| vec![Line::default(); cfg.ways]).collect(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics but keeps cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Accesses the line containing `addr`; `write` marks the line dirty.
+    pub fn access_line(&mut self, addr: u64, write: bool) -> LineOutcome {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        let ways = &mut self.sets[set];
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = tick;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return LineOutcome::Hit;
+        }
+        self.stats.misses += 1;
+        // Choose an invalid way, else LRU victim.
+        let victim = match ways.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => {
+                let (i, _) =
+                    ways.iter().enumerate().min_by_key(|(_, l)| l.stamp).expect("ways non-empty");
+                i
+            }
+        };
+        let writeback = ways[victim].valid && ways[victim].dirty;
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        ways[victim] = Line { tag, valid: true, dirty: write, stamp: tick };
+        LineOutcome::Miss { writeback }
+    }
+
+    /// Returns whether the line containing `addr` is present (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the whole cache, returning `(valid_lines, dirty_lines)`.
+    ///
+    /// Dirty lines are counted as write-backs.
+    pub fn flush_all(&mut self) -> (u64, u64) {
+        let mut valid = 0;
+        let mut dirty = 0;
+        for set in &mut self.sets {
+            for line in set {
+                if line.valid {
+                    valid += 1;
+                    if line.dirty {
+                        dirty += 1;
+                    }
+                }
+                *line = Line::default();
+            }
+        }
+        self.stats.writebacks += dirty;
+        (valid, dirty)
+    }
+
+    /// Flushes (writes back + invalidates) all lines overlapping
+    /// `[start, start+len)`, returning `(valid_lines, dirty_lines)` touched.
+    pub fn flush_range(&mut self, start: u64, len: u64) -> (u64, u64) {
+        if len == 0 {
+            return (0, 0);
+        }
+        let mut valid = 0;
+        let mut dirty = 0;
+        let first = start / self.cfg.line_bytes;
+        let last = (start + len - 1) / self.cfg.line_bytes;
+        for lineno in first..=last {
+            let addr = lineno * self.cfg.line_bytes;
+            let (set, tag) = self.index(addr);
+            for line in &mut self.sets[set] {
+                if line.valid && line.tag == tag {
+                    valid += 1;
+                    if line.dirty {
+                        dirty += 1;
+                        self.stats.writebacks += 1;
+                    }
+                    *line = Line::default();
+                }
+            }
+        }
+        (valid, dirty)
+    }
+
+    /// Number of currently dirty lines.
+    pub fn dirty_lines(&self) -> u64 {
+        self.sets.iter().flatten().filter(|l| l.valid && l.dirty).count() as u64
+    }
+}
+
+/// Where an access was satisfied in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Satisfied by L1.
+    L1,
+    /// Satisfied by L2.
+    L2,
+    /// Went to DRAM.
+    Dram,
+}
+
+/// Latency parameters of the hierarchy, in CPU cycles (DRAM in nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemLatency {
+    /// Extra cycles beyond the pipelined load on an L1 hit.
+    pub l1_hit_cycles: u64,
+    /// Cycles to reach L2 on an L1 miss.
+    pub l2_hit_cycles: u64,
+    /// Nanoseconds for a DRAM access on an L2 miss.
+    pub dram_ns: f64,
+}
+
+impl Default for MemLatency {
+    fn default() -> Self {
+        // Arm-A7-class small core: pipelined L1, ~10-cycle L2, LPDDR3 DRAM.
+        MemLatency { l1_hit_cycles: 0, l2_hit_cycles: 10, dram_ns: 100.0 }
+    }
+}
+
+/// Outcome of a hierarchy access: where it hit and the stall cycles charged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessOutcome {
+    /// Level that satisfied the access.
+    pub level: HitLevel,
+    /// Stall cycles charged to the core.
+    pub stall_cycles: u64,
+}
+
+/// Two-level data hierarchy: private L1-D backed by a shared L2.
+#[derive(Debug)]
+pub struct Hierarchy {
+    /// Level-1 data cache.
+    pub l1d: Cache,
+    /// Shared level-2 cache.
+    pub l2: Cache,
+    /// Latency model.
+    pub lat: MemLatency,
+    freq_hz: f64,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy from two cache configs and a latency model at the
+    /// given core frequency.
+    pub fn new(l1: CacheConfig, l2: CacheConfig, lat: MemLatency, freq_hz: f64) -> Self {
+        Hierarchy { l1d: Cache::new(l1), l2: Cache::new(l2), lat, freq_hz }
+    }
+
+    fn dram_cycles(&self) -> u64 {
+        (self.lat.dram_ns * 1e-9 * self.freq_hz).round() as u64
+    }
+
+    /// Performs a data access of `bytes` at `addr` (`write` = store).
+    ///
+    /// Accesses that straddle line boundaries touch every line involved; the
+    /// outcome reports the *worst* level reached and total stall cycles.
+    pub fn access(&mut self, addr: u64, bytes: u64, write: bool) -> AccessOutcome {
+        let line = self.l1d.config().line_bytes;
+        let first = addr / line;
+        let last = if bytes == 0 { first } else { (addr + bytes - 1) / line };
+        let mut stall = 0;
+        let mut worst = HitLevel::L1;
+        for lineno in first..=last {
+            let a = lineno * line;
+            match self.l1d.access_line(a, write) {
+                LineOutcome::Hit => stall += self.lat.l1_hit_cycles,
+                LineOutcome::Miss { writeback } => {
+                    if writeback {
+                        // Dirty victim written back into L2.
+                        self.l2.access_line(a, true);
+                    }
+                    match self.l2.access_line(a, false) {
+                        LineOutcome::Hit => {
+                            stall += self.lat.l2_hit_cycles;
+                            if worst == HitLevel::L1 {
+                                worst = HitLevel::L2;
+                            }
+                        }
+                        LineOutcome::Miss { .. } => {
+                            stall += self.lat.l2_hit_cycles + self.dram_cycles();
+                            worst = HitLevel::Dram;
+                        }
+                    }
+                }
+            }
+        }
+        AccessOutcome { level: worst, stall_cycles: stall }
+    }
+
+    /// Flushes both levels entirely, returning total `(valid, dirty)` lines.
+    pub fn flush_all(&mut self) -> (u64, u64) {
+        let (v1, d1) = self.l1d.flush_all();
+        let (v2, d2) = self.l2.flush_all();
+        (v1 + v2, d1 + d2)
+    }
+
+    /// Flushes the address range from both levels, returning `(valid, dirty)`.
+    pub fn flush_range(&mut self, start: u64, len: u64) -> (u64, u64) {
+        let (v1, d1) = self.l1d.flush_range(start, len);
+        let (v2, d2) = self.l2.flush_range(start, len);
+        (v1 + v2, d1 + d2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2 })
+    }
+
+    #[test]
+    fn config_sets() {
+        let cfg = CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 4 };
+        assert_eq!(cfg.sets(), 128);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small_cache();
+        assert!(matches!(c.access_line(0, false), LineOutcome::Miss { writeback: false }));
+        assert!(matches!(c.access_line(0, false), LineOutcome::Hit));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache();
+        // Three tags mapping to set 0: line numbers 0, 4, 8 (4 sets).
+        c.access_line(0, false);
+        c.access_line(4 * 64, false);
+        c.access_line(0, false); // refresh tag0
+        c.access_line(8 * 64, false); // evicts tag at line 4
+        assert!(c.probe(0));
+        assert!(!c.probe(4 * 64));
+        assert!(c.probe(8 * 64));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small_cache();
+        c.access_line(0, true);
+        c.access_line(4 * 64, false);
+        let out = c.access_line(8 * 64, false); // evicts dirty line 0
+        assert!(matches!(out, LineOutcome::Miss { writeback: true }));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_all_counts_dirty() {
+        let mut c = small_cache();
+        c.access_line(0, true);
+        c.access_line(64, false);
+        let (valid, dirty) = c.flush_all();
+        assert_eq!((valid, dirty), (2, 1));
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn flush_range_only_touches_range() {
+        let mut c = small_cache();
+        c.access_line(0, true);
+        c.access_line(64, true);
+        let (valid, dirty) = c.flush_range(0, 64);
+        assert_eq!((valid, dirty), (1, 1));
+        assert!(!c.probe(0));
+        assert!(c.probe(64));
+        assert_eq!(c.flush_range(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn dirty_lines_counter() {
+        let mut c = small_cache();
+        c.access_line(0, true);
+        c.access_line(64, false);
+        assert_eq!(c.dirty_lines(), 1);
+    }
+
+    fn hierarchy() -> Hierarchy {
+        Hierarchy::new(
+            CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2 },
+            CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 },
+            MemLatency { l1_hit_cycles: 0, l2_hit_cycles: 10, dram_ns: 100.0 },
+            1.0e9,
+        )
+    }
+
+    #[test]
+    fn hierarchy_miss_goes_to_dram_then_l2_then_l1() {
+        let mut h = hierarchy();
+        let o = h.access(0, 4, false);
+        assert_eq!(o.level, HitLevel::Dram);
+        assert_eq!(o.stall_cycles, 10 + 100);
+        let o = h.access(0, 4, false);
+        assert_eq!(o.level, HitLevel::L1);
+        assert_eq!(o.stall_cycles, 0);
+        // Evict from tiny L1 but keep in L2.
+        for i in 1..=2u64 {
+            h.access(i * 512, 4, false);
+        }
+        let o = h.access(0, 4, false);
+        assert_eq!(o.level, HitLevel::L2);
+        assert_eq!(o.stall_cycles, 10);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut h = hierarchy();
+        let o = h.access(62, 4, false);
+        assert_eq!(o.level, HitLevel::Dram);
+        assert_eq!(o.stall_cycles, 2 * 110);
+        assert_eq!(h.l1d.stats().misses, 2);
+    }
+
+    #[test]
+    fn hierarchy_flush() {
+        let mut h = hierarchy();
+        h.access(0, 4, true);
+        let (valid, dirty) = h.flush_all();
+        // Line present in both levels; dirty only in L1.
+        assert_eq!(valid, 2);
+        assert_eq!(dirty, 1);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = small_cache();
+        c.access_line(0, false);
+        c.access_line(0, false);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+}

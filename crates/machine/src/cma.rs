@@ -1,0 +1,230 @@
+//! Contiguous memory allocator (CMA) model.
+//!
+//! The CIM runtime allocates physically contiguous shared buffers through
+//! the Linux CMA API (Section II-E). Compared to a malloc-based scheme,
+//! CMA buffers (1) are not limited by the page boundary and (2) need no
+//! per-page management in the driver. This is a first-fit free-list
+//! allocator over a reserved physical carve-out.
+
+use std::fmt;
+
+/// Error allocating from the CMA region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmaError {
+    /// No free block large enough.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Largest free block available.
+        largest_free: u64,
+    },
+    /// `free` called with an address that is not an allocation base.
+    InvalidFree {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for CmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmaError::OutOfMemory { requested, largest_free } => write!(
+                f,
+                "cma region exhausted: requested {requested} bytes, largest free block {largest_free}"
+            ),
+            CmaError::InvalidFree { addr } => {
+                write!(f, "invalid cma free of address {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CmaError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Block {
+    base: u64,
+    len: u64,
+}
+
+/// First-fit allocator over a physically contiguous carve-out.
+#[derive(Debug, Clone)]
+pub struct CmaAllocator {
+    base: u64,
+    size: u64,
+    align: u64,
+    free: Vec<Block>,      // sorted by base
+    allocated: Vec<Block>, // unsorted
+    peak_used: u64,
+}
+
+impl CmaAllocator {
+    /// Creates an allocator over `[base, base+size)` with the given
+    /// minimum alignment (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or `align` is not a power of two.
+    pub fn new(base: u64, size: u64, align: u64) -> Self {
+        assert!(size > 0, "cma region must be non-empty");
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        CmaAllocator {
+            base,
+            size,
+            align,
+            free: vec![Block { base, len: size }],
+            allocated: Vec::new(),
+            peak_used: 0,
+        }
+    }
+
+    /// Base physical address of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size of the region in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.allocated.iter().map(|b| b.len).sum()
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak_used(&self) -> u64 {
+        self.peak_used
+    }
+
+    /// Largest currently free block.
+    pub fn largest_free(&self) -> u64 {
+        self.free.iter().map(|b| b.len).max().unwrap_or(0)
+    }
+
+    /// Allocates `len` physically contiguous bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmaError::OutOfMemory`] when no block fits.
+    pub fn alloc(&mut self, len: u64) -> Result<u64, CmaError> {
+        let len = len.max(1).next_multiple_of(self.align);
+        for i in 0..self.free.len() {
+            let blk = self.free[i];
+            if blk.len >= len {
+                let addr = blk.base;
+                if blk.len == len {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = Block { base: blk.base + len, len: blk.len - len };
+                }
+                self.allocated.push(Block { base: addr, len });
+                self.peak_used = self.peak_used.max(self.used());
+                return Ok(addr);
+            }
+        }
+        Err(CmaError::OutOfMemory { requested: len, largest_free: self.largest_free() })
+    }
+
+    /// Releases an allocation previously returned by [`CmaAllocator::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmaError::InvalidFree`] if `addr` is not an allocation base.
+    pub fn free(&mut self, addr: u64) -> Result<(), CmaError> {
+        let Some(pos) = self.allocated.iter().position(|b| b.base == addr) else {
+            return Err(CmaError::InvalidFree { addr });
+        };
+        let blk = self.allocated.swap_remove(pos);
+        // Insert sorted, then coalesce with neighbours.
+        let at = self.free.partition_point(|b| b.base < blk.base);
+        self.free.insert(at, blk);
+        self.coalesce();
+        Ok(())
+    }
+
+    fn coalesce(&mut self) {
+        let mut i = 0;
+        while i + 1 < self.free.len() {
+            if self.free[i].base + self.free[i].len == self.free[i + 1].base {
+                self.free[i].len += self.free[i + 1].len;
+                self.free.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Size of the allocation starting at `addr`, if any.
+    pub fn allocation_len(&self, addr: u64) -> Option<u64> {
+        self.allocated.iter().find(|b| b.base == addr).map(|b| b.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_in_region() {
+        let mut c = CmaAllocator::new(0x8000_0000, 1 << 20, 64);
+        let a = c.alloc(100).expect("fits");
+        assert_eq!(a, 0x8000_0000);
+        assert_eq!(c.allocation_len(a), Some(128));
+        let b = c.alloc(1).expect("fits");
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 128);
+    }
+
+    #[test]
+    fn exhaustion_reports_largest_free() {
+        let mut c = CmaAllocator::new(0, 256, 64);
+        c.alloc(128).expect("fits");
+        let err = c.alloc(256).unwrap_err();
+        assert_eq!(err, CmaError::OutOfMemory { requested: 256, largest_free: 128 });
+    }
+
+    #[test]
+    fn free_coalesces_neighbours() {
+        let mut c = CmaAllocator::new(0, 4096, 64);
+        let a = c.alloc(1024).expect("a");
+        let b = c.alloc(1024).expect("b");
+        let d = c.alloc(1024).expect("d");
+        c.free(b).expect("free b");
+        c.free(a).expect("free a");
+        c.free(d).expect("free d");
+        assert_eq!(c.largest_free(), 4096);
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn invalid_free_is_an_error() {
+        let mut c = CmaAllocator::new(0, 4096, 64);
+        let err = c.free(0x1234).unwrap_err();
+        assert_eq!(err, CmaError::InvalidFree { addr: 0x1234 });
+    }
+
+    #[test]
+    fn peak_usage_tracks_high_water() {
+        let mut c = CmaAllocator::new(0, 4096, 64);
+        let a = c.alloc(2048).expect("a");
+        c.free(a).expect("free");
+        c.alloc(64).expect("b");
+        assert_eq!(c.peak_used(), 2048);
+    }
+
+    #[test]
+    fn allocations_never_overlap() {
+        let mut c = CmaAllocator::new(0, 1 << 16, 64);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for len in [100u64, 4000, 64, 1, 8000, 640] {
+            let a = c.alloc(len).expect("fits");
+            let l = c.allocation_len(a).expect("tracked");
+            for &(b, bl) in &spans {
+                assert!(a + l <= b || b + bl <= a, "overlap");
+            }
+            spans.push((a, l));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! In-order core cost model (Arm-A7 class).
+//!
+//! The paper profiles *dynamic instruction count* in Gem5 and prices the
+//! host at a flat 128 pJ/instruction (Table I, including caches). This
+//! module mirrors that accounting: callers retire classified instructions;
+//! cycles accrue at one instruction per cycle (in-order single-issue) plus
+//! per-class penalties and memory stall cycles reported by the cache
+//! hierarchy. Energy is `instructions x pj_per_inst`.
+
+use crate::units::{Energy, SimTime};
+
+/// Dynamic instruction classes distinguished by the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Integer ALU operation (address arithmetic, adds, compares).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Floating-point add/subtract.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide.
+    FpDiv,
+    /// Load instruction (stall cycles accounted separately).
+    Load,
+    /// Store instruction.
+    Store,
+    /// Branch (taken or not).
+    Branch,
+    /// Anything else (moves, syscall plumbing, nops).
+    Other,
+}
+
+/// All instruction classes, for iteration in reports.
+pub const INST_CLASSES: [InstClass; 9] = [
+    InstClass::IntAlu,
+    InstClass::IntMul,
+    InstClass::FpAdd,
+    InstClass::FpMul,
+    InstClass::FpDiv,
+    InstClass::Load,
+    InstClass::Store,
+    InstClass::Branch,
+    InstClass::Other,
+];
+
+/// Dynamic instruction mix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstMix {
+    counts: [u64; 9],
+}
+
+impl InstMix {
+    fn slot(class: InstClass) -> usize {
+        INST_CLASSES.iter().position(|c| *c == class).expect("class listed")
+    }
+
+    /// Adds `n` instructions of `class`.
+    pub fn add(&mut self, class: InstClass, n: u64) {
+        self.counts[Self::slot(class)] += n;
+    }
+
+    /// Count for one class.
+    pub fn count(&self, class: InstClass) -> u64 {
+        self.counts[Self::slot(class)]
+    }
+
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another mix into this one.
+    pub fn merge(&mut self, other: &InstMix) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+/// Per-class issue latency in cycles for the in-order pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineCosts {
+    /// Cycles per integer ALU op.
+    pub int_alu: u64,
+    /// Cycles per integer multiply.
+    pub int_mul: u64,
+    /// Cycles per FP add.
+    pub fp_add: u64,
+    /// Cycles per FP multiply.
+    pub fp_mul: u64,
+    /// Cycles per FP divide.
+    pub fp_div: u64,
+    /// Cycles per load (excluding cache stalls).
+    pub load: u64,
+    /// Cycles per store.
+    pub store: u64,
+    /// Cycles per branch.
+    pub branch: u64,
+    /// Cycles per other instruction.
+    pub other: u64,
+}
+
+impl Default for PipelineCosts {
+    fn default() -> Self {
+        // Arm-A7: single-issue in-order; FP pipelined, divide long-latency.
+        PipelineCosts {
+            int_alu: 1,
+            int_mul: 3,
+            fp_add: 1,
+            fp_mul: 1,
+            fp_div: 15,
+            load: 1,
+            store: 1,
+            branch: 1,
+            other: 1,
+        }
+    }
+}
+
+impl PipelineCosts {
+    /// Cycles for one instruction of `class`.
+    pub fn cycles(&self, class: InstClass) -> u64 {
+        match class {
+            InstClass::IntAlu => self.int_alu,
+            InstClass::IntMul => self.int_mul,
+            InstClass::FpAdd => self.fp_add,
+            InstClass::FpMul => self.fp_mul,
+            InstClass::FpDiv => self.fp_div,
+            InstClass::Load => self.load,
+            InstClass::Store => self.store,
+            InstClass::Branch => self.branch,
+            InstClass::Other => self.other,
+        }
+    }
+}
+
+/// One in-order core accumulating instructions, cycles and energy.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Dynamic instruction mix retired so far.
+    pub mix: InstMix,
+    cycles: u64,
+    stall_cycles: u64,
+    spin_insts: u64,
+    costs: PipelineCosts,
+    freq_hz: f64,
+    pj_per_inst: f64,
+}
+
+impl Core {
+    /// Creates a core at `freq_hz` with `pj_per_inst` energy per instruction.
+    pub fn new(freq_hz: f64, pj_per_inst: f64, costs: PipelineCosts) -> Self {
+        Core {
+            mix: InstMix::default(),
+            cycles: 0,
+            stall_cycles: 0,
+            spin_insts: 0,
+            costs,
+            freq_hz,
+            pj_per_inst,
+        }
+    }
+
+    /// Core clock frequency in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// Retires `n` instructions of `class`.
+    pub fn retire(&mut self, class: InstClass, n: u64) {
+        self.mix.add(class, n);
+        self.cycles += n * self.costs.cycles(class);
+    }
+
+    /// Charges `cycles` of memory stall to the core.
+    pub fn stall(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.stall_cycles += cycles;
+    }
+
+    /// Models a spin-wait (status polling loop) lasting `duration`.
+    ///
+    /// The loop body is `ldr; cmp; bne` — three instructions every three
+    /// cycles — so the core burns roughly one instruction per cycle while
+    /// waiting on the accelerator (Section II-E: "the host can either wait
+    /// on spinlock or continue with other tasks").
+    pub fn spin_wait(&mut self, duration: SimTime) {
+        let cycles = duration.to_cycles(self.freq_hz);
+        let insts = cycles; // 3 insts / 3 cycles
+        let per = insts / 3;
+        self.mix.add(InstClass::Load, per);
+        self.mix.add(InstClass::IntAlu, per);
+        self.mix.add(InstClass::Branch, insts - 2 * per);
+        self.spin_insts += insts;
+        self.cycles += cycles;
+    }
+
+    /// Advances the clock by `duration` without retiring instructions
+    /// (WFE/WFI-style waiting: the core clock runs, the pipeline does not).
+    pub fn idle_wait(&mut self, duration: SimTime) {
+        let cycles = duration.to_cycles(self.freq_hz);
+        self.cycles += cycles;
+        self.stall_cycles += cycles;
+    }
+
+    /// Total cycles elapsed (issue + stalls).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles lost to memory stalls.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Instructions burnt spinning on the accelerator status register.
+    pub fn spin_instructions(&self) -> u64 {
+        self.spin_insts
+    }
+
+    /// Total retired instructions.
+    pub fn instructions(&self) -> u64 {
+        self.mix.total()
+    }
+
+    /// Wall-clock time elapsed on this core.
+    pub fn elapsed(&self) -> SimTime {
+        SimTime::from_cycles(self.cycles, self.freq_hz)
+    }
+
+    /// Energy consumed: `instructions x pj_per_inst` (Table I host model).
+    pub fn energy(&self) -> Energy {
+        Energy::from_pj(self.mix.total() as f64 * self.pj_per_inst)
+    }
+
+    /// Snapshot of `(instructions, cycles)`, to delta-measure a region.
+    pub fn checkpoint(&self) -> (u64, u64) {
+        (self.instructions(), self.cycles)
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        self.mix = InstMix::default();
+        self.cycles = 0;
+        self.stall_cycles = 0;
+        self.spin_insts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> Core {
+        Core::new(1.2e9, 128.0, PipelineCosts::default())
+    }
+
+    #[test]
+    fn retire_accumulates_mix_and_cycles() {
+        let mut c = core();
+        c.retire(InstClass::FpMul, 10);
+        c.retire(InstClass::FpDiv, 2);
+        assert_eq!(c.instructions(), 12);
+        assert_eq!(c.cycles(), 10 + 2 * 15);
+        assert_eq!(c.mix.count(InstClass::FpMul), 10);
+    }
+
+    #[test]
+    fn energy_is_flat_per_instruction() {
+        let mut c = core();
+        c.retire(InstClass::IntAlu, 1000);
+        assert!((c.energy().as_pj() - 128_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stalls_add_cycles_not_instructions() {
+        let mut c = core();
+        c.retire(InstClass::Load, 1);
+        c.stall(110);
+        assert_eq!(c.instructions(), 1);
+        assert_eq!(c.cycles(), 111);
+        assert_eq!(c.stall_cycles(), 110);
+    }
+
+    #[test]
+    fn spin_wait_burns_one_inst_per_cycle() {
+        let mut c = core();
+        c.spin_wait(SimTime::from_us(1.0)); // 1200 cycles at 1.2 GHz
+        assert_eq!(c.cycles(), 1200);
+        assert_eq!(c.instructions(), 1200);
+        assert_eq!(c.spin_instructions(), 1200);
+        // Spin energy is what makes GEMV-like offloads lose (Fig. 6).
+        assert!((c.energy().as_pj() - 1200.0 * 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elapsed_reflects_frequency() {
+        let mut c = core();
+        c.retire(InstClass::IntAlu, 1200);
+        assert!((c.elapsed().as_us() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_and_reset() {
+        let mut c = core();
+        c.retire(InstClass::IntAlu, 5);
+        let (i0, c0) = c.checkpoint();
+        assert_eq!((i0, c0), (5, 5));
+        c.reset();
+        assert_eq!(c.instructions(), 0);
+        assert_eq!(c.cycles(), 0);
+    }
+
+    #[test]
+    fn mix_merge_and_total() {
+        let mut a = InstMix::default();
+        let mut b = InstMix::default();
+        a.add(InstClass::Load, 3);
+        b.add(InstClass::Load, 4);
+        b.add(InstClass::Store, 1);
+        a.merge(&b);
+        assert_eq!(a.count(InstClass::Load), 7);
+        assert_eq!(a.total(), 8);
+    }
+}

@@ -1,0 +1,243 @@
+//! Sparse physical memory backing store.
+//!
+//! Physical memory is modelled as a sparse array of 4 KiB frames that are
+//! materialized on first touch, so a 2 GiB address space costs nothing
+//! until written. All functional data in the simulation (host arrays, CMA
+//! shared buffers, accelerator DMA traffic) lives here — there is a single
+//! source of truth for values, exactly like the unified DRAM of the
+//! emulated platform in Fig. 2 (a) of the paper.
+
+use std::fmt;
+
+/// Size of one backing frame in bytes.
+pub const FRAME_BYTES: usize = 4096;
+
+/// Byte-addressable sparse physical memory.
+pub struct PhysMem {
+    frames: Vec<Option<Box<[u8; FRAME_BYTES]>>>,
+    size: u64,
+    stats: MemStats,
+}
+
+/// Traffic counters for physical memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Bytes read from DRAM (cacheable refills + uncacheable reads).
+    pub bytes_read: u64,
+    /// Bytes written to DRAM (write-backs + uncacheable writes).
+    pub bytes_written: u64,
+}
+
+impl fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let resident = self.frames.iter().filter(|f| f.is_some()).count();
+        f.debug_struct("PhysMem")
+            .field("size", &self.size)
+            .field("resident_frames", &resident)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl PhysMem {
+    /// Creates a physical memory of `size` bytes (rounded up to a frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0, "physical memory must be non-empty");
+        let frames = size.div_ceil(FRAME_BYTES as u64) as usize;
+        PhysMem { frames: (0..frames).map(|_| None).collect(), size, stats: MemStats::default() }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Resets the traffic counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    fn frame_mut(&mut self, addr: u64) -> &mut [u8; FRAME_BYTES] {
+        let idx = (addr / FRAME_BYTES as u64) as usize;
+        assert!(
+            idx < self.frames.len(),
+            "physical address {addr:#x} out of range ({:#x})",
+            self.size
+        );
+        self.frames[idx].get_or_insert_with(|| Box::new([0u8; FRAME_BYTES]))
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) {
+        assert!(addr + buf.len() as u64 <= self.size, "read past end of memory");
+        self.stats.bytes_read += buf.len() as u64;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let in_frame = (a % FRAME_BYTES as u64) as usize;
+            let n = (FRAME_BYTES - in_frame).min(buf.len() - off);
+            let idx = (a / FRAME_BYTES as u64) as usize;
+            match &self.frames[idx] {
+                Some(frame) => buf[off..off + n].copy_from_slice(&frame[in_frame..in_frame + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+    }
+
+    /// Writes `buf` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) {
+        assert!(addr + buf.len() as u64 <= self.size, "write past end of memory");
+        self.stats.bytes_written += buf.len() as u64;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let in_frame = (a % FRAME_BYTES as u64) as usize;
+            let n = (FRAME_BYTES - in_frame).min(buf.len() - off);
+            let frame = self.frame_mut(a);
+            frame[in_frame..in_frame + n].copy_from_slice(&buf[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Reads a little-endian `f32` at `addr`.
+    pub fn read_f32(&mut self, addr: u64) -> f32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        f32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `f32` at `addr`.
+    pub fn write_f32(&mut self, addr: u64, v: f32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&mut self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a contiguous run of `f32`s starting at `addr`.
+    pub fn read_f32_slice(&mut self, addr: u64, out: &mut [f32]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.read_f32(addr + 4 * i as u64);
+        }
+    }
+
+    /// Writes a contiguous run of `f32`s starting at `addr`.
+    pub fn write_f32_slice(&mut self, addr: u64, data: &[f32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Number of frames currently materialized (for tests / diagnostics).
+    pub fn resident_frames(&self) -> usize {
+        self.frames.iter().filter(|f| f.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_before_first_write() {
+        let mut m = PhysMem::new(1 << 20);
+        let mut buf = [0xAAu8; 16];
+        m.read(0x1234, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(m.resident_frames(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut m = PhysMem::new(1 << 20);
+        m.write(0x100, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        m.read(0x100, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(m.resident_frames(), 1);
+    }
+
+    #[test]
+    fn frame_straddling_access() {
+        let mut m = PhysMem::new(1 << 20);
+        let addr = FRAME_BYTES as u64 - 2;
+        m.write(addr, &[9, 8, 7, 6]);
+        let mut buf = [0u8; 4];
+        m.read(addr, &mut buf);
+        assert_eq!(buf, [9, 8, 7, 6]);
+        assert_eq!(m.resident_frames(), 2);
+    }
+
+    #[test]
+    fn f32_and_u64_helpers() {
+        let mut m = PhysMem::new(1 << 20);
+        m.write_f32(64, 3.5);
+        assert_eq!(m.read_f32(64), 3.5);
+        m.write_u64(128, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.read_u64(128), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn f32_slice_helpers() {
+        let mut m = PhysMem::new(1 << 20);
+        let data = [1.0f32, -2.0, 0.5, 1e9];
+        m.write_f32_slice(4096, &data);
+        let mut out = [0f32; 4];
+        m.read_f32_slice(4096, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn traffic_is_counted() {
+        let mut m = PhysMem::new(1 << 20);
+        m.write(0, &[0u8; 64]);
+        let mut buf = [0u8; 32];
+        m.read(0, &mut buf);
+        assert_eq!(m.stats().bytes_written, 64);
+        assert_eq!(m.stats().bytes_read, 32);
+        m.reset_stats();
+        assert_eq!(m.stats(), MemStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let mut m = PhysMem::new(FRAME_BYTES as u64);
+        m.frame_mut(FRAME_BYTES as u64 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn read_past_end_panics() {
+        let mut m = PhysMem::new(16);
+        let mut buf = [0u8; 32];
+        m.read(0, &mut buf);
+    }
+}

@@ -1,0 +1,134 @@
+//! ADC and sample-and-hold model.
+//!
+//! Column currents are converted back to digital by ADCs that are shared
+//! among multiple columns through sample-and-hold stages (Section II-B,
+//! following ISAAC [13]). The converter saturates at its full-scale range
+//! and quantizes to its resolution; the default resolution is high enough
+//! to be lossless for 4-bit-level x 8-bit-input dot products over 256
+//! rows, reflecting the bit-serial input streaming real designs use, which
+//! this model abstracts away.
+
+/// Configuration of the column ADC array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcConfig {
+    /// Converter resolution in bits (signed range `+-2^(bits-1)-1` steps).
+    pub bits: u32,
+    /// Columns multiplexed onto one ADC via S&H.
+    pub columns_per_adc: usize,
+    /// Time for one conversion, in nanoseconds.
+    pub conversion_ns: f64,
+}
+
+impl Default for AdcConfig {
+    fn default() -> Self {
+        // 24-bit effective resolution (lossless for our dot-product range);
+        // 16 columns share an ADC through sample-and-holds.
+        AdcConfig { bits: 24, columns_per_adc: 16, conversion_ns: 60.0 }
+    }
+}
+
+/// The shared ADC array of one crossbar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcArray {
+    cfg: AdcConfig,
+}
+
+impl AdcArray {
+    /// Creates an ADC array.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero resolution or zero sharing factor.
+    pub fn new(cfg: AdcConfig) -> Self {
+        assert!(cfg.bits >= 1 && cfg.bits <= 62, "resolution out of range");
+        assert!(cfg.columns_per_adc >= 1, "need at least one column per ADC");
+        AdcArray { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> AdcConfig {
+        self.cfg
+    }
+
+    /// Converts an ideal accumulated value given the full-scale magnitude.
+    /// Values saturate at `+-full_scale` and are truncated to the step
+    /// implied by the resolution.
+    pub fn convert(&self, value: i64, full_scale: i64) -> i64 {
+        let fs = full_scale.max(1);
+        let clamped = value.clamp(-fs, fs);
+        let step = (fs >> (self.cfg.bits - 1)).max(1);
+        clamped / step * step
+    }
+
+    /// Converts a whole column vector.
+    pub fn convert_all(&self, values: &[i64], full_scale: i64) -> Vec<i64> {
+        values.iter().map(|v| self.convert(*v, full_scale)).collect()
+    }
+
+    /// Number of ADC units needed for `cols` columns.
+    pub fn units_for(&self, cols: usize) -> usize {
+        cols.div_ceil(self.cfg.columns_per_adc)
+    }
+
+    /// Total conversion time for `cols` columns, in nanoseconds: each ADC
+    /// serially converts the columns parked in its sample-and-holds.
+    pub fn conversion_time_ns(&self, cols: usize) -> f64 {
+        let per_adc = cols.div_ceil(self.units_for(cols).max(1));
+        per_adc as f64 * self.cfg.conversion_ns
+    }
+}
+
+/// Full-scale dot-product magnitude for a crossbar of `rows` rows with
+/// 4-bit levels and signed 8-bit inputs: `rows * 15 * 127`.
+pub fn full_scale_for(rows: usize) -> i64 {
+    rows as i64 * 15 * 127
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_lossless_for_crossbar_range() {
+        let adc = AdcArray::new(AdcConfig::default());
+        let fs = full_scale_for(256);
+        for v in [0i64, 1, -1, 487_679, -487_680, 123_456] {
+            assert_eq!(adc.convert(v, fs), v, "value {v} must be lossless");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let adc = AdcArray::new(AdcConfig::default());
+        let fs = 1000;
+        assert_eq!(adc.convert(5000, fs), 1000);
+        assert_eq!(adc.convert(-5000, fs), -1000);
+    }
+
+    #[test]
+    fn low_resolution_truncates_to_steps() {
+        let adc = AdcArray::new(AdcConfig { bits: 4, ..AdcConfig::default() });
+        let fs = 128; // step = 128 >> 3 = 16
+        assert_eq!(adc.convert(33, fs), 32);
+        assert_eq!(adc.convert(-33, fs), -32);
+        assert_eq!(adc.convert(15, fs), 0);
+    }
+
+    #[test]
+    fn sharing_reduces_units_and_serializes_time() {
+        let adc = AdcArray::new(AdcConfig { columns_per_adc: 16, ..AdcConfig::default() });
+        assert_eq!(adc.units_for(256), 16);
+        assert!((adc.conversion_time_ns(256) - 16.0 * 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convert_all_maps_each() {
+        let adc = AdcArray::new(AdcConfig::default());
+        assert_eq!(adc.convert_all(&[1, -2, 3], 100), vec![1, -2, 3]);
+    }
+
+    #[test]
+    fn full_scale_matches_paper_geometry() {
+        assert_eq!(full_scale_for(256), 256 * 15 * 127);
+    }
+}

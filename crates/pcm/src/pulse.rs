@@ -1,0 +1,133 @@
+//! Programming pulses and the thermal regimes of a PCM device.
+//!
+//! Figure 1 (b) of the paper: a short, intense *reset* pulse melts the
+//! programmable region and quenches it amorphous (high resistance); a
+//! longer, lower *set* pulse holds the material above the crystallization
+//! temperature (low resistance); an even lower *read* pulse senses the
+//! conductance without disturbing the state.
+
+/// Ambient temperature in kelvin.
+pub const T_ROOM_K: f64 = 300.0;
+/// Crystallization temperature threshold in kelvin.
+pub const T_CRYS_K: f64 = 450.0;
+/// Melting temperature threshold in kelvin.
+pub const T_MELT_K: f64 = 900.0;
+
+/// The three pulse classes applied to a PCM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PulseKind {
+    /// Melt-and-quench: drives the cell amorphous (high resistance).
+    Reset,
+    /// Anneal: crystallizes the cell (low resistance). Partial-set pulses
+    /// program intermediate conductance levels.
+    Set,
+    /// Non-destructive sense.
+    Read,
+}
+
+/// An electrical pulse applied through the heater.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pulse {
+    /// Pulse class.
+    pub kind: PulseKind,
+    /// Amplitude in volts.
+    pub amplitude_v: f64,
+    /// Duration in nanoseconds.
+    pub duration_ns: f64,
+}
+
+impl Pulse {
+    /// The canonical reset pulse: short and intense.
+    pub fn reset() -> Self {
+        Pulse { kind: PulseKind::Reset, amplitude_v: 3.0, duration_ns: 50.0 }
+    }
+
+    /// A set pulse with `strength` in `(0, 1]` scaling the anneal time;
+    /// stronger (longer) set pulses crystallize more material, giving
+    /// higher conductance. Used as a partial-set staircase for multi-level
+    /// programming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strength` is outside `(0, 1]`.
+    pub fn set(strength: f64) -> Self {
+        assert!(strength > 0.0 && strength <= 1.0, "set strength must be in (0, 1]");
+        Pulse { kind: PulseKind::Set, amplitude_v: 1.5, duration_ns: 100.0 + 400.0 * strength }
+    }
+
+    /// The read pulse: low enough to leave the phase untouched.
+    pub fn read() -> Self {
+        Pulse { kind: PulseKind::Read, amplitude_v: 0.2, duration_ns: 40.0 }
+    }
+
+    /// Peak temperature reached in the programmable region, from Joule
+    /// heating (proportional to V^2) over the ambient.
+    pub fn peak_temperature_k(&self) -> f64 {
+        // Calibrated so reset crosses melt and set sits between
+        // crystallization and melt, per Fig. 1 (b).
+        T_ROOM_K + 75.0 * self.amplitude_v * self.amplitude_v
+    }
+
+    /// Whether this pulse melts the programmable region.
+    pub fn melts(&self) -> bool {
+        self.peak_temperature_k() >= T_MELT_K
+    }
+
+    /// Whether this pulse holds the region in the crystallization band
+    /// (above `T_crys`, below `T_melt`).
+    pub fn crystallizes(&self) -> bool {
+        let t = self.peak_temperature_k();
+        (T_CRYS_K..T_MELT_K).contains(&t)
+    }
+
+    /// Whether this pulse disturbs the material phase at all.
+    pub fn disturbs_state(&self) -> bool {
+        self.peak_temperature_k() >= T_CRYS_K
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_melts() {
+        let p = Pulse::reset();
+        assert!(p.melts());
+        assert!(p.disturbs_state());
+    }
+
+    #[test]
+    fn set_crystallizes_without_melting() {
+        let p = Pulse::set(1.0);
+        assert!(p.crystallizes());
+        assert!(!p.melts());
+    }
+
+    #[test]
+    fn read_is_non_destructive() {
+        let p = Pulse::read();
+        assert!(!p.disturbs_state());
+        assert!(!p.melts());
+        assert!(!p.crystallizes());
+    }
+
+    #[test]
+    fn set_duration_scales_with_strength() {
+        assert!(Pulse::set(1.0).duration_ns > Pulse::set(0.1).duration_ns);
+    }
+
+    #[test]
+    fn reset_is_shorter_and_taller_than_set() {
+        let r = Pulse::reset();
+        let s = Pulse::set(1.0);
+        assert!(r.duration_ns < s.duration_ns);
+        assert!(r.amplitude_v > s.amplitude_v);
+    }
+
+    #[test]
+    #[should_panic(expected = "strength")]
+    fn zero_strength_set_panics() {
+        Pulse::set(0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Endurance and lifetime modelling (Equation 1 and Fig. 5).
+//!
+//! PCM cells survive 1e6–1e8 program operations. The paper computes the
+//! expected lifetime of a crossbar-based system as
+//!
+//! ```text
+//! SystemLifeTime = CellEndurance * S / B          (Eq. 1)
+//! ```
+//!
+//! with `S` the crossbar size in bytes and `B` the write traffic in
+//! bytes/second, assuming writes are spread uniformly across the array
+//! (wear-levelled). TDO-CIM raises lifetime at *compile time* by halving
+//! `B` through shared-input fusion and tile reuse.
+
+/// Seconds in a (non-leap) year.
+pub const SECONDS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+
+/// Lifetime in seconds per Equation 1.
+///
+/// # Panics
+///
+/// Panics if `write_traffic_bytes_per_s` is not positive.
+pub fn system_lifetime_seconds(
+    cell_endurance_writes: f64,
+    crossbar_bytes: f64,
+    write_traffic_bytes_per_s: f64,
+) -> f64 {
+    assert!(write_traffic_bytes_per_s > 0.0, "write traffic must be positive");
+    cell_endurance_writes * crossbar_bytes / write_traffic_bytes_per_s
+}
+
+/// Lifetime in years per Equation 1.
+pub fn system_lifetime_years(
+    cell_endurance_writes: f64,
+    crossbar_bytes: f64,
+    write_traffic_bytes_per_s: f64,
+) -> f64 {
+    system_lifetime_seconds(cell_endurance_writes, crossbar_bytes, write_traffic_bytes_per_s)
+        / SECONDS_PER_YEAR
+}
+
+/// Lifetime model for a fixed crossbar, parameterized on measured traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeModel {
+    /// Crossbar capacity in bytes (paper: 512 KiB).
+    pub crossbar_bytes: f64,
+}
+
+impl Default for LifetimeModel {
+    fn default() -> Self {
+        LifetimeModel { crossbar_bytes: 512.0 * 1024.0 }
+    }
+}
+
+impl LifetimeModel {
+    /// Years of life at `endurance` writes/cell under `traffic` bytes/s.
+    pub fn years(&self, endurance_writes: f64, traffic_bytes_per_s: f64) -> f64 {
+        system_lifetime_years(endurance_writes, self.crossbar_bytes, traffic_bytes_per_s)
+    }
+
+    /// Sweeps endurance values (in millions of writes), producing
+    /// `(endurance_mwrites, years)` pairs — the x/y series of Fig. 5.
+    pub fn sweep_years(
+        &self,
+        endurance_mwrites: impl IntoIterator<Item = f64>,
+        traffic_bytes_per_s: f64,
+    ) -> Vec<(f64, f64)> {
+        endurance_mwrites
+            .into_iter()
+            .map(|mw| (mw, self.years(mw * 1e6, traffic_bytes_per_s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_is_linear_in_endurance() {
+        let m = LifetimeModel::default();
+        let t = 1e6; // 1 MB/s of writes
+        let y10 = m.years(10e6, t);
+        let y40 = m.years(40e6, t);
+        assert!((y40 / y10 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halving_traffic_doubles_lifetime() {
+        // The factor-2 "smart mapping" result of Fig. 5.
+        let m = LifetimeModel::default();
+        let naive = m.years(20e6, 2e6);
+        let smart = m.years(20e6, 1e6);
+        assert!((smart / naive - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn units_sanity() {
+        // 1e6 endurance * 512KiB / 1 MB/s = 524288 * 1e6 / 1e6 s = 524288 s.
+        let s = system_lifetime_seconds(1e6, 512.0 * 1024.0, 1e6);
+        assert!((s - 524_288.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_produces_series() {
+        let m = LifetimeModel::default();
+        let series = m.sweep_years([10.0, 20.0, 30.0, 40.0], 1e6);
+        assert_eq!(series.len(), 4);
+        assert!(series.windows(2).all(|w| w[1].1 > w[0].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_traffic_panics() {
+        system_lifetime_seconds(1e6, 1.0, 0.0);
+    }
+}
+
+/// Start-Gap wear leveling (Qureshi et al., MICRO 2009 — reference [9] of
+/// the paper).
+///
+/// TDO-CIM attacks endurance at *compile time*; Start-Gap is the classic
+/// *hardware* technique the paper cites as orthogonal: an extra spare
+/// line plus two registers (`start`, `gap`) rotate the logical-to-physical
+/// line mapping so that a write-hot logical line spreads its wear over
+/// every physical line. This implementation provides the address
+/// remapping and the gap-movement schedule, so the two approaches can be
+/// composed and compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartGap {
+    lines: usize,
+    start: usize,
+    gap: usize,
+    psi: u64,
+    writes_since_move: u64,
+    gap_moves: u64,
+}
+
+impl StartGap {
+    /// Creates a mapper for `lines` logical lines (one spare physical
+    /// line is implied), moving the gap every `psi` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `psi` is zero.
+    pub fn new(lines: usize, psi: u64) -> Self {
+        assert!(lines > 0, "need at least one line");
+        assert!(psi > 0, "gap must move eventually");
+        StartGap { lines, start: 0, gap: lines, psi, writes_since_move: 0, gap_moves: 0 }
+    }
+
+    /// Number of logical lines.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Physical line currently holding the gap (the spare).
+    pub fn gap(&self) -> usize {
+        self.gap
+    }
+
+    /// How many times the gap has moved.
+    pub fn gap_moves(&self) -> u64 {
+        self.gap_moves
+    }
+
+    /// Maps a logical line to its physical line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= lines`.
+    pub fn map(&self, logical: usize) -> usize {
+        assert!(logical < self.lines, "logical line out of range");
+        let mut pa = (logical + self.start) % self.lines;
+        if pa >= self.gap {
+            pa += 1;
+        }
+        pa
+    }
+
+    /// Records one line write; every `psi` writes the gap moves one
+    /// position (copying its neighbour into the spare in hardware).
+    /// Returns `true` when a gap movement happened.
+    pub fn on_write(&mut self) -> bool {
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.psi {
+            return false;
+        }
+        self.writes_since_move = 0;
+        self.gap_moves += 1;
+        if self.gap == 0 {
+            self.gap = self.lines;
+            self.start = (self.start + 1) % self.lines;
+        } else {
+            self.gap -= 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod start_gap_tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mapping_is_injective_in_every_state() {
+        let mut sg = StartGap::new(16, 1);
+        for _ in 0..(17 * 16 + 3) {
+            let phys: HashSet<usize> = (0..16).map(|l| sg.map(l)).collect();
+            assert_eq!(phys.len(), 16, "collision at state {sg:?}");
+            assert!(phys.iter().all(|p| *p <= 16));
+            assert!(!phys.contains(&sg.gap()), "gap line must stay unused");
+            sg.on_write();
+        }
+    }
+
+    #[test]
+    fn gap_walks_and_start_rotates() {
+        let mut sg = StartGap::new(4, 1);
+        assert_eq!(sg.gap(), 4);
+        for expected in [3usize, 2, 1, 0].iter() {
+            assert!(sg.on_write());
+            assert_eq!(sg.gap(), *expected);
+        }
+        // Next move wraps the gap and advances start.
+        assert!(sg.on_write());
+        assert_eq!(sg.gap(), 4);
+        assert_eq!(sg.map(0), 1); // start advanced by one
+    }
+
+    #[test]
+    fn psi_throttles_gap_movement() {
+        let mut sg = StartGap::new(8, 100);
+        for _ in 0..99 {
+            assert!(!sg.on_write());
+        }
+        assert!(sg.on_write());
+        assert_eq!(sg.gap_moves(), 1);
+    }
+
+    #[test]
+    fn hot_line_wear_spreads_over_all_physical_lines() {
+        // Adversarial stream: every write hits logical line 0. With
+        // start-gap, the physical victim changes as the mapping rotates.
+        let lines = 8;
+        let mut sg = StartGap::new(lines, 4);
+        let mut wear = vec![0u64; lines + 1];
+        for _ in 0..10_000 {
+            wear[sg.map(0)] += 1;
+            sg.on_write();
+        }
+        let touched = wear.iter().filter(|w| **w > 0).count();
+        assert_eq!(touched, lines + 1, "all physical lines absorb wear");
+        let max = *wear.iter().max().expect("non-empty");
+        // Without leveling one line would take all 10k writes.
+        assert!(max < 3000, "wear concentrated: {wear:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_logical_panics() {
+        StartGap::new(4, 1).map(4);
+    }
+}

@@ -1,0 +1,231 @@
+//! Region-based dependence analysis.
+//!
+//! The fusion legality rule of Section III-B: "Two kernels are independent
+//! if Y doesn't read from or write to any output of X, and Y does not
+//! write to any input of X." We evaluate it on rectangular over-
+//! approximations of the access relations (interval arithmetic over affine
+//! subscripts and loop domains) — conservative, like LLVM's region-based
+//! dependence checks, and exact for the rectangular domains of the
+//! PolyBench kernels.
+
+use crate::scop::{LoopDim, ScopStmt};
+use std::collections::HashMap;
+use tdo_ir::affine::{AffineAccess, AffineExpr};
+use tdo_ir::{ArrayId, VarId};
+
+/// An inclusive rectangular region of one array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Accessed array.
+    pub array: ArrayId,
+    /// Inclusive `(lo, hi)` per dimension; empty for scalars.
+    pub bounds: Vec<(i64, i64)>,
+}
+
+impl Region {
+    /// Whether two regions can touch the same element.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        if self.array != other.array {
+            return false;
+        }
+        // Scalars (no dims) always overlap themselves.
+        self.bounds
+            .iter()
+            .zip(&other.bounds)
+            .all(|((alo, ahi), (blo, bhi))| alo <= bhi && blo <= ahi)
+    }
+}
+
+/// Interval of an affine expression given variable intervals.
+fn affine_interval(e: &AffineExpr, env: &HashMap<VarId, (i64, i64)>) -> (i64, i64) {
+    let mut lo = e.constant;
+    let mut hi = e.constant;
+    for (v, c) in &e.terms {
+        let (vlo, vhi) = env.get(v).copied().unwrap_or((i64::MIN / 4, i64::MAX / 4));
+        if *c >= 0 {
+            lo += c * vlo;
+            hi += c * vhi;
+        } else {
+            lo += c * vhi;
+            hi += c * vlo;
+        }
+    }
+    (lo, hi)
+}
+
+/// Computes inclusive value intervals for every variable of a domain
+/// (outer dimensions first, so inner bounds may reference outer vars).
+pub fn domain_intervals(domain: &[LoopDim]) -> HashMap<VarId, (i64, i64)> {
+    let mut env = HashMap::new();
+    for d in domain {
+        let (lb_lo, _) = affine_interval(&d.lb, &env);
+        let (_, ub_hi) = affine_interval(&d.ub, &env);
+        // var in [lb, ub): inclusive upper is ub-1.
+        env.insert(d.var, (lb_lo, ub_hi - 1));
+    }
+    env
+}
+
+/// Rectangular over-approximation of one access over a domain.
+pub fn access_region(domain: &[LoopDim], acc: &AffineAccess) -> Region {
+    let env = domain_intervals(domain);
+    Region {
+        array: acc.array,
+        bounds: acc.subs.iter().map(|s| affine_interval(s, &env)).collect(),
+    }
+}
+
+/// Write regions of a statement (a single write per statement).
+pub fn write_region(stmt: &ScopStmt) -> Region {
+    access_region(&stmt.domain, &stmt.write)
+}
+
+/// Read regions of a statement.
+pub fn read_regions(stmt: &ScopStmt) -> Vec<Region> {
+    stmt.reads.iter().map(|r| access_region(&stmt.domain, r)).collect()
+}
+
+/// The paper's kernel-independence test: given kernel X (earlier) and
+/// kernel Y (later), Y must not read or write X's outputs, and must not
+/// write X's inputs.
+pub fn kernels_independent(x: &[&ScopStmt], y: &[&ScopStmt]) -> bool {
+    let x_writes: Vec<Region> = x.iter().map(|s| write_region(s)).collect();
+    let x_reads: Vec<Region> = x.iter().flat_map(|s| read_regions(s)).collect();
+    for sy in y {
+        let yw = write_region(sy);
+        // Y writes X's output? (output dependence) or X's input? (anti)
+        if x_writes.iter().any(|w| w.overlaps(&yw)) {
+            return false;
+        }
+        if x_reads.iter().any(|r| r.overlaps(&yw)) {
+            return false;
+        }
+        // Y reads X's output? (flow dependence)
+        for ry in read_regions(sy) {
+            if x_writes.iter().any(|w| w.overlaps(&ry)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scop::extract;
+    use tdo_lang::compile;
+
+    fn scop_of(src: &str) -> crate::scop::Scop {
+        extract(&compile(src).expect("compiles")).expect("affine")
+    }
+
+    #[test]
+    fn disjoint_halves_do_not_overlap() {
+        let scop = scop_of(
+            r#"
+            float A[16];
+            void kernel() {
+              for (int i = 0; i < 8; i++) A[i] = 1.0;
+              for (int i = 0; i < 8; i++) A[i + 8] = 2.0;
+            }
+            "#,
+        );
+        let w0 = write_region(&scop.stmts[0]);
+        let w1 = write_region(&scop.stmts[1]);
+        assert_eq!(w0.bounds, vec![(0, 7)]);
+        assert_eq!(w1.bounds, vec![(8, 15)]);
+        assert!(!w0.overlaps(&w1));
+        assert!(kernels_independent(&[&scop.stmts[0]], &[&scop.stmts[1]]));
+    }
+
+    #[test]
+    fn listing2_shared_input_kernels_are_independent() {
+        // Two GEMMs reading the same A but writing different outputs.
+        let scop = scop_of(
+            r#"
+            const int N = 8;
+            float A[N][N]; float B[N][N]; float C[N][N]; float D[N][N]; float E[N][N];
+            void kernel() {
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    C[i][j] += A[i][k] * B[k][j];
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    D[i][j] += A[i][k] * E[k][j];
+            }
+            "#,
+        );
+        assert!(kernels_independent(&[&scop.stmts[0]], &[&scop.stmts[1]]));
+    }
+
+    #[test]
+    fn flow_dependent_kernels_are_not_independent() {
+        // Second GEMM consumes the first's output (2mm-style).
+        let scop = scop_of(
+            r#"
+            const int N = 8;
+            float A[N][N]; float B[N][N]; float T[N][N]; float D[N][N];
+            void kernel() {
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    T[i][j] += A[i][k] * B[k][j];
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    D[i][j] += T[i][k] * B[k][j];
+            }
+            "#,
+        );
+        assert!(!kernels_independent(&[&scop.stmts[0]], &[&scop.stmts[1]]));
+    }
+
+    #[test]
+    fn anti_dependence_detected() {
+        // Y writes X's input.
+        let scop = scop_of(
+            r#"
+            float A[8]; float B[8];
+            void kernel() {
+              for (int i = 0; i < 8; i++) B[i] = A[i];
+              for (int i = 0; i < 8; i++) A[i] = 0.0;
+            }
+            "#,
+        );
+        assert!(!kernels_independent(&[&scop.stmts[0]], &[&scop.stmts[1]]));
+    }
+
+    #[test]
+    fn scalar_reads_do_not_block_unless_written() {
+        let scop = scop_of(
+            r#"
+            float alpha; float A[8]; float B[8];
+            void kernel() {
+              for (int i = 0; i < 8; i++) A[i] = alpha * 2.0;
+              for (int i = 0; i < 8; i++) B[i] = alpha * 3.0;
+            }
+            "#,
+        );
+        assert!(kernels_independent(&[&scop.stmts[0]], &[&scop.stmts[1]]));
+    }
+
+    #[test]
+    fn triangular_domain_intervals() {
+        let scop = scop_of(
+            r#"
+            float A[8][8];
+            void kernel() {
+              for (int i = 0; i < 8; i++)
+                for (int j = i; j < 8; j++)
+                  A[i][j] = 1.0;
+            }
+            "#,
+        );
+        let env = domain_intervals(&scop.stmts[0].domain);
+        let j = scop.stmts[0].domain[1].var;
+        assert_eq!(env[&j], (0, 7));
+    }
+}

@@ -1,0 +1,262 @@
+//! Static control part (SCoP) detection.
+//!
+//! "At LLVM-IR level we rely on the polyhedral optimizer Polly to detect,
+//! extract and model compute kernels" (Section III-A). A SCoP here is a
+//! region of counted loops with affine bounds around assignments whose
+//! accesses are all affine; `if`s, runtime calls and non-affine shapes
+//! make extraction fail, in which case the pipeline leaves the program
+//! untouched (exactly Polly's bail-out behaviour).
+
+use crate::tree::{BandDim, ScheduleTree};
+use std::fmt;
+use tdo_ir::affine::{AffineAccess, AffineExpr};
+use tdo_ir::{Assign, Program, Stmt, VarId};
+
+/// One statement of a SCoP with its iteration domain and access relations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopStmt {
+    /// Statement id (index in [`Scop::stmts`], referenced by tree leaves).
+    pub id: usize,
+    /// Enclosing loop dimensions, outermost first.
+    pub domain: Vec<LoopDim>,
+    /// The assignment itself.
+    pub assign: Assign,
+    /// The write access.
+    pub write: AffineAccess,
+    /// All read accesses (including scalars).
+    pub reads: Vec<AffineAccess>,
+}
+
+/// An affine loop dimension `var in [lb, ub) step`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopDim {
+    /// Induction variable.
+    pub var: VarId,
+    /// Inclusive affine lower bound.
+    pub lb: AffineExpr,
+    /// Exclusive affine upper bound.
+    pub ub: AffineExpr,
+    /// Positive step.
+    pub step: i64,
+}
+
+impl LoopDim {
+    /// Converts to a schedule-tree band dimension.
+    pub fn to_band_dim(&self) -> BandDim {
+        BandDim { var: self.var, lo: self.lb.to_expr(), hi: self.ub.to_expr(), step: self.step }
+    }
+}
+
+/// A detected SCoP: statements plus the initial schedule tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scop {
+    /// Statement table.
+    pub stmts: Vec<ScopStmt>,
+    /// Initial schedule (mirrors the source loop structure).
+    pub tree: ScheduleTree,
+}
+
+/// Why extraction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopError {
+    /// A loop bound was not affine.
+    NonAffineBound(String),
+    /// An access subscript was not affine.
+    NonAffineAccess(String),
+    /// Data-dependent control flow.
+    HasIf,
+    /// The region already contains runtime calls.
+    HasCall,
+}
+
+impl fmt::Display for ScopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScopError::NonAffineBound(s) => write!(f, "non-affine loop bound: {s}"),
+            ScopError::NonAffineAccess(s) => write!(f, "non-affine access: {s}"),
+            ScopError::HasIf => write!(f, "data-dependent control flow in region"),
+            ScopError::HasCall => write!(f, "region contains calls"),
+        }
+    }
+}
+
+impl std::error::Error for ScopError {}
+
+/// Extracts the SCoP covering the whole program body.
+///
+/// # Errors
+///
+/// [`ScopError`] if any part of the body is outside the affine model.
+pub fn extract(prog: &Program) -> Result<Scop, ScopError> {
+    let mut scop = Scop { stmts: Vec::new(), tree: ScheduleTree::Sequence { children: vec![] } };
+    let mut domain = Vec::new();
+    scop.tree = build_block(prog, &prog.body, &mut domain, &mut scop.stmts)?;
+    Ok(scop)
+}
+
+fn build_block(
+    prog: &Program,
+    stmts: &[Stmt],
+    domain: &mut Vec<LoopDim>,
+    table: &mut Vec<ScopStmt>,
+) -> Result<ScheduleTree, ScopError> {
+    let mut children = Vec::new();
+    for s in stmts {
+        children.push(build_stmt(prog, s, domain, table)?);
+    }
+    if children.len() == 1 {
+        Ok(children.pop().expect("len 1"))
+    } else {
+        Ok(ScheduleTree::Sequence { children })
+    }
+}
+
+fn build_stmt(
+    prog: &Program,
+    s: &Stmt,
+    domain: &mut Vec<LoopDim>,
+    table: &mut Vec<ScopStmt>,
+) -> Result<ScheduleTree, ScopError> {
+    match s {
+        Stmt::For(l) => {
+            let lb = AffineExpr::from_expr(&l.lo).ok_or_else(|| {
+                ScopError::NonAffineBound(format!("lower bound of {}", prog.var_name(l.var)))
+            })?;
+            let ub = AffineExpr::from_expr(&l.hi).ok_or_else(|| {
+                ScopError::NonAffineBound(format!("upper bound of {}", prog.var_name(l.var)))
+            })?;
+            domain.push(LoopDim { var: l.var, lb, ub, step: l.step });
+            let child = build_block(prog, &l.body, domain, table)?;
+            let dim = domain.pop().expect("pushed above");
+            Ok(ScheduleTree::band(dim.to_band_dim(), child))
+        }
+        Stmt::Assign(a) => {
+            let write = AffineAccess::from_access(&a.target).ok_or_else(|| {
+                ScopError::NonAffineAccess(prog.array(a.target.array).name.clone())
+            })?;
+            let mut reads = Vec::new();
+            let mut bad: Option<ScopError> = None;
+            a.value.visit_accesses(&mut |acc| match AffineAccess::from_access(acc) {
+                Some(aa) => reads.push(aa),
+                None => {
+                    bad.get_or_insert(ScopError::NonAffineAccess(
+                        prog.array(acc.array).name.clone(),
+                    ));
+                }
+            });
+            if let Some(e) = bad {
+                return Err(e);
+            }
+            let id = table.len();
+            table.push(ScopStmt {
+                id,
+                domain: domain.clone(),
+                assign: a.clone(),
+                write,
+                reads,
+            });
+            Ok(ScheduleTree::Leaf { stmt: id })
+        }
+        Stmt::If(_) => Err(ScopError::HasIf),
+        Stmt::Call(_) => Err(ScopError::HasCall),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdo_lang::compile;
+
+    const GEMM: &str = r#"
+        const int N = 8;
+        float A[N][N]; float B[N][N]; float C[N][N];
+        float alpha = 1.0; float beta = 1.0;
+        void kernel() {
+          for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++) {
+              C[i][j] = beta * C[i][j];
+              for (int k = 0; k < N; k++)
+                C[i][j] += alpha * A[i][k] * B[k][j];
+            }
+        }
+    "#;
+
+    #[test]
+    fn gemm_extracts_two_statements() {
+        let prog = compile(GEMM).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        assert_eq!(scop.stmts.len(), 2);
+        // Init statement: 2-deep domain; update: 3-deep.
+        assert_eq!(scop.stmts[0].domain.len(), 2);
+        assert_eq!(scop.stmts[1].domain.len(), 3);
+        // Update reads C, alpha, A, B.
+        assert_eq!(scop.stmts[1].reads.len(), 4);
+        assert_eq!(scop.tree.leaf_stmts(), vec![0, 1]);
+    }
+
+    #[test]
+    fn domain_bounds_recorded() {
+        let prog = compile(GEMM).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        let d = &scop.stmts[1].domain[2];
+        assert_eq!(d.lb, AffineExpr::constant(0));
+        assert_eq!(d.ub, AffineExpr::constant(8));
+        assert_eq!(d.step, 1);
+    }
+
+    #[test]
+    fn triangular_domains_are_affine() {
+        let src = r#"
+            float A[8][8];
+            void kernel() {
+              for (int i = 0; i < 8; i++)
+                for (int j = i; j < 8; j++)
+                  A[i][j] = 1.0;
+            }
+        "#;
+        let prog = compile(src).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        let d = &scop.stmts[0].domain[1];
+        assert_eq!(d.lb.as_single_var(), Some(scop.stmts[0].domain[0].var));
+    }
+
+    #[test]
+    fn if_statements_bail_out() {
+        let src = r#"
+            float A[8];
+            void kernel() {
+              for (int i = 0; i < 8; i++)
+                if (i < 4) A[i] = 1.0;
+            }
+        "#;
+        let prog = compile(src).expect("compiles");
+        assert_eq!(extract(&prog), Err(ScopError::HasIf));
+    }
+
+    #[test]
+    fn non_affine_subscript_bails_out() {
+        let src = r#"
+            float A[8][8];
+            void kernel() {
+              for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++)
+                  A[i * j][0] = 1.0;
+            }
+        "#;
+        let prog = compile(src).expect("compiles");
+        assert!(matches!(extract(&prog), Err(ScopError::NonAffineAccess(_))));
+    }
+
+    #[test]
+    fn initial_tree_mirrors_source_nesting() {
+        let prog = compile(GEMM).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        // i and j bands, then a sequence of {init leaf, k band over update}.
+        let (dims, inner) = scop.tree.band_chain();
+        assert_eq!(dims.len(), 2);
+        let ScheduleTree::Sequence { children } = inner else { panic!("expected sequence") };
+        assert_eq!(children.len(), 2);
+        assert!(matches!(children[0], ScheduleTree::Leaf { stmt: 0 }));
+        assert_eq!(children[1].band_depth(), 1);
+    }
+}

@@ -1,0 +1,450 @@
+//! Schedule-tree transformations: tiling, interchange, fusion.
+//!
+//! Section III-B revisits tiling and fusion "in the light of this new CIM
+//! computing paradigm trying to minimize write operations to crossbar to
+//! enhance endurance": tiling + interchange make a stationary-operand tile
+//! reusable across consecutive point-loop executions (Listing 3), and
+//! fusion merges independent same-shape kernels so a batched runtime call
+//! can keep shared inputs resident (Listing 2).
+
+use crate::deps::kernels_independent;
+use crate::scop::Scop;
+use crate::tree::{BandDim, ScheduleTree};
+use tdo_ir::affine::AffineExpr;
+use tdo_ir::{Expr, Program, Stmt, VarId};
+
+/// Tiles the outermost `sizes.len()` perfectly nested bands of `tree`.
+///
+/// The tile loops are emitted in `perm` order (a permutation of the band
+/// indices — Listing 3 uses `[ii, kk, jj]` for a `[i, j, k]` GEMM nest so
+/// the `A` tile selected by `(ii, kk)` is reused across the whole `jj`
+/// tile row). Point loops are wrapped in a `"point"` mark. Returns `None`
+/// if the nest is not deep enough, sizes are non-positive, or any tiled
+/// bound is non-constant (partial-tile `min` bounds are still generated;
+/// only the *band* extents must be constant for this simple tiler).
+pub fn tile(
+    prog: &mut Program,
+    tree: &ScheduleTree,
+    sizes: &[i64],
+    perm: &[usize],
+) -> Option<ScheduleTree> {
+    let depth = sizes.len();
+    if depth == 0 || perm.len() != depth || sizes.iter().any(|s| *s <= 0) {
+        return None;
+    }
+    let mut sorted = perm.to_vec();
+    sorted.sort_unstable();
+    if sorted != (0..depth).collect::<Vec<_>>() {
+        return None;
+    }
+    let (dims, inner) = tree.band_chain();
+    if dims.len() < depth {
+        return None;
+    }
+    let dims: Vec<BandDim> = dims.into_iter().cloned().collect();
+    // Constant-bound check for the tiled dimensions.
+    for d in &dims[..depth] {
+        let lo = AffineExpr::from_expr(&d.lo)?;
+        let hi = AffineExpr::from_expr(&d.hi)?;
+        if !lo.is_constant() || !hi.is_constant() || d.step != 1 {
+            return None;
+        }
+    }
+    // Fresh tile variables, named after the point variables (i -> ii).
+    let tile_vars: Vec<VarId> = (0..depth)
+        .map(|l| {
+            let base = prog.var_name(dims[l].var).to_string();
+            prog.fresh_var(format!("{base}{base}"))
+        })
+        .collect();
+    // Innermost part: remaining (untiled) bands over the original subtree.
+    let mut body = inner.clone();
+    for d in dims[depth..].iter().rev() {
+        body = ScheduleTree::band(d.clone(), body);
+    }
+    // Point loops, innermost-last, wrapped in a mark.
+    for l in (0..depth).rev() {
+        let d = &dims[l];
+        let point = BandDim {
+            var: d.var,
+            lo: Expr::Var(tile_vars[l]),
+            hi: Expr::min(
+                Expr::add(Expr::Var(tile_vars[l]), Expr::Int(sizes[l])),
+                d.hi.clone(),
+            ),
+            step: 1,
+        };
+        body = ScheduleTree::band(point, body);
+    }
+    body = ScheduleTree::mark("point", body);
+    // Tile loops in `perm` order (perm[0] is the outermost tile loop).
+    for &l in perm.iter().rev() {
+        let d = &dims[l];
+        let tile_dim = BandDim {
+            var: tile_vars[l],
+            lo: d.lo.clone(),
+            hi: d.hi.clone(),
+            step: sizes[l],
+        };
+        body = ScheduleTree::band(tile_dim, body);
+    }
+    Some(ScheduleTree::mark("tiled", body))
+}
+
+/// Interchanges two levels of a perfect band nest. Returns `None` if the
+/// chain is shallower than `max(a, b) + 1` or an interchanged bound
+/// references the other variable (non-rectangular nests).
+pub fn interchange(tree: &ScheduleTree, a: usize, b: usize) -> Option<ScheduleTree> {
+    let (dims, inner) = tree.band_chain();
+    let depth = dims.len();
+    if a >= depth || b >= depth {
+        return None;
+    }
+    let mut dims: Vec<BandDim> = dims.into_iter().cloned().collect();
+    // Rectangularity: neither bound of the moved dims may use the other var.
+    let uses = |d: &BandDim, v: VarId| d.lo.uses_var(v) || d.hi.uses_var(v);
+    if uses(&dims[a], dims[b].var) || uses(&dims[b], dims[a].var) {
+        return None;
+    }
+    dims.swap(a, b);
+    let mut t = inner.clone();
+    for d in dims.into_iter().rev() {
+        t = ScheduleTree::band(d, t);
+    }
+    Some(t)
+}
+
+/// Classical loop fusion of two adjacent children of a sequence: both must
+/// be band chains of identical shape over leaves, and the kernels must be
+/// independent per the paper's rule. The second kernel's statements are
+/// re-rooted onto the first kernel's induction variables (new statements
+/// are appended to the SCoP). Returns the fused tree or `None`.
+pub fn fuse_adjacent(
+    scop: &mut Scop,
+    seq: &ScheduleTree,
+    at: usize,
+) -> Option<ScheduleTree> {
+    let ScheduleTree::Sequence { children } = seq else { return None };
+    if at + 1 >= children.len() {
+        return None;
+    }
+    let (dims_a, inner_a) = children[at].band_chain();
+    let (dims_b, inner_b) = children[at + 1].band_chain();
+    if dims_a.is_empty() || dims_a.len() != dims_b.len() {
+        return None;
+    }
+    for (da, db) in dims_a.iter().zip(&dims_b) {
+        if da.lo != db.lo || da.hi != db.hi || da.step != db.step {
+            return None;
+        }
+    }
+    let leaves_a = inner_a.leaf_stmts();
+    let leaves_b = inner_b.leaf_stmts();
+    if leaves_a.is_empty() || leaves_b.is_empty() {
+        return None;
+    }
+    {
+        let xs: Vec<&crate::scop::ScopStmt> = leaves_a.iter().map(|i| &scop.stmts[*i]).collect();
+        let ys: Vec<&crate::scop::ScopStmt> = leaves_b.iter().map(|i| &scop.stmts[*i]).collect();
+        if !kernels_independent(&xs, &ys) {
+            return None;
+        }
+    }
+    // Rename B's band variables to A's in B's statements.
+    let var_map: Vec<(VarId, VarId)> =
+        dims_b.iter().zip(&dims_a).map(|(db, da)| (db.var, da.var)).collect();
+    let mut new_leaves = Vec::new();
+    for id in &leaves_b {
+        let mut stmt = scop.stmts[*id].clone();
+        stmt.id = scop.stmts.len();
+        rename_assign(&mut stmt.assign, &var_map);
+        for dim in &mut stmt.domain {
+            if let Some((_, to)) = var_map.iter().find(|(from, _)| *from == dim.var) {
+                dim.var = *to;
+            }
+            dim.lb = rename_affine(&dim.lb, &var_map);
+            dim.ub = rename_affine(&dim.ub, &var_map);
+        }
+        // Recompute affine accesses after renaming.
+        stmt.write = tdo_ir::affine::AffineAccess::from_access(&stmt.assign.target)
+            .expect("renaming preserves affinity");
+        let mut reads = Vec::new();
+        stmt.assign.value.visit_accesses(&mut |a| {
+            reads.push(
+                tdo_ir::affine::AffineAccess::from_access(a)
+                    .expect("renaming preserves affinity"),
+            );
+        });
+        stmt.reads = reads;
+        new_leaves.push(ScheduleTree::Leaf { stmt: stmt.id });
+        scop.stmts.push(stmt);
+    }
+    // Fused body: A's inner subtree followed by B's renamed leaves.
+    let mut fused_children = match inner_a {
+        ScheduleTree::Sequence { children } => children.clone(),
+        other => vec![other.clone()],
+    };
+    fused_children.extend(new_leaves);
+    let mut fused = ScheduleTree::Sequence { children: fused_children };
+    for d in dims_a.into_iter().rev() {
+        fused = ScheduleTree::band(d.clone(), fused);
+    }
+    let mut children = children.clone();
+    children[at] = ScheduleTree::mark("fused", fused);
+    children.remove(at + 1);
+    if children.len() == 1 {
+        Some(children.pop().expect("len 1"))
+    } else {
+        Some(ScheduleTree::Sequence { children })
+    }
+}
+
+fn rename_affine(e: &AffineExpr, map: &[(VarId, VarId)]) -> AffineExpr {
+    let mut out = AffineExpr::constant(e.constant);
+    for (v, c) in &e.terms {
+        let v = map.iter().find(|(f, _)| f == v).map(|(_, t)| *t).unwrap_or(*v);
+        let entry = out.terms.entry(v).or_insert(0);
+        *entry += c;
+    }
+    out
+}
+
+fn rename_assign(a: &mut tdo_ir::Assign, map: &[(VarId, VarId)]) {
+    rename_expr_vars(&mut a.value, map);
+    for e in &mut a.target.idx {
+        rename_expr_vars(e, map);
+    }
+}
+
+fn rename_expr_vars(e: &mut Expr, map: &[(VarId, VarId)]) {
+    match e {
+        Expr::Var(v) => {
+            if let Some((_, t)) = map.iter().find(|(f, _)| f == v) {
+                *v = *t;
+            }
+        }
+        Expr::Load(a) => a.idx.iter_mut().for_each(|e| rename_expr_vars(e, map)),
+        Expr::Unary(_, inner) => rename_expr_vars(inner, map),
+        Expr::Bin(_, l, r) => {
+            rename_expr_vars(l, map);
+            rename_expr_vars(r, map);
+        }
+        Expr::Int(_) | Expr::Float(_) => {}
+    }
+}
+
+/// Substitutes statements of `old` for `replacement` wherever `pred` holds
+/// on a subtree — the generic rewrite used by the Loop Tactics passes to
+/// swap matched kernels for extension nodes.
+pub fn replace_subtree(
+    tree: &ScheduleTree,
+    pred: &impl Fn(&ScheduleTree) -> bool,
+    replacement: &mut impl FnMut(&ScheduleTree) -> ScheduleTree,
+) -> ScheduleTree {
+    if pred(tree) {
+        return replacement(tree);
+    }
+    match tree {
+        ScheduleTree::Band { dim, child } => ScheduleTree::Band {
+            dim: dim.clone(),
+            child: Box::new(replace_subtree(child, pred, replacement)),
+        },
+        ScheduleTree::Mark { name, child } => ScheduleTree::Mark {
+            name: name.clone(),
+            child: Box::new(replace_subtree(child, pred, replacement)),
+        },
+        ScheduleTree::Sequence { children } => ScheduleTree::Sequence {
+            children: children.iter().map(|c| replace_subtree(c, pred, replacement)).collect(),
+        },
+        ScheduleTree::Leaf { .. } | ScheduleTree::Extension { .. } => tree.clone(),
+    }
+}
+
+/// Injects statements before a subtree matching `pred` (e.g. the
+/// `polly_cimInit`/`polly_cimMalloc` prologue before the first offload).
+pub fn prepend_extension(tree: &ScheduleTree, stmts: Vec<Stmt>) -> ScheduleTree {
+    match tree {
+        ScheduleTree::Sequence { children } => {
+            let mut out = vec![ScheduleTree::Extension { stmts }];
+            out.extend(children.iter().cloned());
+            ScheduleTree::Sequence { children: out }
+        }
+        other => ScheduleTree::Sequence {
+            children: vec![ScheduleTree::Extension { stmts }, other.clone()],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::generate;
+    use crate::scop::extract;
+    use tdo_ir::interp::{run, PureBackend};
+    use tdo_lang::compile;
+
+    const GEMM: &str = r#"
+        const int N = 8;
+        float A[N][N]; float B[N][N]; float C[N][N];
+        void kernel() {
+          for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++)
+              for (int k = 0; k < N; k++)
+                C[i][j] += A[i][k] * B[k][j];
+        }
+    "#;
+
+    fn run_to_arrays(prog: &tdo_ir::Program) -> Vec<Vec<f32>> {
+        let mut be = PureBackend::for_program(prog);
+        // Deterministic pseudo-random init for all arrays.
+        for (i, d) in prog.arrays.iter().enumerate() {
+            let data: Vec<f32> =
+                (0..d.elem_count()).map(|j| ((i * 31 + j * 7) % 13) as f32 - 6.0).collect();
+            be.set_array(tdo_ir::ArrayId(i), &data);
+        }
+        run(prog, &mut be).expect("runs");
+        be.into_arrays()
+    }
+
+    #[test]
+    fn tiling_preserves_semantics() {
+        let mut prog = compile(GEMM).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        let reference = run_to_arrays(&prog);
+        let tiled =
+            tile(&mut prog, &scop.tree, &[4, 4, 4], &[0, 2, 1]).expect("tiles");
+        let mut tiled_prog = prog.clone();
+        tiled_prog.body = generate(&scop, &tiled);
+        tdo_ir::verify::verify(&tiled_prog).expect("well-formed");
+        assert_eq!(run_to_arrays(&tiled_prog), reference);
+    }
+
+    #[test]
+    fn tiling_handles_partial_tiles() {
+        // 10 is not divisible by 4: min() bounds must kick in.
+        let src = GEMM.replace("const int N = 8;", "const int N = 10;");
+        let mut prog = compile(&src).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        let reference = run_to_arrays(&prog);
+        let tiled = tile(&mut prog, &scop.tree, &[4, 4, 4], &[0, 1, 2]).expect("tiles");
+        let mut tiled_prog = prog.clone();
+        tiled_prog.body = generate(&scop, &tiled);
+        assert_eq!(run_to_arrays(&tiled_prog), reference);
+    }
+
+    #[test]
+    fn listing3_order_reuses_a_tile() {
+        // Tile loops in [ii, kk, jj] order: the printed code must iterate
+        // jj innermost among tile loops.
+        let mut prog = compile(GEMM).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        let tiled = tile(&mut prog, &scop.tree, &[4, 4, 4], &[0, 2, 1]).expect("tiles");
+        let (dims, _) = tiled.band_chain();
+        let names: Vec<&str> = dims.iter().map(|d| prog.var_name(d.var)).collect();
+        assert_eq!(names[..3], ["ii", "kk", "jj"]);
+        assert_eq!(names[3..], ["i", "j", "k"]);
+    }
+
+    #[test]
+    fn tile_rejects_bad_inputs() {
+        let mut prog = compile(GEMM).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        assert!(tile(&mut prog, &scop.tree, &[], &[]).is_none());
+        assert!(tile(&mut prog, &scop.tree, &[4, 4], &[0, 0]).is_none());
+        assert!(tile(&mut prog, &scop.tree, &[4, -1], &[0, 1]).is_none());
+        assert!(tile(&mut prog, &scop.tree, &[4; 5], &[0, 1, 2, 3, 4]).is_none());
+    }
+
+    #[test]
+    fn interchange_preserves_semantics_and_swaps() {
+        let prog = compile(GEMM).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        let reference = run_to_arrays(&prog);
+        let swapped = interchange(&scop.tree, 0, 2).expect("interchange");
+        let mut new_prog = prog.clone();
+        new_prog.body = generate(&scop, &swapped);
+        assert_eq!(run_to_arrays(&new_prog), reference);
+        let (dims, _) = swapped.band_chain();
+        let names: Vec<&str> = dims.iter().map(|d| prog.var_name(d.var)).collect();
+        assert_eq!(names, ["k", "j", "i"]);
+    }
+
+    #[test]
+    fn interchange_rejects_triangular() {
+        let src = r#"
+            float A[8][8];
+            void kernel() {
+              for (int i = 0; i < 8; i++)
+                for (int j = i; j < 8; j++)
+                  A[i][j] = 1.0;
+            }
+        "#;
+        let prog = compile(src).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        assert!(interchange(&scop.tree, 0, 1).is_none());
+    }
+
+    const TWO_INDEPENDENT: &str = r#"
+        const int N = 6;
+        float A[N][N]; float B[N][N]; float C[N][N]; float D[N][N]; float E[N][N];
+        void kernel() {
+          for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++)
+              for (int k = 0; k < N; k++)
+                C[i][j] += A[i][k] * B[k][j];
+          for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++)
+              for (int k = 0; k < N; k++)
+                D[i][j] += A[i][k] * E[k][j];
+        }
+    "#;
+
+    #[test]
+    fn fusion_merges_independent_kernels() {
+        let prog = compile(TWO_INDEPENDENT).expect("compiles");
+        let mut scop = extract(&prog).expect("affine");
+        let reference = run_to_arrays(&prog);
+        let tree = scop.tree.clone();
+        let fused = fuse_adjacent(&mut scop, &tree, 0).expect("fuses");
+        let mut fused_prog = prog.clone();
+        fused_prog.body = generate(&scop, &fused);
+        tdo_ir::verify::verify(&fused_prog).expect("well-formed");
+        assert_eq!(run_to_arrays(&fused_prog), reference);
+        // One loop nest remains.
+        let (dims, _) = fused.band_chain();
+        assert_eq!(dims.len(), 3);
+    }
+
+    #[test]
+    fn fusion_refuses_dependent_kernels() {
+        let src = TWO_INDEPENDENT.replace("D[i][j] += A[i][k] * E[k][j];", "D[i][j] += C[i][k] * E[k][j];");
+        let prog = compile(&src).expect("compiles");
+        let mut scop = extract(&prog).expect("affine");
+        let tree = scop.tree.clone();
+        assert!(fuse_adjacent(&mut scop, &tree, 0).is_none());
+    }
+
+    #[test]
+    fn fusion_refuses_mismatched_domains() {
+        let src = TWO_INDEPENDENT.replace(
+            "for (int i = 0; i < N; i++)\n            for (int j = 0; j < N; j++)\n              for (int k = 0; k < N; k++)\n                D[i][j] += A[i][k] * E[k][j];",
+            "for (int i = 0; i < 3; i++)\n            for (int j = 0; j < N; j++)\n              for (int k = 0; k < N; k++)\n                D[i][j] += A[i][k] * E[k][j];",
+        );
+        let prog = compile(&src).expect("compiles");
+        let mut scop = extract(&prog).expect("affine");
+        let tree = scop.tree.clone();
+        assert!(fuse_adjacent(&mut scop, &tree, 0).is_none());
+    }
+
+    #[test]
+    fn replace_subtree_swaps_matching_nodes() {
+        let prog = compile(GEMM).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        let replaced = replace_subtree(
+            &scop.tree,
+            &|t| matches!(t, ScheduleTree::Leaf { .. }),
+            &mut |_| ScheduleTree::Extension { stmts: vec![] },
+        );
+        assert_eq!(replaced.leaf_stmts(), Vec::<usize>::new());
+    }
+}

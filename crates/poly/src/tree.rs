@@ -1,0 +1,169 @@
+//! Schedule trees.
+//!
+//! "Internally Polly represents the schedule of each detected kernel as a
+//! tree, which we refer to as schedule tree. [...] Loop optimizations and
+//! device mapping are expressed as tree modifications and carried out by
+//! Loop Tactics" (Section III-A, after Verdoolaege et al. [21]).
+//!
+//! Node kinds follow the isl vocabulary: bands (loop dimensions),
+//! sequences, filters (implicit — one leaf per statement), marks, and
+//! extension nodes used by the device-mapping rewrite to inject runtime
+//! calls into the schedule.
+
+use tdo_ir::{Expr, Stmt, VarId};
+
+/// One band dimension: a loop with general expression bounds (tiling
+/// introduces `min(...)` upper bounds for partial tiles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandDim {
+    /// Induction variable.
+    pub var: VarId,
+    /// Inclusive lower bound.
+    pub lo: Expr,
+    /// Exclusive upper bound.
+    pub hi: Expr,
+    /// Positive step.
+    pub step: i64,
+}
+
+/// A schedule tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleTree {
+    /// A single loop dimension over a child schedule.
+    Band {
+        /// The dimension.
+        dim: BandDim,
+        /// Nested schedule.
+        child: Box<ScheduleTree>,
+    },
+    /// Ordered composition.
+    Sequence {
+        /// Children in execution order.
+        children: Vec<ScheduleTree>,
+    },
+    /// A statement instance (index into the SCoP's statement table).
+    Leaf {
+        /// Statement id.
+        stmt: usize,
+    },
+    /// An annotation wrapper (e.g. `"point"` loops after tiling).
+    Mark {
+        /// Annotation name.
+        name: String,
+        /// Wrapped subtree.
+        child: Box<ScheduleTree>,
+    },
+    /// Statements injected by a rewrite (runtime calls replacing a
+    /// matched kernel), emitted verbatim by codegen.
+    Extension {
+        /// Injected IR statements.
+        stmts: Vec<Stmt>,
+    },
+}
+
+impl ScheduleTree {
+    /// Wraps a child in a band.
+    pub fn band(dim: BandDim, child: ScheduleTree) -> ScheduleTree {
+        ScheduleTree::Band { dim, child: Box::new(child) }
+    }
+
+    /// Wraps a child in a mark.
+    pub fn mark(name: impl Into<String>, child: ScheduleTree) -> ScheduleTree {
+        ScheduleTree::Mark { name: name.into(), child: Box::new(child) }
+    }
+
+    /// Descends through a chain of bands (skipping marks), returning the
+    /// dimensions outermost-first and the subtree below them.
+    pub fn band_chain(&self) -> (Vec<&BandDim>, &ScheduleTree) {
+        let mut dims = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                ScheduleTree::Band { dim, child } => {
+                    dims.push(dim);
+                    cur = child;
+                }
+                ScheduleTree::Mark { child, .. } => cur = child,
+                _ => return (dims, cur),
+            }
+        }
+    }
+
+    /// All leaf statement ids in this subtree, in schedule order.
+    pub fn leaf_stmts(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            ScheduleTree::Band { child, .. } | ScheduleTree::Mark { child, .. } => {
+                child.collect_leaves(out)
+            }
+            ScheduleTree::Sequence { children } => {
+                children.iter().for_each(|c| c.collect_leaves(out))
+            }
+            ScheduleTree::Leaf { stmt } => out.push(*stmt),
+            ScheduleTree::Extension { .. } => {}
+        }
+    }
+
+    /// Depth of the deepest band nesting.
+    pub fn band_depth(&self) -> usize {
+        match self {
+            ScheduleTree::Band { child, .. } => 1 + child.band_depth(),
+            ScheduleTree::Mark { child, .. } => child.band_depth(),
+            ScheduleTree::Sequence { children } => {
+                children.iter().map(|c| c.band_depth()).max().unwrap_or(0)
+            }
+            ScheduleTree::Leaf { .. } | ScheduleTree::Extension { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dim(v: usize, hi: i64) -> BandDim {
+        BandDim { var: VarId(v), lo: Expr::Int(0), hi: Expr::Int(hi), step: 1 }
+    }
+
+    #[test]
+    fn band_chain_skips_marks() {
+        let t = ScheduleTree::band(
+            dim(0, 4),
+            ScheduleTree::mark(
+                "anno",
+                ScheduleTree::band(dim(1, 8), ScheduleTree::Leaf { stmt: 0 }),
+            ),
+        );
+        let (dims, inner) = t.band_chain();
+        assert_eq!(dims.len(), 2);
+        assert_eq!(dims[1].var, VarId(1));
+        assert_eq!(inner, &ScheduleTree::Leaf { stmt: 0 });
+    }
+
+    #[test]
+    fn leaf_collection_in_order() {
+        let t = ScheduleTree::Sequence {
+            children: vec![
+                ScheduleTree::band(dim(0, 4), ScheduleTree::Leaf { stmt: 2 }),
+                ScheduleTree::Leaf { stmt: 1 },
+                ScheduleTree::Extension { stmts: vec![] },
+            ],
+        };
+        assert_eq!(t.leaf_stmts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn band_depth_counts_nesting() {
+        let t = ScheduleTree::band(
+            dim(0, 4),
+            ScheduleTree::band(dim(1, 4), ScheduleTree::Leaf { stmt: 0 }),
+        );
+        assert_eq!(t.band_depth(), 2);
+        assert_eq!(ScheduleTree::Leaf { stmt: 0 }.band_depth(), 0);
+    }
+}

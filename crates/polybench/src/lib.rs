@@ -1,0 +1,187 @@
+//! # polybench — the evaluation workload suite
+//!
+//! The seven PolyBench/C linear-algebra kernels of the TDO-CIM evaluation
+//! (Section IV, Fig. 6): GEMM-like `2mm`, `3mm`, `gemm`, `conv` and
+//! GEMV-like `gesummv`, `bicg`, `mvt`. Each kernel comes as a mini-C
+//! [`source`], a deterministic [`init_fn`], and a pure-Rust
+//! [`reference_outputs`] implementation for validation.
+//!
+//! ```
+//! use polybench::{Kernel, Dataset};
+//!
+//! let src = polybench::source(Kernel::Gemm, Dataset::Mini);
+//! assert!(src.contains("C[i][j] += alpha * A[i][k] * B[k][j];"));
+//! assert!(Kernel::Gemm.is_gemm_like());
+//! assert!(!Kernel::Mvt.is_gemm_like());
+//! ```
+
+pub mod init;
+pub mod reference;
+pub mod sources;
+
+pub use init::{init_array, init_fn};
+pub use reference::reference_outputs;
+pub use sources::source;
+
+/// The evaluation kernels, in the order of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Two chained matrix multiplications.
+    TwoMm,
+    /// Three matrix multiplications.
+    ThreeMm,
+    /// General matrix multiplication.
+    Gemm,
+    /// 3x3 2-D convolution.
+    Conv,
+    /// Summed matrix-vector products.
+    Gesummv,
+    /// BiCG sub-kernel (A p and A^T r).
+    Bicg,
+    /// Matrix-vector product and transposed product.
+    Mvt,
+    /// `y = A^T (A x)` — extension kernel beyond the paper's seven.
+    Atax,
+}
+
+impl Kernel {
+    /// All kernels in Fig. 6 order (the paper's evaluation set).
+    pub const ALL: [Kernel; 7] = [
+        Kernel::TwoMm,
+        Kernel::ThreeMm,
+        Kernel::Gemm,
+        Kernel::Conv,
+        Kernel::Gesummv,
+        Kernel::Bicg,
+        Kernel::Mvt,
+    ];
+
+    /// The paper's set plus extension kernels handled by the same flow.
+    pub const ALL_EXTENDED: [Kernel; 8] = [
+        Kernel::TwoMm,
+        Kernel::ThreeMm,
+        Kernel::Gemm,
+        Kernel::Conv,
+        Kernel::Gesummv,
+        Kernel::Bicg,
+        Kernel::Mvt,
+        Kernel::Atax,
+    ];
+
+    /// The paper's name for the kernel.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::TwoMm => "2mm",
+            Kernel::ThreeMm => "3mm",
+            Kernel::Gemm => "gemm",
+            Kernel::Conv => "conv",
+            Kernel::Gesummv => "gesummv",
+            Kernel::Bicg => "bicg",
+            Kernel::Mvt => "mvt",
+            Kernel::Atax => "atax",
+        }
+    }
+
+    /// Whether the paper classes it as GEMM-like (high compute intensity)
+    /// as opposed to GEMV-like.
+    pub fn is_gemm_like(&self) -> bool {
+        matches!(self, Kernel::TwoMm | Kernel::ThreeMm | Kernel::Gemm | Kernel::Conv)
+    }
+
+    /// Output arrays checked by validation.
+    pub fn outputs(&self) -> &'static [&'static str] {
+        match self {
+            Kernel::TwoMm => &["tmp", "D"],
+            Kernel::ThreeMm => &["E", "F", "G"],
+            Kernel::Gemm => &["C"],
+            Kernel::Conv => &["out"],
+            Kernel::Gesummv => &["tmp", "w", "y"],
+            Kernel::Bicg => &["q", "s"],
+            Kernel::Mvt => &["x1", "x2"],
+            Kernel::Atax => &["tmp", "y"],
+        }
+    }
+
+    /// Multiply-accumulate count at a dataset size.
+    pub fn macs(&self, dataset: Dataset) -> u64 {
+        let n = dataset.base_size() as u64;
+        match self {
+            Kernel::Gemm => n * n * n,
+            Kernel::TwoMm => 2 * n * n * n,
+            Kernel::ThreeMm => 3 * n * n * n,
+            Kernel::Conv => (n - 2) * (n - 2) * 9,
+            Kernel::Gesummv => 2 * n * n,
+            Kernel::Bicg => 2 * n * n,
+            Kernel::Mvt => 2 * n * n,
+            Kernel::Atax => 2 * n * n,
+        }
+    }
+}
+
+/// Problem sizes (square operands of `base_size`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dataset {
+    /// 16 — unit tests.
+    Mini,
+    /// 64 — integration tests.
+    #[default]
+    Small,
+    /// 128 — figure regeneration default.
+    Medium,
+    /// 256 — slower, closer to paper scale.
+    Large,
+}
+
+impl Dataset {
+    /// All datasets.
+    pub const ALL: [Dataset; 4] = [Dataset::Mini, Dataset::Small, Dataset::Medium, Dataset::Large];
+
+    /// Square dimension of the operands.
+    pub fn base_size(&self) -> usize {
+        match self {
+            Dataset::Mini => 16,
+            Dataset::Small => 64,
+            Dataset::Medium => 128,
+            Dataset::Large => 256,
+        }
+    }
+
+    /// Parses a dataset name (`mini`/`small`/`medium`/`large`).
+    pub fn parse(s: &str) -> Option<Dataset> {
+        match s.to_ascii_lowercase().as_str() {
+            "mini" => Some(Dataset::Mini),
+            "small" => Some(Dataset::Small),
+            "medium" => Some(Dataset::Medium),
+            "large" => Some(Dataset::Large),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_metadata() {
+        assert_eq!(Kernel::ALL.len(), 7);
+        assert_eq!(Kernel::TwoMm.name(), "2mm");
+        assert_eq!(Kernel::Gemm.macs(Dataset::Mini), 16 * 16 * 16);
+        assert_eq!(Kernel::Mvt.macs(Dataset::Mini), 2 * 16 * 16);
+        assert_eq!(Kernel::Conv.macs(Dataset::Mini), 14 * 14 * 9);
+    }
+
+    #[test]
+    fn gemm_like_split_matches_figure_6() {
+        let gemm_like: Vec<&str> =
+            Kernel::ALL.iter().filter(|k| k.is_gemm_like()).map(|k| k.name()).collect();
+        assert_eq!(gemm_like, vec!["2mm", "3mm", "gemm", "conv"]);
+    }
+
+    #[test]
+    fn dataset_parsing() {
+        assert_eq!(Dataset::parse("MEDIUM"), Some(Dataset::Medium));
+        assert_eq!(Dataset::parse("huge"), None);
+        assert_eq!(Dataset::default().base_size(), 64);
+    }
+}

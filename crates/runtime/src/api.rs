@@ -1,0 +1,674 @@
+//! User-space CIM runtime API.
+//!
+//! "The user-space CIM API is responsible for encoding CIM runtime library
+//! calls into context register parameters. Furthermore, with the help of
+//! the CIM driver, it implements the support for allocating and releasing
+//! the physically-contiguous pages in shared memory via the contiguous
+//! memory allocator (CMA) APIs" (Section II-E).
+//!
+//! The call surface mirrors Listing 1 of the paper — `polly_cimInit`,
+//! `polly_cimMalloc`, `polly_cimBlasSGemm`, `polly_cimBlasGemmBatched`,
+//! `polly_cimDevToHost` — with Rust naming (`cim_init`, `cim_malloc`,
+//! `cim_blas_sgemm`, ...). It is what either an application programmer or
+//! the Loop Tactics optimizer calls, "similar to what cuBLAS or MKL offers
+//! for Nvidia GPU and Intel CPU, respectively" (Section III).
+
+use cim_accel::regs::{Command, Reg};
+use cim_accel::{AccelConfig, CimAccelerator};
+use cim_machine::cpu::InstClass;
+use cim_machine::units::SimTime;
+use cim_machine::Machine;
+
+use crate::driver::{CimDriver, DriverConfig};
+use crate::error::CimError;
+use crate::stats::RuntimeStats;
+
+/// A live device allocation in the shared CMA region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevPtr {
+    /// Host virtual address of the buffer.
+    pub va: u64,
+    /// Physical address handed to the accelerator.
+    pub pa: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// Transpose selector for BLAS-style entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    #[default]
+    No,
+    /// Use the transposed operand.
+    Yes,
+}
+
+impl Transpose {
+    fn as_reg(self) -> u64 {
+        match self {
+            Transpose::No => 0,
+            Transpose::Yes => 1,
+        }
+    }
+}
+
+/// The per-device runtime context (device handle + driver session).
+#[derive(Debug)]
+pub struct CimContext {
+    accel: CimAccelerator,
+    driver: CimDriver,
+    device_id: Option<u32>,
+    allocations: Vec<DevPtr>,
+    stats: RuntimeStats,
+}
+
+impl CimContext {
+    /// Creates a context around a fresh accelerator. `bus_cfg` must match
+    /// the machine the context will run against.
+    pub fn new(accel_cfg: AccelConfig, driver_cfg: DriverConfig, mach: &Machine) -> Self {
+        CimContext {
+            accel: CimAccelerator::new(accel_cfg, mach.cfg.bus),
+            driver: CimDriver::new(driver_cfg),
+            device_id: None,
+            allocations: Vec::new(),
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// The accelerator (for stats and timeline inspection).
+    pub fn accel(&self) -> &CimAccelerator {
+        &self.accel
+    }
+
+    /// Mutable accelerator access (tests, fidelity switches).
+    pub fn accel_mut(&mut self) -> &mut CimAccelerator {
+        &mut self.accel
+    }
+
+    /// The kernel driver model.
+    pub fn driver(&self) -> &CimDriver {
+        &self.driver
+    }
+
+    /// Runtime call statistics.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    fn ensure_init(&self) -> Result<(), CimError> {
+        if self.device_id.is_none() {
+            return Err(CimError::NotInitialized);
+        }
+        Ok(())
+    }
+
+    /// `polly_cimInit(device)`: opens the device and resets the engine.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for device 0; kept fallible for API stability.
+    pub fn cim_init(&mut self, mach: &mut Machine, device: u32) -> Result<(), CimError> {
+        self.driver.ioctl(mach);
+        self.device_id = Some(device);
+        self.stats.init_calls += 1;
+        Ok(())
+    }
+
+    /// `polly_cimMalloc(size)`: allocates physically contiguous shared
+    /// memory via CMA.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::NotInitialized`] before `cim_init`;
+    /// [`CimError::OutOfDeviceMemory`] when the carve-out is full.
+    pub fn cim_malloc(&mut self, mach: &mut Machine, bytes: u64) -> Result<DevPtr, CimError> {
+        self.ensure_init()?;
+        if bytes == 0 {
+            return Err(CimError::InvalidArg("zero-byte allocation".into()));
+        }
+        self.driver.ioctl(mach);
+        self.driver.charge_malloc(mach);
+        let (va, pa) = mach.alloc_cma(bytes)?;
+        let ptr = DevPtr { va, pa, len: bytes };
+        self.allocations.push(ptr);
+        self.stats.malloc_calls += 1;
+        self.stats.bytes_allocated += bytes;
+        Ok(ptr)
+    }
+
+    /// `polly_cimFree(ptr)`: releases a device allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidPointer`] if `ptr` is not live.
+    pub fn cim_free(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
+        self.ensure_init()?;
+        let Some(at) = self.allocations.iter().position(|p| p == &ptr) else {
+            return Err(CimError::InvalidPointer(ptr.va));
+        };
+        self.driver.ioctl(mach);
+        mach.free_cma(ptr.va, ptr.pa)?;
+        self.allocations.swap_remove(at);
+        Ok(())
+    }
+
+    fn check_live(&self, ptr: &DevPtr) -> Result<(), CimError> {
+        // Sub-ranges of a live allocation are valid pointers (tiled code
+        // passes views into larger buffers).
+        let inside = self.allocations.iter().any(|p| {
+            ptr.va >= p.va
+                && ptr.va + ptr.len <= p.va + p.len
+                && ptr.pa >= p.pa
+                && ptr.pa + ptr.len <= p.pa + p.len
+        });
+        if inside {
+            Ok(())
+        } else {
+            Err(CimError::InvalidPointer(ptr.va))
+        }
+    }
+
+    /// Registers an externally CMA-allocated buffer with the runtime,
+    /// charging the `cim_malloc` driver path. This models the zero-copy
+    /// flow of the compiler-generated code: application arrays already
+    /// live in the physically contiguous shared region (one of the two
+    /// CMA benefits of Section II-E), so `polly_cimMalloc` binds rather
+    /// than copies.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::NotInitialized`] before `cim_init`.
+    pub fn cim_adopt(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
+        self.ensure_init()?;
+        self.driver.ioctl(mach);
+        self.driver.charge_malloc(mach);
+        self.allocations.push(ptr);
+        self.stats.malloc_calls += 1;
+        self.stats.bytes_allocated += ptr.len;
+        Ok(())
+    }
+
+    /// Zero-copy host-to-device synchronization of a shared buffer: the
+    /// driver flushes the host's dirty lines so the accelerator's
+    /// uncacheable reads see fresh data, and operand residency is
+    /// invalidated (the crossbar contents may be stale).
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidPointer`] for unregistered buffers.
+    pub fn cim_sync_to_dev(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
+        self.ensure_init()?;
+        self.check_live(&ptr)?;
+        self.driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
+        self.accel.invalidate_range(ptr.pa, ptr.len);
+        self.stats.h2d_calls += 1;
+        Ok(())
+    }
+
+    /// Zero-copy device-to-host synchronization: invalidates the host's
+    /// (stale) cached lines over the buffer so subsequent loads observe
+    /// the accelerator's uncacheable writes.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidPointer`] for unregistered buffers.
+    pub fn cim_sync_to_host(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
+        self.ensure_init()?;
+        self.check_live(&ptr)?;
+        self.driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
+        self.stats.d2h_calls += 1;
+        Ok(())
+    }
+
+    /// Copies `len` bytes from host memory into a device buffer (cached
+    /// host loads + stores; the dirtied lines are what the driver flushes
+    /// before the next invocation). Invalidates operand residency.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidArg`] if the copy exceeds the allocation.
+    pub fn cim_host_to_dev(
+        &mut self,
+        mach: &mut Machine,
+        dst: DevPtr,
+        src_va: u64,
+        len: u64,
+    ) -> Result<(), CimError> {
+        self.ensure_init()?;
+        self.check_live(&dst)?;
+        if len > dst.len {
+            return Err(CimError::InvalidArg(format!(
+                "copy of {len} bytes into {}-byte buffer",
+                dst.len
+            )));
+        }
+        copy_words(mach, src_va, dst.va, len);
+        self.accel.bump_generation();
+        self.stats.h2d_bytes += len;
+        self.stats.h2d_calls += 1;
+        Ok(())
+    }
+
+    /// `polly_cimDevToHost`: copies a result buffer back to host memory.
+    /// The device wrote through uncacheable accesses, so the host first
+    /// invalidates its (stale) lines for the range.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidArg`] if the copy exceeds the allocation.
+    pub fn cim_dev_to_host(
+        &mut self,
+        mach: &mut Machine,
+        dst_va: u64,
+        src: DevPtr,
+        len: u64,
+    ) -> Result<(), CimError> {
+        self.ensure_init()?;
+        self.check_live(&src)?;
+        if len > src.len {
+            return Err(CimError::InvalidArg(format!(
+                "copy of {len} bytes from {}-byte buffer",
+                src.len
+            )));
+        }
+        self.driver.flush_shared(mach, &[(src.pa, len)]);
+        copy_words(mach, src.va, dst_va, len);
+        self.stats.d2h_bytes += len;
+        self.stats.d2h_calls += 1;
+        Ok(())
+    }
+
+    /// `polly_cimBlasSGemm`: `C = alpha*op(A)*op(B) + beta*C` on the
+    /// accelerator. Returns the accelerator busy time.
+    ///
+    /// # Errors
+    ///
+    /// Argument validation errors, or [`CimError::Device`] from the engine
+    /// (e.g. `op(B)` transposed, which the hardware does not support).
+    #[allow(clippy::too_many_arguments)]
+    pub fn cim_blas_sgemm(
+        &mut self,
+        mach: &mut Machine,
+        trans_a: Transpose,
+        trans_b: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: DevPtr,
+        lda: usize,
+        b: DevPtr,
+        ldb: usize,
+        beta: f32,
+        c: DevPtr,
+        ldc: usize,
+    ) -> Result<SimTime, CimError> {
+        self.ensure_init()?;
+        for p in [&a, &b, &c] {
+            self.check_live(p)?;
+        }
+        self.stats.gemm_calls += 1;
+        self.driver.ioctl(mach);
+        self.driver.flush_shared(
+            mach,
+            &[(a.pa, a.len), (b.pa, b.len), (c.pa, c.len)],
+        );
+        let regs = [
+            (Reg::M, m as u64),
+            (Reg::N, n as u64),
+            (Reg::K, k as u64),
+            (Reg::Lda, lda as u64),
+            (Reg::Ldb, ldb as u64),
+            (Reg::Ldc, ldc as u64),
+            (Reg::AddrA, a.pa),
+            (Reg::AddrB, b.pa),
+            (Reg::AddrC, c.pa),
+            (Reg::Alpha, alpha.to_bits() as u64),
+            (Reg::Beta, beta.to_bits() as u64),
+            (Reg::TransA, trans_a.as_reg()),
+            (Reg::TransB, trans_b.as_reg()),
+            (Reg::Command, Command::Gemm as u64),
+        ];
+        self.driver.write_regs(mach, &mut self.accel, &regs);
+        self.driver.invoke(mach, &mut self.accel)
+    }
+
+    /// `polly_cimBlasSGemv`: `y = alpha*op(A)*x + beta*y`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CimContext::cim_blas_sgemm`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn cim_blas_sgemv(
+        &mut self,
+        mach: &mut Machine,
+        trans_a: Transpose,
+        m: usize,
+        k: usize,
+        alpha: f32,
+        a: DevPtr,
+        lda: usize,
+        x: DevPtr,
+        beta: f32,
+        y: DevPtr,
+    ) -> Result<SimTime, CimError> {
+        self.ensure_init()?;
+        for p in [&a, &x, &y] {
+            self.check_live(p)?;
+        }
+        self.stats.gemv_calls += 1;
+        self.driver.ioctl(mach);
+        self.driver.flush_shared(mach, &[(a.pa, a.len), (x.pa, x.len), (y.pa, y.len)]);
+        let regs = [
+            (Reg::M, m as u64),
+            (Reg::K, k as u64),
+            (Reg::Lda, lda as u64),
+            (Reg::AddrA, a.pa),
+            (Reg::AddrB, x.pa),
+            (Reg::AddrC, y.pa),
+            (Reg::Alpha, alpha.to_bits() as u64),
+            (Reg::Beta, beta.to_bits() as u64),
+            (Reg::TransA, trans_a.as_reg()),
+            (Reg::TransB, 0),
+            (Reg::Command, Command::Gemv as u64),
+        ];
+        self.driver.write_regs(mach, &mut self.accel, &regs);
+        self.driver.invoke(mach, &mut self.accel)
+    }
+
+    /// `polly_cimBlasGemmBatched`: a batch of same-shape GEMMs issued in
+    /// one invocation. "The interface for the batched operation is similar
+    /// to the one provided for polly_cimBlasSGemm with the only exception
+    /// of having arrays of pointers instead of single pointers"
+    /// (Section III-B). Batches sharing `A` reuse the installed operand.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidArg`] on mismatched batch lists.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cim_blas_gemm_batched(
+        &mut self,
+        mach: &mut Machine,
+        trans_a: Transpose,
+        trans_b: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a_list: &[DevPtr],
+        lda: usize,
+        b_list: &[DevPtr],
+        ldb: usize,
+        beta: f32,
+        c_list: &[DevPtr],
+        ldc: usize,
+    ) -> Result<SimTime, CimError> {
+        self.ensure_init()?;
+        let count = a_list.len();
+        if count == 0 || b_list.len() != count || c_list.len() != count {
+            return Err(CimError::InvalidArg(format!(
+                "batch lists must be equal and non-empty (a={}, b={}, c={})",
+                a_list.len(),
+                b_list.len(),
+                c_list.len()
+            )));
+        }
+        let mut flush = Vec::new();
+        for p in a_list.iter().chain(b_list).chain(c_list) {
+            self.check_live(p)?;
+            flush.push((p.pa, p.len));
+        }
+        self.stats.gemm_batched_calls += 1;
+        self.driver.ioctl(mach);
+        // Descriptor table written into a scratch CMA buffer by user space.
+        let table = self.cim_malloc(mach, (count * 24) as u64)?;
+        let mut raw = Vec::with_capacity(count * 24);
+        for i in 0..count {
+            raw.extend_from_slice(&a_list[i].pa.to_le_bytes());
+            raw.extend_from_slice(&b_list[i].pa.to_le_bytes());
+            raw.extend_from_slice(&c_list[i].pa.to_le_bytes());
+        }
+        // Host writes descriptors (cached), flushed with the operands.
+        for (i, chunk) in raw.chunks_exact(8).enumerate() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            let pa = table.pa + (i * 8) as u64;
+            let out = mach.hier.access(pa, 8, true);
+            mach.core.stall(out.stall_cycles);
+            mach.core.retire(InstClass::Store, 1);
+            mach.mem.write(pa, &word);
+        }
+        flush.push((table.pa, table.len));
+        self.driver.flush_shared(mach, &flush);
+        let regs = [
+            (Reg::M, m as u64),
+            (Reg::N, n as u64),
+            (Reg::K, k as u64),
+            (Reg::Lda, lda as u64),
+            (Reg::Ldb, ldb as u64),
+            (Reg::Ldc, ldc as u64),
+            (Reg::Alpha, alpha.to_bits() as u64),
+            (Reg::Beta, beta.to_bits() as u64),
+            (Reg::TransA, trans_a.as_reg()),
+            (Reg::TransB, trans_b.as_reg()),
+            (Reg::BatchCount, count as u64),
+            (Reg::AddrBatch, table.pa),
+            (Reg::Command, Command::GemmBatched as u64),
+        ];
+        self.driver.write_regs(mach, &mut self.accel, &regs);
+        let result = self.driver.invoke(mach, &mut self.accel);
+        self.cim_free(mach, table)?;
+        result
+    }
+
+    /// `polly_cimConv2d`: single-channel 2-D convolution (valid padding).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CimContext::cim_blas_sgemm`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn cim_conv2d(
+        &mut self,
+        mach: &mut Machine,
+        img: DevPtr,
+        h: usize,
+        w: usize,
+        filt: DevPtr,
+        fh: usize,
+        fw: usize,
+        out: DevPtr,
+    ) -> Result<SimTime, CimError> {
+        self.ensure_init()?;
+        for p in [&img, &filt, &out] {
+            self.check_live(p)?;
+        }
+        self.stats.conv_calls += 1;
+        self.driver.ioctl(mach);
+        self.driver.flush_shared(mach, &[(img.pa, img.len), (filt.pa, filt.len), (out.pa, out.len)]);
+        let regs = [
+            (Reg::AddrA, img.pa),
+            (Reg::AddrB, filt.pa),
+            (Reg::AddrC, out.pa),
+            (Reg::ImgH, h as u64),
+            (Reg::ImgW, w as u64),
+            (Reg::FiltH, fh as u64),
+            (Reg::FiltW, fw as u64),
+            (Reg::Command, Command::Conv2d as u64),
+        ];
+        self.driver.write_regs(mach, &mut self.accel, &regs);
+        self.driver.invoke(mach, &mut self.accel)
+    }
+}
+
+/// Cached word-copy loop: `ldr; str; add; bne` per 4 bytes.
+fn copy_words(mach: &mut Machine, src_va: u64, dst_va: u64, len: u64) {
+    let words = len / 4;
+    for i in 0..words {
+        let v = mach.host_load_f32(src_va + 4 * i);
+        mach.host_store_f32(dst_va + 4 * i, v);
+        mach.core.retire(InstClass::Load, 1);
+        mach.core.retire(InstClass::Store, 1);
+        mach.core.retire(InstClass::IntAlu, 1);
+        mach.core.retire(InstClass::Branch, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_machine::MachineConfig;
+
+    fn setup() -> (Machine, CimContext) {
+        let mach = Machine::new(MachineConfig::test_small());
+        let ctx = CimContext::new(AccelConfig::test_small(), DriverConfig::default(), &mach);
+        (mach, ctx)
+    }
+
+    fn dev_mat(ctx: &mut CimContext, mach: &mut Machine, data: &[f32]) -> DevPtr {
+        let host = mach.alloc_host((data.len() * 4) as u64);
+        mach.poke_f32_slice(host, data);
+        let dev = ctx.cim_malloc(mach, (data.len() * 4) as u64).expect("malloc");
+        ctx.cim_host_to_dev(mach, dev, host, (data.len() * 4) as u64).expect("h2d");
+        dev
+    }
+
+    #[test]
+    fn api_requires_init() {
+        let (mut mach, mut ctx) = setup();
+        assert_eq!(ctx.cim_malloc(&mut mach, 64).unwrap_err(), CimError::NotInitialized);
+        ctx.cim_init(&mut mach, 0).expect("init");
+        assert!(ctx.cim_malloc(&mut mach, 64).is_ok());
+    }
+
+    #[test]
+    fn listing1_call_sequence_runs_gemm() {
+        let (mut mach, mut ctx) = setup();
+        ctx.cim_init(&mut mach, 0).expect("init");
+        let a = dev_mat(&mut ctx, &mut mach, &[1.0, 2.0, 3.0, 4.0]);
+        let b = dev_mat(&mut ctx, &mut mach, &[5.0, 6.0, 7.0, 8.0]);
+        let c = dev_mat(&mut ctx, &mut mach, &[0.0; 4]);
+        let dur = ctx
+            .cim_blas_sgemm(
+                &mut mach,
+                Transpose::No,
+                Transpose::No,
+                2,
+                2,
+                2,
+                1.0,
+                a,
+                2,
+                b,
+                2,
+                0.0,
+                c,
+                2,
+            )
+            .expect("gemm");
+        assert!(dur.as_us() > 0.0);
+        let host_c = mach.alloc_host(16);
+        ctx.cim_dev_to_host(&mut mach, host_c, c, 16).expect("d2h");
+        let mut out = [0f32; 4];
+        mach.peek_f32_slice(host_c, &mut out);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemv_with_alpha_beta() {
+        let (mut mach, mut ctx) = setup();
+        ctx.cim_init(&mut mach, 0).expect("init");
+        let a = dev_mat(&mut ctx, &mut mach, &[1.0, 0.0, 0.0, 1.0]);
+        let x = dev_mat(&mut ctx, &mut mach, &[2.0, 3.0]);
+        let y = dev_mat(&mut ctx, &mut mach, &[10.0, 20.0]);
+        ctx.cim_blas_sgemv(&mut mach, Transpose::No, 2, 2, 2.0, a, 2, x, 0.5, y)
+            .expect("gemv");
+        let host = mach.alloc_host(8);
+        ctx.cim_dev_to_host(&mut mach, host, y, 8).expect("d2h");
+        let mut out = [0f32; 2];
+        mach.peek_f32_slice(host, &mut out);
+        assert_eq!(out, [2.0 * 2.0 + 5.0, 2.0 * 3.0 + 10.0]);
+    }
+
+    #[test]
+    fn batched_gemm_with_shared_a_reuses_crossbar() {
+        let (mut mach, mut ctx) = setup();
+        ctx.cim_init(&mut mach, 0).expect("init");
+        let a = dev_mat(&mut ctx, &mut mach, &[1.0, 0.0, 0.0, 1.0]);
+        let b1 = dev_mat(&mut ctx, &mut mach, &[1.0, 2.0, 3.0, 4.0]);
+        let b2 = dev_mat(&mut ctx, &mut mach, &[5.0, 6.0, 7.0, 8.0]);
+        let c1 = dev_mat(&mut ctx, &mut mach, &[0.0; 4]);
+        let c2 = dev_mat(&mut ctx, &mut mach, &[0.0; 4]);
+        ctx.cim_blas_gemm_batched(
+            &mut mach,
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            1.0,
+            &[a, a],
+            2,
+            &[b1, b2],
+            2,
+            0.0,
+            &[c1, c2],
+            2,
+        )
+        .expect("batched");
+        // Shared A installed once.
+        assert_eq!(ctx.accel().stats().rows_programmed, 2);
+        let host = mach.alloc_host(16);
+        ctx.cim_dev_to_host(&mut mach, host, c2, 16).expect("d2h");
+        let mut out = [0f32; 4];
+        mach.peek_f32_slice(host, &mut out);
+        assert_eq!(out, [5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn offload_overhead_is_visible_in_host_instructions() {
+        let (mut mach, mut ctx) = setup();
+        ctx.cim_init(&mut mach, 0).expect("init");
+        let a = dev_mat(&mut ctx, &mut mach, &[1.0, 0.0, 0.0, 1.0]);
+        let x = dev_mat(&mut ctx, &mut mach, &[1.0, 1.0]);
+        let y = dev_mat(&mut ctx, &mut mach, &[0.0, 0.0]);
+        let before = mach.core.instructions();
+        ctx.cim_blas_sgemv(&mut mach, Transpose::No, 2, 2, 1.0, a, 2, x, 0.0, y)
+            .expect("gemv");
+        let overhead = mach.core.instructions() - before;
+        // ioctl + flush + regs + spin-wait: thousands of instructions for a
+        // 4-MAC kernel — the GEMV-like loss of Fig. 6 in miniature.
+        assert!(overhead > 2000, "got {overhead}");
+    }
+
+    #[test]
+    fn free_releases_and_rejects_double_free() {
+        let (mut mach, mut ctx) = setup();
+        ctx.cim_init(&mut mach, 0).expect("init");
+        let p = ctx.cim_malloc(&mut mach, 128).expect("malloc");
+        ctx.cim_free(&mut mach, p).expect("free");
+        assert!(matches!(ctx.cim_free(&mut mach, p), Err(CimError::InvalidPointer(_))));
+    }
+
+    #[test]
+    fn oversized_copy_rejected() {
+        let (mut mach, mut ctx) = setup();
+        ctx.cim_init(&mut mach, 0).expect("init");
+        let p = ctx.cim_malloc(&mut mach, 64).expect("malloc");
+        let host = mach.alloc_host(128);
+        assert!(matches!(
+            ctx.cim_host_to_dev(&mut mach, p, host, 128),
+            Err(CimError::InvalidArg(_))
+        ));
+    }
+
+    #[test]
+    fn stats_track_calls() {
+        let (mut mach, mut ctx) = setup();
+        ctx.cim_init(&mut mach, 0).expect("init");
+        let _ = ctx.cim_malloc(&mut mach, 64).expect("malloc");
+        assert_eq!(ctx.stats().init_calls, 1);
+        assert_eq!(ctx.stats().malloc_calls, 1);
+        assert_eq!(ctx.stats().bytes_allocated, 64);
+    }
+}

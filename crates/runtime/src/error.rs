@@ -1,0 +1,98 @@
+//! Error type of the CIM runtime library.
+
+use cim_accel::EngineError;
+use cim_machine::cma::CmaError;
+use std::fmt;
+
+/// Errors surfaced by the user-space CIM API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CimError {
+    /// An API call was made before [`crate::CimContext::cim_init`].
+    NotInitialized,
+    /// The CMA carve-out could not satisfy an allocation.
+    OutOfDeviceMemory {
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// An argument failed validation.
+    InvalidArg(String),
+    /// A pointer did not refer to a live device allocation.
+    InvalidPointer(u64),
+    /// The accelerator rejected the command.
+    Device(EngineError),
+}
+
+impl fmt::Display for CimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CimError::NotInitialized => write!(f, "cim runtime used before cim_init"),
+            CimError::OutOfDeviceMemory { requested } => {
+                write!(f, "device memory exhausted allocating {requested} bytes")
+            }
+            CimError::InvalidArg(s) => write!(f, "invalid argument: {s}"),
+            CimError::InvalidPointer(p) => write!(f, "invalid device pointer {p:#x}"),
+            CimError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CimError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<CmaError> for CimError {
+    fn from(e: CmaError) -> Self {
+        match e {
+            CmaError::OutOfMemory { requested, .. } => CimError::OutOfDeviceMemory { requested },
+            CmaError::InvalidFree { addr } => CimError::InvalidPointer(addr),
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<EngineError> for CimError {
+    fn from(e: EngineError) -> Self {
+        CimError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msgs = [
+            CimError::NotInitialized.to_string(),
+            CimError::OutOfDeviceMemory { requested: 42 }.to_string(),
+            CimError::InvalidArg("m must be positive".into()).to_string(),
+            CimError::InvalidPointer(0x10).to_string(),
+        ];
+        for m in msgs {
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CimError = CmaError::OutOfMemory { requested: 8, largest_free: 0 }.into();
+        assert_eq!(e, CimError::OutOfDeviceMemory { requested: 8 });
+        let e: CimError = EngineError::BadDims("m=0".into()).into();
+        assert!(matches!(e, CimError::Device(_)));
+    }
+
+    #[test]
+    fn error_trait_source() {
+        use std::error::Error;
+        let e = CimError::Device(EngineError::Unsupported("x".into()));
+        assert!(e.source().is_some());
+        assert!(CimError::NotInitialized.source().is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! Runtime-library call statistics.
+
+use std::fmt;
+
+/// Counters for every entry point of the user-space API.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// `cim_init` calls.
+    pub init_calls: u64,
+    /// `cim_malloc` calls.
+    pub malloc_calls: u64,
+    /// Total bytes allocated on the device.
+    pub bytes_allocated: u64,
+    /// `cim_host_to_dev` calls.
+    pub h2d_calls: u64,
+    /// Bytes copied host-to-device.
+    pub h2d_bytes: u64,
+    /// `cim_dev_to_host` calls.
+    pub d2h_calls: u64,
+    /// Bytes copied device-to-host.
+    pub d2h_bytes: u64,
+    /// `cim_blas_sgemm` calls.
+    pub gemm_calls: u64,
+    /// `cim_blas_sgemv` calls.
+    pub gemv_calls: u64,
+    /// `cim_blas_gemm_batched` calls.
+    pub gemm_batched_calls: u64,
+    /// `cim_conv2d` calls.
+    pub conv_calls: u64,
+}
+
+impl RuntimeStats {
+    /// Total accelerator-invoking calls.
+    pub fn offload_calls(&self) -> u64 {
+        self.gemm_calls + self.gemv_calls + self.gemm_batched_calls + self.conv_calls
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "runtime statistics:")?;
+        writeln!(f, "  init/malloc      {:>8} / {:<8}", self.init_calls, self.malloc_calls)?;
+        writeln!(
+            f,
+            "  h2d/d2h bytes    {:>8} / {:<8}",
+            self.h2d_bytes, self.d2h_bytes
+        )?;
+        writeln!(
+            f,
+            "  gemm/gemv/batched/conv {:>4}/{}/{}/{}",
+            self.gemm_calls, self.gemv_calls, self.gemm_batched_calls, self.conv_calls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offload_calls_sums_kernel_entry_points() {
+        let s = RuntimeStats {
+            gemm_calls: 2,
+            gemv_calls: 3,
+            gemm_batched_calls: 1,
+            conv_calls: 4,
+            ..RuntimeStats::default()
+        };
+        assert_eq!(s.offload_calls(), 10);
+    }
+
+    #[test]
+    fn display_is_non_empty() {
+        assert!(RuntimeStats::default().to_string().contains("runtime statistics"));
+    }
+}

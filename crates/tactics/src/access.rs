@@ -1,0 +1,524 @@
+//! Access-relation matchers with placeholders.
+//!
+//! Loop Tactics matches computational patterns by their *access
+//! relations* rather than their syntax: a GEMM update is "a statement
+//! whose write is `C[p_i][p_j]` and whose reads are `C[p_i][p_j]`,
+//! `A[p_i][p_k]`, `B[p_k][p_j]` under a 3-deep band", for any binding of
+//! the placeholders `p_i/p_j/p_k` to induction variables (Chelini et al.,
+//! *Declarative Loop Tactics for Domain-Specific Optimization*). This
+//! module recognizes those relations on a single SCoP statement.
+
+use tdo_ir::affine::{AffineAccess, AffineExpr};
+use tdo_ir::{ArrayId, BinOp, Expr, Program, VarId};
+use tdo_poly::scop::ScopStmt;
+
+/// The multiplicative factors of a reduction update, classified.
+#[derive(Debug, Clone)]
+pub struct ProductParts {
+    /// Scalar factors (0-dim loads and float literals), in source order.
+    pub scalars: Vec<Expr>,
+    /// Array factors with their affine accesses.
+    pub tensors: Vec<(Expr, AffineAccess)>,
+}
+
+/// Flattens a multiplication tree into classified factors. Returns `None`
+/// if any node is not a multiplication over loads/literals.
+pub fn flatten_product(prog: &Program, e: &Expr) -> Option<ProductParts> {
+    let mut parts = ProductParts { scalars: Vec::new(), tensors: Vec::new() };
+    collect_factors(prog, e, &mut parts)?;
+    Some(parts)
+}
+
+fn collect_factors(prog: &Program, e: &Expr, out: &mut ProductParts) -> Option<()> {
+    match e {
+        Expr::Bin(BinOp::Mul, l, r) => {
+            collect_factors(prog, l, out)?;
+            collect_factors(prog, r, out)
+        }
+        Expr::Float(_) => {
+            out.scalars.push(e.clone());
+            Some(())
+        }
+        Expr::Load(a) => {
+            let aff = AffineAccess::from_access(a)?;
+            if prog.array(a.array).is_scalar() {
+                out.scalars.push(e.clone());
+            } else {
+                out.tensors.push((e.clone(), aff));
+            }
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+/// Folds scalar factors into one `alpha` expression (`1.0` when empty).
+pub fn fold_scalars(scalars: &[Expr]) -> Expr {
+    scalars
+        .iter()
+        .cloned()
+        .reduce(Expr::mul)
+        .unwrap_or(Expr::Float(1.0))
+}
+
+/// Constant-bound extent of a loop dimension `[0, n)`; `None` for
+/// non-zero lower bounds or symbolic extents.
+pub fn zero_based_extent(lb: &AffineExpr, ub: &AffineExpr) -> Option<usize> {
+    if lb.is_constant() && lb.constant == 0 && ub.is_constant() && ub.constant > 0 {
+        Some(ub.constant as usize)
+    } else {
+        None
+    }
+}
+
+/// Whether an affine access is exactly `[v0][v1]` for the given variables.
+pub fn is_2d_vars(acc: &AffineAccess, v0: VarId, v1: VarId) -> bool {
+    acc.subs.len() == 2
+        && acc.subs[0].as_single_var() == Some(v0)
+        && acc.subs[1].as_single_var() == Some(v1)
+}
+
+/// Whether an affine access is exactly `[v]`.
+pub fn is_1d_var(acc: &AffineAccess, v: VarId) -> bool {
+    acc.subs.len() == 1 && acc.subs[0].as_single_var() == Some(v)
+}
+
+/// Result of matching a GEMM-style reduction update
+/// `C[i][j] += alpha * op(A)[i][k] * B[k][j]`.
+#[derive(Debug, Clone)]
+pub struct GemmUpdate {
+    /// Output array.
+    pub c: ArrayId,
+    /// Left operand and transposition.
+    pub a: ArrayId,
+    /// Whether `A` is accessed `[k][i]`.
+    pub trans_a: bool,
+    /// Right operand (always `[k][j]`).
+    pub b: ArrayId,
+    /// Extents `(m, n, k)`.
+    pub extents: (usize, usize, usize),
+    /// Folded scalar factor.
+    pub alpha: Expr,
+}
+
+/// Matches a 3-deep GEMM update statement.
+pub fn match_gemm_update(prog: &Program, stmt: &ScopStmt) -> Option<GemmUpdate> {
+    if stmt.domain.len() != 3 {
+        return None;
+    }
+    let (i, j, k) = (stmt.domain[0].var, stmt.domain[1].var, stmt.domain[2].var);
+    let m = zero_based_extent(&stmt.domain[0].lb, &stmt.domain[0].ub)?;
+    let n = zero_based_extent(&stmt.domain[1].lb, &stmt.domain[1].ub)?;
+    let kk = zero_based_extent(&stmt.domain[2].lb, &stmt.domain[2].ub)?;
+    if stmt.domain.iter().any(|d| d.step != 1) {
+        return None;
+    }
+    // Write C[i][j].
+    if !is_2d_vars(&stmt.write, i, j) {
+        return None;
+    }
+    let c = stmt.write.array;
+    // Value: C[i][j] + product (either order).
+    let (acc_load, product) = split_reduction(&stmt.assign.value)?;
+    let acc_aff = match acc_load {
+        Expr::Load(a) => AffineAccess::from_access(a)?,
+        _ => return None,
+    };
+    if acc_aff.array != c || !is_2d_vars(&acc_aff, i, j) {
+        return None;
+    }
+    let parts = flatten_product(prog, product)?;
+    if parts.tensors.len() != 2 {
+        return None;
+    }
+    // B is the tensor mentioning j: must be [k][j].
+    let (bpos, _) = parts
+        .tensors
+        .iter()
+        .enumerate()
+        .find(|(_, (_, aff))| aff.subs.iter().any(|s| s.coeff(j) != 0))?;
+    let (_, b_aff) = &parts.tensors[bpos];
+    if !is_2d_vars(b_aff, k, j) {
+        return None;
+    }
+    let (_, a_aff) = &parts.tensors[1 - bpos];
+    let trans_a = if is_2d_vars(a_aff, i, k) {
+        false
+    } else if is_2d_vars(a_aff, k, i) {
+        true
+    } else {
+        return None;
+    };
+    Some(GemmUpdate {
+        c,
+        a: a_aff.array,
+        trans_a,
+        b: b_aff.array,
+        extents: (m, n, kk),
+        alpha: fold_scalars(&parts.scalars),
+    })
+}
+
+/// Result of matching a GEMV-style update `y[i] += alpha * op(A) * x`.
+#[derive(Debug, Clone)]
+pub struct GemvUpdate {
+    /// Output vector.
+    pub y: ArrayId,
+    /// Matrix operand.
+    pub a: ArrayId,
+    /// Whether `A` is accessed `[j][i]` (transposed use).
+    pub trans_a: bool,
+    /// Input vector.
+    pub x: ArrayId,
+    /// Extents `(m, k)`.
+    pub extents: (usize, usize),
+    /// Folded scalar factor.
+    pub alpha: Expr,
+}
+
+/// Matches a 2-deep GEMV update statement.
+pub fn match_gemv_update(prog: &Program, stmt: &ScopStmt) -> Option<GemvUpdate> {
+    if stmt.domain.len() != 2 {
+        return None;
+    }
+    let (i, j) = (stmt.domain[0].var, stmt.domain[1].var);
+    let m = zero_based_extent(&stmt.domain[0].lb, &stmt.domain[0].ub)?;
+    let k = zero_based_extent(&stmt.domain[1].lb, &stmt.domain[1].ub)?;
+    if stmt.domain.iter().any(|d| d.step != 1) {
+        return None;
+    }
+    if !is_1d_var(&stmt.write, i) {
+        return None;
+    }
+    let y = stmt.write.array;
+    let (acc_load, product) = split_reduction(&stmt.assign.value)?;
+    let acc_aff = match acc_load {
+        Expr::Load(a) => AffineAccess::from_access(a)?,
+        _ => return None,
+    };
+    if acc_aff.array != y || !is_1d_var(&acc_aff, i) {
+        return None;
+    }
+    let parts = flatten_product(prog, product)?;
+    if parts.tensors.len() != 2 {
+        return None;
+    }
+    // x is the 1-D tensor over j; A is the 2-D one.
+    let (xpos, _) = parts.tensors.iter().enumerate().find(|(_, (_, aff))| aff.subs.len() == 1)?;
+    let (_, x_aff) = &parts.tensors[xpos];
+    if !is_1d_var(x_aff, j) {
+        return None;
+    }
+    let (_, a_aff) = &parts.tensors[1 - xpos];
+    let trans_a = if is_2d_vars(a_aff, i, j) {
+        false
+    } else if is_2d_vars(a_aff, j, i) {
+        true
+    } else {
+        return None;
+    };
+    Some(GemvUpdate {
+        y,
+        a: a_aff.array,
+        trans_a,
+        x: x_aff.array,
+        extents: (m, k),
+        alpha: fold_scalars(&parts.scalars),
+    })
+}
+
+/// Result of matching an accumulator-scale statement
+/// `T[...] = beta * T[...]` or `T[...] = 0.0`.
+#[derive(Debug, Clone)]
+pub struct InitScale {
+    /// Scaled array.
+    pub target: ArrayId,
+    /// The `beta` expression (`0.0` for zeroing inits).
+    pub beta: Expr,
+}
+
+/// Matches an init statement of the given rank over the leading band vars.
+pub fn match_init_scale(prog: &Program, stmt: &ScopStmt, rank: usize) -> Option<InitScale> {
+    if stmt.domain.len() != rank || stmt.write.subs.len() != rank {
+        return None;
+    }
+    for (d, s) in stmt.domain.iter().zip(&stmt.write.subs) {
+        if s.as_single_var() != Some(d.var) {
+            return None;
+        }
+        zero_based_extent(&d.lb, &d.ub)?;
+    }
+    let target = stmt.write.array;
+    match &stmt.assign.value {
+        Expr::Float(v) if *v == 0.0 => Some(InitScale { target, beta: Expr::Float(0.0) }),
+        Expr::Bin(BinOp::Mul, l, r) => {
+            let (scalar, load) = match (&**l, &**r) {
+                (s, Expr::Load(a)) if !matches!(s, Expr::Load(x) if !prog.array(x.array).is_scalar()) => (s, a),
+                (Expr::Load(a), s) => (s, a),
+                _ => return None,
+            };
+            let aff = AffineAccess::from_access(load)?;
+            if aff.array != target || aff != stmt.write {
+                return None;
+            }
+            match scalar {
+                Expr::Float(_) => Some(InitScale { target, beta: scalar.clone() }),
+                Expr::Load(sa) if prog.array(sa.array).is_scalar() => {
+                    Some(InitScale { target, beta: scalar.clone() })
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Splits `acc + product` / `product + acc` where `acc` is a load.
+fn split_reduction(e: &Expr) -> Option<(&Expr, &Expr)> {
+    let Expr::Bin(BinOp::Add, l, r) = e else { return None };
+    match (&**l, &**r) {
+        (Expr::Load(_), _) => Some((l, r)),
+        (_, Expr::Load(_)) => Some((r, l)),
+        _ => None,
+    }
+}
+
+/// Result of matching a conv2d update
+/// `out[i][j] += f[r][s] * img[i+r][j+s]` under a 4-deep band.
+#[derive(Debug, Clone)]
+pub struct ConvUpdate {
+    /// Output image.
+    pub out: ArrayId,
+    /// Input image.
+    pub img: ArrayId,
+    /// Filter.
+    pub filt: ArrayId,
+    /// Extents `(out_h, out_w, fh, fw)`.
+    pub extents: (usize, usize, usize, usize),
+}
+
+/// Matches a 4-deep convolution update statement.
+pub fn match_conv_update(prog: &Program, stmt: &ScopStmt) -> Option<ConvUpdate> {
+    if stmt.domain.len() != 4 {
+        return None;
+    }
+    let vars: Vec<VarId> = stmt.domain.iter().map(|d| d.var).collect();
+    let ext: Vec<usize> = stmt
+        .domain
+        .iter()
+        .map(|d| zero_based_extent(&d.lb, &d.ub))
+        .collect::<Option<Vec<_>>>()?;
+    if stmt.domain.iter().any(|d| d.step != 1) {
+        return None;
+    }
+    let (i, j, r, s) = (vars[0], vars[1], vars[2], vars[3]);
+    if !is_2d_vars(&stmt.write, i, j) {
+        return None;
+    }
+    let out = stmt.write.array;
+    let (acc_load, product) = split_reduction(&stmt.assign.value)?;
+    let acc_aff = match acc_load {
+        Expr::Load(a) => AffineAccess::from_access(a)?,
+        _ => return None,
+    };
+    if acc_aff.array != out || !is_2d_vars(&acc_aff, i, j) {
+        return None;
+    }
+    let parts = flatten_product(prog, product)?;
+    if parts.tensors.len() != 2 || !parts.scalars.is_empty() {
+        return None;
+    }
+    // The filter is indexed [r][s]; the image [i+r][j+s].
+    let (fpos, _) = parts
+        .tensors
+        .iter()
+        .enumerate()
+        .find(|(_, (_, aff))| is_2d_vars(aff, r, s))?;
+    let (_, img_aff) = &parts.tensors[1 - fpos];
+    let shifted = |sub: &AffineExpr, a: VarId, b: VarId| {
+        sub.constant == 0 && sub.coeff(a) == 1 && sub.coeff(b) == 1 && sub.terms.len() == 2
+    };
+    if img_aff.subs.len() != 2
+        || !shifted(&img_aff.subs[0], i, r)
+        || !shifted(&img_aff.subs[1], j, s)
+    {
+        return None;
+    }
+    Some(ConvUpdate {
+        out,
+        img: img_aff.array,
+        filt: parts.tensors[fpos].1.array,
+        extents: (ext[0], ext[1], ext[2], ext[3]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdo_lang::compile;
+    use tdo_poly::scop::extract;
+
+    fn stmts_of(src: &str) -> (Program, Vec<ScopStmt>) {
+        let prog = compile(src).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        (prog, scop.stmts)
+    }
+
+    #[test]
+    fn gemm_update_with_alpha_matches() {
+        let (prog, stmts) = stmts_of(
+            r#"
+            const int M = 4; const int N = 5; const int K = 6;
+            float A[M][K]; float B[K][N]; float C[M][N]; float alpha;
+            void kernel() {
+              for (int i = 0; i < M; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < K; k++)
+                    C[i][j] += alpha * A[i][k] * B[k][j];
+            }
+            "#,
+        );
+        let u = match_gemm_update(&prog, &stmts[0]).expect("matches");
+        assert_eq!(u.extents, (4, 5, 6));
+        assert!(!u.trans_a);
+        assert_eq!(prog.array(u.a).name, "A");
+        assert_eq!(prog.array(u.b).name, "B");
+        assert!(matches!(u.alpha, Expr::Load(_)));
+    }
+
+    #[test]
+    fn reversed_product_order_matches() {
+        let (prog, stmts) = stmts_of(
+            r#"
+            float A[4][4]; float B[4][4]; float C[4][4];
+            void kernel() {
+              for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 4; j++)
+                  for (int k = 0; k < 4; k++)
+                    C[i][j] = A[i][k] * B[k][j] + C[i][j];
+            }
+            "#,
+        );
+        let u = match_gemm_update(&prog, &stmts[0]).expect("matches");
+        assert_eq!(u.alpha, Expr::Float(1.0));
+    }
+
+    #[test]
+    fn transposed_a_detected() {
+        let (prog, stmts) = stmts_of(
+            r#"
+            float A[4][4]; float B[4][4]; float C[4][4];
+            void kernel() {
+              for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 4; j++)
+                  for (int k = 0; k < 4; k++)
+                    C[i][j] += A[k][i] * B[k][j];
+            }
+            "#,
+        );
+        let u = match_gemm_update(&prog, &stmts[0]).expect("matches");
+        assert!(u.trans_a);
+    }
+
+    #[test]
+    fn non_gemm_shapes_rejected() {
+        // Write target indexed [j][i]: not the canonical pattern.
+        let (prog, stmts) = stmts_of(
+            r#"
+            float A[4][4]; float B[4][4]; float C[4][4];
+            void kernel() {
+              for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 4; j++)
+                  for (int k = 0; k < 4; k++)
+                    C[j][i] += A[i][k] * B[k][j];
+            }
+            "#,
+        );
+        assert!(match_gemm_update(&prog, &stmts[0]).is_none());
+    }
+
+    #[test]
+    fn gemv_and_transposed_gemv_match() {
+        let (prog, stmts) = stmts_of(
+            r#"
+            const int N = 8;
+            float A[N][N]; float x1[N]; float y1[N]; float x2[N]; float y2[N];
+            void kernel() {
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  x1[i] += A[i][j] * y1[j];
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  x2[i] += A[j][i] * y2[j];
+            }
+            "#,
+        );
+        let u1 = match_gemv_update(&prog, &stmts[0]).expect("matches");
+        assert!(!u1.trans_a);
+        assert_eq!(u1.extents, (8, 8));
+        let u2 = match_gemv_update(&prog, &stmts[1]).expect("matches");
+        assert!(u2.trans_a);
+        assert_eq!(prog.array(u2.a).name, "A");
+    }
+
+    #[test]
+    fn init_scale_variants() {
+        let (prog, stmts) = stmts_of(
+            r#"
+            float C[4][4]; float D[4][4]; float beta;
+            void kernel() {
+              for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 4; j++)
+                  C[i][j] = beta * C[i][j];
+              for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 4; j++)
+                  D[i][j] = 0.0;
+            }
+            "#,
+        );
+        let s1 = match_init_scale(&prog, &stmts[0], 2).expect("beta scale");
+        assert!(matches!(s1.beta, Expr::Load(_)));
+        let s2 = match_init_scale(&prog, &stmts[1], 2).expect("zero init");
+        assert_eq!(s2.beta, Expr::Float(0.0));
+        // Wrong rank request fails.
+        assert!(match_init_scale(&prog, &stmts[0], 1).is_none());
+    }
+
+    #[test]
+    fn conv_update_matches() {
+        let (prog, stmts) = stmts_of(
+            r#"
+            const int H = 8; const int W = 8;
+            float img[H][W]; float f[3][3]; float out[6][6];
+            void kernel() {
+              for (int i = 0; i < H - 2; i++)
+                for (int j = 0; j < W - 2; j++)
+                  for (int r = 0; r < 3; r++)
+                    for (int s = 0; s < 3; s++)
+                      out[i][j] += f[r][s] * img[i + r][j + s];
+            }
+            "#,
+        );
+        let u = match_conv_update(&prog, &stmts[0]).expect("matches");
+        assert_eq!(u.extents, (6, 6, 3, 3));
+        assert_eq!(prog.array(u.img).name, "img");
+        assert_eq!(prog.array(u.filt).name, "f");
+    }
+
+    #[test]
+    fn conv_with_wrong_shift_rejected() {
+        let (prog, stmts) = stmts_of(
+            r#"
+            float img[8][8]; float f[3][3]; float out[6][6];
+            void kernel() {
+              for (int i = 0; i < 6; i++)
+                for (int j = 0; j < 6; j++)
+                  for (int r = 0; r < 3; r++)
+                    for (int s = 0; s < 3; s++)
+                      out[i][j] += f[r][s] * img[i + s][j + r];
+            }
+            "#,
+        );
+        assert!(match_conv_update(&prog, &stmts[0]).is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! Runtime-call generation (the device-mapping rewrite of Listing 1).
+//!
+//! For each offloaded kernel Loop Tactics emits: coherence transfers for
+//! the operands (`polly_cimHostToDev`), the BLAS-style kernel call with
+//! "Blas parameters (i.e., values of alpha or leading dimensions)
+//! automatically collected or computed", and the result transfer back
+//! (`polly_cimDevToHost`). One prologue per program carries
+//! `polly_cimInit` and the `polly_cimMalloc` calls.
+
+use crate::kernels::{ConvDesc, GemmDesc, GemvDesc, MatchedKernel};
+use tdo_ir::{ArrayId, CallArg, CallStmt, Expr, Stmt};
+
+fn call(callee: &str, args: Vec<CallArg>) -> Stmt {
+    Stmt::Call(CallStmt { callee: callee.into(), args })
+}
+
+fn int(v: usize) -> CallArg {
+    CallArg::Value(Expr::Int(v as i64))
+}
+
+fn flag(v: bool) -> CallArg {
+    CallArg::Value(Expr::Int(v as i64))
+}
+
+fn val(e: &Expr) -> CallArg {
+    CallArg::Value(e.clone())
+}
+
+fn arr(a: ArrayId) -> CallArg {
+    CallArg::Array(a)
+}
+
+/// The program prologue: device init plus one `polly_cimMalloc` per array
+/// touched by any offloaded kernel (Listing 1, lines 2-7).
+pub fn prologue(device: u32, arrays: &[ArrayId]) -> Vec<Stmt> {
+    let mut out = vec![call("polly_cimInit", vec![int(device as usize)])];
+    for a in arrays {
+        out.push(call("polly_cimMalloc", vec![arr(*a)]));
+    }
+    out
+}
+
+/// Calls realizing one matched kernel: input transfers, the kernel call,
+/// output transfer.
+pub fn kernel_calls(k: &MatchedKernel) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for a in k.arrays_read() {
+        out.push(call("polly_cimHostToDev", vec![arr(a)]));
+    }
+    out.push(match k {
+        MatchedKernel::Gemm(g) => gemm_call(g),
+        MatchedKernel::Gemv(g) => gemv_call(g),
+        MatchedKernel::Conv(c) => conv_call(c),
+    });
+    for a in k.arrays_written() {
+        out.push(call("polly_cimDevToHost", vec![arr(a)]));
+    }
+    out
+}
+
+fn gemm_call(g: &GemmDesc) -> Stmt {
+    call(
+        "polly_cimBlasSGemm",
+        vec![
+            flag(g.trans_a),
+            flag(false),
+            int(g.m),
+            int(g.n),
+            int(g.k),
+            val(&g.alpha),
+            arr(g.a),
+            int(g.lda),
+            arr(g.b),
+            int(g.ldb),
+            val(&g.beta),
+            arr(g.c),
+            int(g.ldc),
+        ],
+    )
+}
+
+fn gemv_call(g: &GemvDesc) -> Stmt {
+    call(
+        "polly_cimBlasSGemv",
+        vec![
+            flag(g.trans_a),
+            int(g.m),
+            int(g.k),
+            val(&g.alpha),
+            arr(g.a),
+            int(g.lda),
+            arr(g.x),
+            val(&g.beta),
+            arr(g.y),
+        ],
+    )
+}
+
+fn conv_call(c: &ConvDesc) -> Stmt {
+    call(
+        "polly_cimConv2d",
+        vec![arr(c.img), int(c.h), int(c.w), arr(c.filt), int(c.fh), int(c.fw), arr(c.out)],
+    )
+}
+
+/// Calls realizing a fused group as one batched invocation (Listing 2:
+/// "The GEMMs will be replaced by a single polly_cimBlasGemmBatched
+/// instead of two calls to polly_cimBlasSGemm").
+pub fn batched_calls(group: &[&GemmDesc]) -> Vec<Stmt> {
+    let t = group[0];
+    let mut out = Vec::new();
+    for g in group {
+        for a in [g.a, g.b, g.c] {
+            out.push(call("polly_cimHostToDev", vec![arr(a)]));
+        }
+    }
+    let mut args = vec![
+        flag(t.trans_a),
+        flag(false),
+        int(t.m),
+        int(t.n),
+        int(t.k),
+        val(&t.alpha),
+        int(t.lda),
+        int(t.ldb),
+        val(&t.beta),
+        int(t.ldc),
+        int(group.len()),
+    ];
+    for g in group {
+        args.push(arr(g.a));
+        args.push(arr(g.b));
+        args.push(arr(g.c));
+    }
+    out.push(call("polly_cimBlasGemmBatched", args));
+    for g in group {
+        out.push(call("polly_cimDevToHost", vec![arr(g.c)]));
+    }
+    out
+}
+
+/// The per-tile view call used inside compiler-tiled loops (Listing 3):
+/// dimensions and origins are expressions over the tile variables.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_view_call(
+    g: &GemmDesc,
+    m: Expr,
+    n: Expr,
+    k: Expr,
+    a_off: (Expr, Expr),
+    b_off: (Expr, Expr),
+    c_off: (Expr, Expr),
+) -> Stmt {
+    call(
+        "polly_cimBlasSGemmView",
+        vec![
+            flag(g.trans_a),
+            flag(false),
+            CallArg::Value(m),
+            CallArg::Value(n),
+            CallArg::Value(k),
+            val(&g.alpha),
+            arr(g.a),
+            int(g.lda),
+            CallArg::Value(a_off.0),
+            CallArg::Value(a_off.1),
+            arr(g.b),
+            int(g.ldb),
+            CallArg::Value(b_off.0),
+            CallArg::Value(b_off.1),
+            val(&g.beta),
+            arr(g.c),
+            int(g.ldc),
+            CallArg::Value(c_off.0),
+            CallArg::Value(c_off.1),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_desc() -> GemmDesc {
+        GemmDesc {
+            c: ArrayId(0),
+            a: ArrayId(1),
+            b: ArrayId(2),
+            m: 4,
+            n: 4,
+            k: 4,
+            lda: 4,
+            ldb: 4,
+            ldc: 4,
+            trans_a: false,
+            alpha: Expr::Float(1.0),
+            beta: Expr::Float(0.0),
+            stmt_ids: vec![0],
+        }
+    }
+
+    #[test]
+    fn kernel_calls_have_listing1_structure() {
+        let stmts = kernel_calls(&MatchedKernel::Gemm(gemm_desc()));
+        let callees: Vec<&str> = stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Call(c) => c.callee.as_str(),
+                _ => panic!("expected call"),
+            })
+            .collect();
+        assert_eq!(
+            callees,
+            vec![
+                "polly_cimHostToDev",
+                "polly_cimHostToDev",
+                "polly_cimHostToDev",
+                "polly_cimBlasSGemm",
+                "polly_cimDevToHost"
+            ]
+        );
+    }
+
+    #[test]
+    fn prologue_structure() {
+        let stmts = prologue(0, &[ArrayId(0), ArrayId(1)]);
+        assert_eq!(stmts.len(), 3);
+        let Stmt::Call(c) = &stmts[0] else { panic!() };
+        assert_eq!(c.callee, "polly_cimInit");
+    }
+
+    #[test]
+    fn batched_call_carries_all_problems() {
+        let g1 = gemm_desc();
+        let g2 = GemmDesc { b: ArrayId(3), c: ArrayId(4), ..gemm_desc() };
+        let stmts = batched_calls(&[&g1, &g2]);
+        let Some(Stmt::Call(batched)) =
+            stmts.iter().find(|s| matches!(s, Stmt::Call(c) if c.callee == "polly_cimBlasGemmBatched"))
+        else {
+            panic!("no batched call")
+        };
+        // 11 scalar args + 3 arrays per problem.
+        assert_eq!(batched.args.len(), 11 + 6);
+    }
+
+    #[test]
+    fn parsed_by_runtime_abi() {
+        use tdo_ir::interp::calls::parse;
+        use tdo_ir::interp::{Backend, PureBackend, ResolvedArg, Value};
+        // Build a tiny program so ids resolve, then check the generated
+        // gemm call parses under the canonical ABI.
+        let mut prog = tdo_ir::Program::new("t");
+        for (n, d) in [("C", 16), ("A", 16), ("B", 16)] {
+            prog.add_array(n, vec![4, d / 4]);
+        }
+        let stmts = kernel_calls(&MatchedKernel::Gemm(gemm_desc()));
+        let Stmt::Call(c) = &stmts[3] else { panic!() };
+        let resolved: Vec<ResolvedArg> = c
+            .args
+            .iter()
+            .map(|a| match a {
+                CallArg::Value(Expr::Int(v)) => ResolvedArg::Num(Value::I(*v)),
+                CallArg::Value(Expr::Float(v)) => ResolvedArg::Num(Value::F(*v)),
+                CallArg::Array(id) => ResolvedArg::Array(*id),
+                other => panic!("unexpected arg {other:?}"),
+            })
+            .collect();
+        parse(&c.callee, &resolved).expect("canonical ABI");
+        // And the pure backend executes it.
+        let mut be = PureBackend::for_program(&prog);
+        be.call(&prog, &c.callee, &resolved).expect("executes");
+    }
+}

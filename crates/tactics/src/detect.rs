@@ -1,0 +1,300 @@
+//! Structural kernel matchers over schedule trees.
+//!
+//! Combines the tree shapes Loop Tactics recognizes (band chains over
+//! reduction leaves, optionally with an accumulator-scale init statement)
+//! with the access-relation matchers of [`crate::access`].
+
+use crate::access::{
+    match_conv_update, match_gemm_update, match_gemv_update, match_init_scale,
+};
+use crate::kernels::{ConvDesc, GemmDesc, GemvDesc, MatchedKernel};
+use tdo_ir::{Expr, Program};
+use tdo_poly::scop::Scop;
+use tdo_poly::tree::ScheduleTree;
+
+/// Tries to match a whole subtree as one offloadable kernel.
+pub fn match_kernel(prog: &Program, scop: &Scop, tree: &ScheduleTree) -> Option<MatchedKernel> {
+    let (dims, inner) = tree.band_chain();
+    match (dims.len(), inner) {
+        // for i, j, k: C[i][j] += ...      (no init, beta = 1)
+        (3, ScheduleTree::Leaf { stmt }) => {
+            gemm_from(prog, scop, *stmt, None, Expr::Float(1.0), tree)
+        }
+        // for i, j: { C[i][j] = beta*C[i][j]; for k: C[i][j] += ... }
+        (2, ScheduleTree::Sequence { children }) if children.len() == 2 => {
+            let ScheduleTree::Leaf { stmt: init_id } = &children[0] else { return None };
+            let (kdims, kinner) = children[1].band_chain();
+            let ScheduleTree::Leaf { stmt: upd_id } = kinner else { return None };
+            if kdims.len() != 1 {
+                return None;
+            }
+            let init = match_init_scale(prog, &scop.stmts[*init_id], 2)?;
+            gemm_from(prog, scop, *upd_id, Some(*init_id), init.beta, tree)
+        }
+        // for i, j: y[i] += A.. * x..      (gemv, beta = 1)
+        (2, ScheduleTree::Leaf { stmt }) => {
+            gemv_from(prog, scop, *stmt, None, Expr::Float(1.0))
+        }
+        // for i: { y[i] = beta*y[i]; for j: y[i] += ... }
+        (1, ScheduleTree::Sequence { children }) if children.len() == 2 => {
+            let ScheduleTree::Leaf { stmt: init_id } = &children[0] else { return None };
+            let (jdims, jinner) = children[1].band_chain();
+            let ScheduleTree::Leaf { stmt: upd_id } = jinner else { return None };
+            if jdims.len() != 1 {
+                return None;
+            }
+            let init = match_init_scale(prog, &scop.stmts[*init_id], 1)?;
+            gemv_from(prog, scop, *upd_id, Some(*init_id), init.beta)
+        }
+        // for i, j, r, s: out[i][j] += f[r][s] * img[i+r][j+s]
+        (4, ScheduleTree::Leaf { stmt }) => conv_from(prog, scop, *stmt),
+        _ => None,
+    }
+}
+
+fn gemm_from(
+    prog: &Program,
+    scop: &Scop,
+    upd_id: usize,
+    init_id: Option<usize>,
+    beta: Expr,
+    tree: &ScheduleTree,
+) -> Option<MatchedKernel> {
+    let upd = &scop.stmts[upd_id];
+    let u = match_gemm_update(prog, upd)?;
+    // The bands traversed must be the statement's own domain.
+    let (dims, _) = tree.band_chain();
+    for (band, dom) in dims.iter().zip(&upd.domain) {
+        if band.var != dom.var {
+            return None;
+        }
+    }
+    if let Some(init_id) = init_id {
+        // Init must scale the same output.
+        if scop.stmts[init_id].write.array != u.c {
+            return None;
+        }
+    }
+    let (m, n, k) = u.extents;
+    let a_decl = prog.array(u.a);
+    let b_decl = prog.array(u.b);
+    let c_decl = prog.array(u.c);
+    if a_decl.dims.len() != 2 || b_decl.dims.len() != 2 || c_decl.dims.len() != 2 {
+        return None;
+    }
+    let mut stmt_ids = Vec::new();
+    if let Some(i) = init_id {
+        stmt_ids.push(i);
+    }
+    stmt_ids.push(upd_id);
+    Some(MatchedKernel::Gemm(GemmDesc {
+        c: u.c,
+        a: u.a,
+        b: u.b,
+        m,
+        n,
+        k,
+        lda: a_decl.dims[1],
+        ldb: b_decl.dims[1],
+        ldc: c_decl.dims[1],
+        trans_a: u.trans_a,
+        alpha: u.alpha,
+        beta,
+        stmt_ids,
+    }))
+}
+
+fn gemv_from(
+    prog: &Program,
+    scop: &Scop,
+    upd_id: usize,
+    init_id: Option<usize>,
+    beta: Expr,
+) -> Option<MatchedKernel> {
+    let upd = &scop.stmts[upd_id];
+    let u = match_gemv_update(prog, upd)?;
+    if let Some(init_id) = init_id {
+        if scop.stmts[init_id].write.array != u.y {
+            return None;
+        }
+    }
+    let (m, k) = u.extents;
+    let a_decl = prog.array(u.a);
+    if a_decl.dims.len() != 2 {
+        return None;
+    }
+    let mut stmt_ids = Vec::new();
+    if let Some(i) = init_id {
+        stmt_ids.push(i);
+    }
+    stmt_ids.push(upd_id);
+    Some(MatchedKernel::Gemv(GemvDesc {
+        y: u.y,
+        a: u.a,
+        x: u.x,
+        m,
+        k,
+        lda: a_decl.dims[1],
+        trans_a: u.trans_a,
+        alpha: u.alpha,
+        beta,
+        stmt_ids,
+    }))
+}
+
+fn conv_from(prog: &Program, scop: &Scop, upd_id: usize) -> Option<MatchedKernel> {
+    let upd = &scop.stmts[upd_id];
+    let u = match_conv_update(prog, upd)?;
+    let (oh, ow, fh, fw) = u.extents;
+    let img = prog.array(u.img);
+    let out = prog.array(u.out);
+    let filt = prog.array(u.filt);
+    if img.dims.len() != 2 || out.dims.len() != 2 || filt.dims.len() != 2 {
+        return None;
+    }
+    let (h, w) = (img.dims[0], img.dims[1]);
+    // The loops must cover the full valid-convolution output, and the
+    // filter loops the full filter.
+    if oh != h - fh + 1 || ow != w - fw + 1 {
+        return None;
+    }
+    if filt.dims != vec![fh, fw] || out.dims != vec![oh, ow] {
+        return None;
+    }
+    Some(MatchedKernel::Conv(ConvDesc {
+        out: u.out,
+        img: u.img,
+        filt: u.filt,
+        h,
+        w,
+        fh,
+        fw,
+        stmt_ids: vec![upd_id],
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdo_lang::compile;
+    use tdo_poly::scop::extract;
+
+    fn matched(src: &str) -> Option<MatchedKernel> {
+        let prog = compile(src).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        match_kernel(&prog, &scop, &scop.tree)
+    }
+
+    #[test]
+    fn full_gemm_with_init_matches() {
+        let k = matched(
+            r#"
+            const int N = 16;
+            float A[N][N]; float B[N][N]; float C[N][N];
+            float alpha = 1.0; float beta = 1.0;
+            void kernel() {
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++) {
+                  C[i][j] = beta * C[i][j];
+                  for (int k = 0; k < N; k++)
+                    C[i][j] += alpha * A[i][k] * B[k][j];
+                }
+            }
+            "#,
+        )
+        .expect("matches");
+        let MatchedKernel::Gemm(g) = k else { panic!("expected gemm") };
+        assert_eq!((g.m, g.n, g.k), (16, 16, 16));
+        assert_eq!(g.stmt_ids.len(), 2);
+        assert!(matches!(g.beta, Expr::Load(_)));
+    }
+
+    #[test]
+    fn bare_accumulation_gemm_matches_with_beta_one() {
+        let k = matched(
+            r#"
+            float A[8][8]; float B[8][8]; float C[8][8];
+            void kernel() {
+              for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++)
+                  for (int k = 0; k < 8; k++)
+                    C[i][j] += A[i][k] * B[k][j];
+            }
+            "#,
+        )
+        .expect("matches");
+        let MatchedKernel::Gemm(g) = k else { panic!() };
+        assert_eq!(g.beta, Expr::Float(1.0));
+        assert_eq!(g.stmt_ids.len(), 1);
+    }
+
+    #[test]
+    fn gemv_matches() {
+        let k = matched(
+            r#"
+            float A[8][8]; float x[8]; float y[8];
+            void kernel() {
+              for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++)
+                  y[i] += A[i][j] * x[j];
+            }
+            "#,
+        )
+        .expect("matches");
+        assert_eq!(k.kind(), "gemv");
+    }
+
+    #[test]
+    fn conv_matches() {
+        let k = matched(
+            r#"
+            float img[10][12]; float f[3][3]; float out[8][10];
+            void kernel() {
+              for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 10; j++)
+                  for (int r = 0; r < 3; r++)
+                    for (int s = 0; s < 3; s++)
+                      out[i][j] += f[r][s] * img[i + r][j + s];
+            }
+            "#,
+        )
+        .expect("matches");
+        let MatchedKernel::Conv(c) = k else { panic!() };
+        assert_eq!((c.h, c.w, c.fh, c.fw), (10, 12, 3, 3));
+    }
+
+    #[test]
+    fn partial_output_conv_is_rejected() {
+        // Loops cover only half the valid output: offload would overwrite
+        // pixels the program never writes.
+        assert!(matched(
+            r#"
+            float img[10][12]; float f[3][3]; float out[4][10];
+            void kernel() {
+              for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 10; j++)
+                  for (int r = 0; r < 3; r++)
+                    for (int s = 0; s < 3; s++)
+                      out[i][j] += f[r][s] * img[i + r][j + s];
+            }
+            "#,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn stencil_is_not_a_gemm() {
+        assert!(matched(
+            r#"
+            float A[8][8]; float B[8][8];
+            void kernel() {
+              for (int i = 1; i < 7; i++)
+                for (int j = 1; j < 7; j++)
+                  for (int k = 0; k < 8; k++)
+                    B[i][j] += A[i - 1][k] * A[i + 1][k];
+            }
+            "#,
+        )
+        .is_none());
+    }
+}

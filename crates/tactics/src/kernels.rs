@@ -1,0 +1,204 @@
+//! Matched-kernel descriptors.
+//!
+//! The output of the Loop Tactics matchers: enough information to emit the
+//! runtime calls of Listing 1 (operands, dimensions, leading dimensions,
+//! scale factors) plus the statement ids the kernel covers (for the
+//! dependence checks of the fusion pass).
+
+use tdo_ir::{ArrayId, Expr};
+
+/// A matched GEMM kernel `C = alpha * op(A) * B + beta * C`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmDesc {
+    /// Output matrix.
+    pub c: ArrayId,
+    /// Left operand.
+    pub a: ArrayId,
+    /// Right operand.
+    pub b: ArrayId,
+    /// Rows of `C`.
+    pub m: usize,
+    /// Columns of `C`.
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Leading dimension of `A`.
+    pub lda: usize,
+    /// Leading dimension of `B`.
+    pub ldb: usize,
+    /// Leading dimension of `C`.
+    pub ldc: usize,
+    /// Whether `op(A) = A^T`.
+    pub trans_a: bool,
+    /// Scale on the product (an expression: scalar load or literal).
+    pub alpha: Expr,
+    /// Scale on the accumulator.
+    pub beta: Expr,
+    /// SCoP statements covered by this kernel.
+    pub stmt_ids: Vec<usize>,
+}
+
+/// A matched GEMV kernel `y = alpha * op(A) * x + beta * y`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemvDesc {
+    /// Output vector.
+    pub y: ArrayId,
+    /// Matrix operand.
+    pub a: ArrayId,
+    /// Input vector.
+    pub x: ArrayId,
+    /// Output length.
+    pub m: usize,
+    /// Input length.
+    pub k: usize,
+    /// Leading dimension of `A`.
+    pub lda: usize,
+    /// Whether `op(A) = A^T`.
+    pub trans_a: bool,
+    /// Scale on the product.
+    pub alpha: Expr,
+    /// Scale on the accumulator.
+    pub beta: Expr,
+    /// SCoP statements covered.
+    pub stmt_ids: Vec<usize>,
+}
+
+/// A matched valid-padding 2-D convolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvDesc {
+    /// Output image (`(h-fh+1) x (w-fw+1)`).
+    pub out: ArrayId,
+    /// Input image (`h x w`).
+    pub img: ArrayId,
+    /// Filter (`fh x fw`).
+    pub filt: ArrayId,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+    /// Filter height.
+    pub fh: usize,
+    /// Filter width.
+    pub fw: usize,
+    /// SCoP statements covered.
+    pub stmt_ids: Vec<usize>,
+}
+
+/// Any kernel the Loop Tactics matchers recognize.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchedKernel {
+    /// Matrix-matrix multiplication.
+    Gemm(GemmDesc),
+    /// Matrix-vector multiplication.
+    Gemv(GemvDesc),
+    /// 2-D convolution.
+    Conv(ConvDesc),
+}
+
+impl MatchedKernel {
+    /// Short kind name for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MatchedKernel::Gemm(_) => "gemm",
+            MatchedKernel::Gemv(_) => "gemv",
+            MatchedKernel::Conv(_) => "conv2d",
+        }
+    }
+
+    /// Statement ids covered by the kernel.
+    pub fn stmt_ids(&self) -> &[usize] {
+        match self {
+            MatchedKernel::Gemm(g) => &g.stmt_ids,
+            MatchedKernel::Gemv(g) => &g.stmt_ids,
+            MatchedKernel::Conv(c) => &c.stmt_ids,
+        }
+    }
+
+    /// Arrays read by the kernel (operands; scale scalars excluded).
+    pub fn arrays_read(&self) -> Vec<ArrayId> {
+        match self {
+            MatchedKernel::Gemm(g) => vec![g.a, g.b, g.c],
+            MatchedKernel::Gemv(g) => vec![g.a, g.x, g.y],
+            MatchedKernel::Conv(c) => vec![c.img, c.filt],
+        }
+    }
+
+    /// Arrays written by the kernel.
+    pub fn arrays_written(&self) -> Vec<ArrayId> {
+        match self {
+            MatchedKernel::Gemm(g) => vec![g.c],
+            MatchedKernel::Gemv(g) => vec![g.y],
+            MatchedKernel::Conv(c) => vec![c.out],
+        }
+    }
+
+    /// Multiply-accumulate count of the kernel.
+    pub fn macs(&self) -> u64 {
+        match self {
+            MatchedKernel::Gemm(g) => (g.m * g.n * g.k) as u64,
+            MatchedKernel::Gemv(g) => (g.m * g.k) as u64,
+            MatchedKernel::Conv(c) => {
+                ((c.h - c.fh + 1) * (c.w - c.fw + 1) * c.fh * c.fw) as u64
+            }
+        }
+    }
+
+    /// A human-readable dimension summary.
+    pub fn dims_summary(&self) -> String {
+        match self {
+            MatchedKernel::Gemm(g) => format!("m={} n={} k={}", g.m, g.n, g.k),
+            MatchedKernel::Gemv(g) => format!("m={} k={}", g.m, g.k),
+            MatchedKernel::Conv(c) => {
+                format!("img={}x{} filt={}x{}", c.h, c.w, c.fh, c.fw)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm() -> MatchedKernel {
+        MatchedKernel::Gemm(GemmDesc {
+            c: ArrayId(0),
+            a: ArrayId(1),
+            b: ArrayId(2),
+            m: 4,
+            n: 5,
+            k: 6,
+            lda: 6,
+            ldb: 5,
+            ldc: 5,
+            trans_a: false,
+            alpha: Expr::Float(1.0),
+            beta: Expr::Float(0.0),
+            stmt_ids: vec![0, 1],
+        })
+    }
+
+    #[test]
+    fn summaries() {
+        let k = gemm();
+        assert_eq!(k.kind(), "gemm");
+        assert_eq!(k.macs(), 120);
+        assert_eq!(k.dims_summary(), "m=4 n=5 k=6");
+        assert_eq!(k.arrays_written(), vec![ArrayId(0)]);
+        assert_eq!(k.stmt_ids(), &[0, 1]);
+    }
+
+    #[test]
+    fn conv_macs() {
+        let k = MatchedKernel::Conv(ConvDesc {
+            out: ArrayId(0),
+            img: ArrayId(1),
+            filt: ArrayId(2),
+            h: 6,
+            w: 6,
+            fh: 3,
+            fw: 3,
+            stmt_ids: vec![0],
+        });
+        assert_eq!(k.macs(), 16 * 9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Offload decision policies.
+//!
+//! The paper offloads every matched kernel ("our approach is completely
+//! transparent"), which is [`OffloadPolicy::Always`]. The *Selective*
+//! policy adds a TOM-style cost model (Related Work, [22]): it compares
+//! the predicted accelerator energy — including the host-side wait — with
+//! a host execution estimate and offloads only when beneficial. The
+//! "Selective Geomean" series of Fig. 6 uses it.
+
+use crate::kernels::MatchedKernel;
+use cim_accel::estimate::{estimate_conv2d, estimate_gemm, estimate_gemv, OpEstimate};
+use cim_accel::AccelConfig;
+use cim_machine::bus::BusConfig;
+use tdo_ir::Expr;
+
+/// Which kernels to offload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OffloadPolicy {
+    /// Offload every matched kernel (the paper's transparent flow).
+    #[default]
+    Always,
+    /// Offload only kernels the cost model predicts to win.
+    Selective,
+}
+
+/// Cost model parameters for the Selective policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Accelerator configuration used for estimates.
+    pub accel: AccelConfig,
+    /// Interconnect timing.
+    pub bus: BusConfig,
+    /// Host energy per instruction in pJ (Table I: 128).
+    pub host_pj_per_inst: f64,
+    /// Average host instructions per multiply-accumulate, calibrated
+    /// against the costed interpreter (~12: address arithmetic, loads,
+    /// multiply-adds, loop overhead share).
+    pub host_insts_per_mac: f64,
+    /// Host clock in Hz.
+    pub host_freq_hz: f64,
+    /// Whether the host spin-waits during accelerator runs (energy!).
+    pub spin_wait: bool,
+    /// Fixed per-call driver overhead in instructions (ioctl + flush +
+    /// register writes).
+    pub offload_overhead_insts: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            accel: AccelConfig::default(),
+            bus: BusConfig::default(),
+            host_pj_per_inst: 128.0,
+            host_insts_per_mac: 12.0,
+            host_freq_hz: 1.2e9,
+            spin_wait: true,
+            offload_overhead_insts: 6000.0,
+        }
+    }
+}
+
+/// Outcome of a cost-model query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Whether offloading is predicted to save energy.
+    pub offload: bool,
+    /// Predicted host-only energy in pJ.
+    pub host_pj: f64,
+    /// Predicted offloaded energy in pJ (device + host driver share).
+    pub cim_pj: f64,
+}
+
+impl CostModel {
+    fn beta_zero(beta: &Expr) -> bool {
+        matches!(beta, Expr::Float(v) if *v == 0.0)
+    }
+
+    /// Analytic accelerator estimate for a matched kernel.
+    pub fn estimate(&self, k: &MatchedKernel) -> OpEstimate {
+        match k {
+            MatchedKernel::Gemm(g) => estimate_gemm(
+                &self.accel,
+                &self.bus,
+                g.m,
+                g.n,
+                g.k,
+                Self::beta_zero(&g.beta),
+                false,
+            ),
+            MatchedKernel::Gemv(g) => estimate_gemv(
+                &self.accel,
+                &self.bus,
+                g.m,
+                g.k,
+                Self::beta_zero(&g.beta),
+                false,
+            ),
+            MatchedKernel::Conv(c) => {
+                estimate_conv2d(&self.accel, &self.bus, c.h, c.w, c.fh, c.fw)
+            }
+        }
+    }
+
+    /// Compares offloaded vs host execution for a kernel.
+    pub fn decide(&self, k: &MatchedKernel) -> Decision {
+        let est = self.estimate(k);
+        let host_pj = k.macs() as f64 * self.host_insts_per_mac * self.host_pj_per_inst;
+        let wait_pj = if self.spin_wait {
+            // Spinning retires ~1 inst/cycle for the accelerator's busy time.
+            est.time.as_s() * self.host_freq_hz * self.host_pj_per_inst
+        } else {
+            0.0
+        };
+        let cim_pj =
+            est.energy.as_pj() + wait_pj + self.offload_overhead_insts * self.host_pj_per_inst;
+        Decision { offload: cim_pj < host_pj, host_pj, cim_pj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{GemmDesc, GemvDesc};
+    use tdo_ir::ArrayId;
+
+    fn gemm(n: usize) -> MatchedKernel {
+        MatchedKernel::Gemm(GemmDesc {
+            c: ArrayId(0),
+            a: ArrayId(1),
+            b: ArrayId(2),
+            m: n,
+            n,
+            k: n,
+            lda: n,
+            ldb: n,
+            ldc: n,
+            trans_a: false,
+            alpha: Expr::Float(1.0),
+            beta: Expr::Float(0.0),
+            stmt_ids: vec![0],
+        })
+    }
+
+    fn gemv(n: usize) -> MatchedKernel {
+        MatchedKernel::Gemv(GemvDesc {
+            y: ArrayId(0),
+            a: ArrayId(1),
+            x: ArrayId(2),
+            m: n,
+            k: n,
+            lda: n,
+            trans_a: false,
+            alpha: Expr::Float(1.0),
+            beta: Expr::Float(1.0),
+            stmt_ids: vec![0],
+        })
+    }
+
+    #[test]
+    fn large_gemm_wins_small_gemv_loses() {
+        // The central asymmetry of Fig. 6: GEMM-like kernels amortize the
+        // crossbar writes over O(n^3) MACs, GEMV-like kernels cannot.
+        let cm = CostModel::default();
+        let d = cm.decide(&gemm(256));
+        assert!(d.offload, "gemm-256: cim {} vs host {}", d.cim_pj, d.host_pj);
+        let d = cm.decide(&gemv(256));
+        assert!(!d.offload, "gemv-256: cim {} vs host {}", d.cim_pj, d.host_pj);
+    }
+
+    #[test]
+    fn spin_wait_matters_for_the_decision() {
+        let mut cm = CostModel { spin_wait: true, ..CostModel::default() };
+        let spin = cm.decide(&gemm(128)).cim_pj;
+        cm.spin_wait = false;
+        let idle = cm.decide(&gemm(128)).cim_pj;
+        assert!(spin > idle);
+    }
+
+    #[test]
+    fn tiny_kernels_never_offload_under_selective_costs() {
+        let cm = CostModel::default();
+        let d = cm.decide(&gemm(4));
+        assert!(!d.offload, "4x4 gemm cannot amortize the driver overhead");
+    }
+}

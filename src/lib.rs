@@ -1,0 +1,26 @@
+//! # tdo-cim-suite — umbrella crate of the TDO-CIM reproduction
+//!
+//! Re-exports every layer of the stack so examples and integration tests
+//! can reach the whole system through one dependency:
+//!
+//! * [`tdo_cim`] — end-to-end pipeline (compile, execute, compare);
+//! * [`tdo_lang`] / [`tdo_ir`] / [`tdo_poly`] / [`tdo_tactics`] — the
+//!   compiler stack (front-end, loop IR, polyhedral middle end, Loop
+//!   Tactics);
+//! * [`cim_machine`] / [`cim_pcm`] / [`cim_accel`] / [`cim_runtime`] —
+//!   the simulated platform (host, PCM crossbar, accelerator, runtime
+//!   library + driver);
+//! * [`polybench`] — the evaluation kernels.
+//!
+//! See `examples/quickstart.rs` for the fastest tour.
+
+pub use cim_accel;
+pub use cim_machine;
+pub use cim_pcm;
+pub use cim_runtime;
+pub use polybench;
+pub use tdo_cim;
+pub use tdo_ir;
+pub use tdo_lang;
+pub use tdo_poly;
+pub use tdo_tactics;
