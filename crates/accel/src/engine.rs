@@ -222,7 +222,11 @@ impl CimAccelerator {
                     }
                     for i in 0..mt {
                         let old = if k0 == 0 {
-                            if p.beta == 0.0 { 0.0 } else { p.beta * cseg[i] }
+                            if p.beta == 0.0 {
+                                0.0
+                            } else {
+                                p.beta * cseg[i]
+                            }
                         } else {
                             cseg[i]
                         };
@@ -237,7 +241,13 @@ impl CimAccelerator {
                     let in_bytes = (kt * 4) as u64;
                     let (step, dma_t) = self.gemv_step_time(in_bytes, out_bytes);
                     t += step;
-                    self.account_gemv(receipt.active_cells, receipt.useful_macs, kt, mt, receipt.extra_alu_ops + 2 * mt as u64);
+                    self.account_gemv(
+                        receipt.active_cells,
+                        receipt.useful_macs,
+                        kt,
+                        mt,
+                        receipt.extra_alu_ops + 2 * mt as u64,
+                    );
                     if dma_t > self.cfg.energy.compute_time(1) {
                         self.stats.dma_exposed_time += dma_t - self.cfg.energy.compute_time(1);
                     }
@@ -258,7 +268,14 @@ impl CimAccelerator {
         Ok(t)
     }
 
-    fn account_gemv(&mut self, active_cells: u64, macs: u64, in_bytes: usize, out_bytes: usize, alu_ops: u64) {
+    fn account_gemv(
+        &mut self,
+        active_cells: u64,
+        macs: u64,
+        in_bytes: usize,
+        out_bytes: usize,
+        alu_ops: u64,
+    ) {
         self.stats.gemv_count += 1;
         self.stats.macs += macs;
         self.stats.crossbar_compute += self.cfg.energy.compute_energy(active_cells);
@@ -394,7 +411,13 @@ impl CimAccelerator {
                 let (step, dma_t) = self.gemv_step_time(in_bytes, out_bytes);
                 t += step;
                 let useful = (p.fh * p.fw * n_out) as u64;
-                self.account_gemv(receipt.active_cells, useful, p.fh * valid, n_out, receipt.extra_alu_ops);
+                self.account_gemv(
+                    receipt.active_cells,
+                    useful,
+                    p.fh * valid,
+                    n_out,
+                    receipt.extra_alu_ops,
+                );
                 if dma_t > self.cfg.energy.compute_time(1) {
                     self.stats.dma_exposed_time += dma_t - self.cfg.energy.compute_time(1);
                 }

@@ -90,8 +90,8 @@ pub fn estimate_gemm(
             if !a_resident {
                 let tile_bytes = (kt * mt * 4) as u64;
                 est.time += dma_time(bus, tile_bytes) + e.write_time(kt as u64);
-                est.energy += e.write_energy((kt * mt) as u64)
-                    + e.buffer_energy(2 * (kt * mt) as u64);
+                est.energy +=
+                    e.write_energy((kt * mt) as u64) + e.buffer_energy(2 * (kt * mt) as u64);
                 est.cell_writes += (kt * mt) as u64;
                 est.rows_programmed += kt as u64;
                 est.dma_bytes += tile_bytes;

@@ -218,8 +218,7 @@ impl CimAccelerator {
         let cmd = match Command::decode(self.regs.read(Reg::Command)) {
             Some(c) => c,
             None => {
-                self.last_error =
-                    Some(EngineError::Unsupported("unknown command opcode".into()));
+                self.last_error = Some(EngineError::Unsupported("unknown command opcode".into()));
                 self.regs.set_status(Status::Error);
                 return SimTime::ZERO;
             }
@@ -491,8 +490,7 @@ mod tests {
         let c = alloc_mat(&mut mach, &vec![0.0; n * n]);
         arm_gemm(&mut acc, n, n, n, a, b, c);
         let dur = acc.execute(&mut mach);
-        let est =
-            estimate::estimate_gemm(acc.config(), &mach.cfg.bus, n, n, n, true, false);
+        let est = estimate::estimate_gemm(acc.config(), &mach.cfg.bus, n, n, n, true, false);
         assert_eq!(acc.stats().gemv_count, est.gemvs);
         assert_eq!(acc.stats().cell_writes, est.cell_writes);
         assert_eq!(acc.stats().rows_programmed, est.rows_programmed);

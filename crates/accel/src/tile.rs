@@ -115,7 +115,13 @@ impl CimTile {
     /// # Panics
     ///
     /// Panics if the extent exceeds the crossbar or `g` has the wrong size.
-    pub fn install(&mut self, key: TileKey, g: &[f32], in_dim: usize, out_dim: usize) -> InstallReceipt {
+    pub fn install(
+        &mut self,
+        key: TileKey,
+        g: &[f32],
+        in_dim: usize,
+        out_dim: usize,
+    ) -> InstallReceipt {
         assert!(in_dim <= self.rows && out_dim <= self.cols, "tile extent exceeds crossbar");
         assert_eq!(g.len(), in_dim * out_dim, "operand size mismatch");
         if self.resident.as_ref() == Some(&key) {
@@ -315,10 +321,7 @@ mod tests {
                 acc += g[r * 3 + cidx] as f64 * x[r] as f64;
             }
             // Error bound: |w|max/127 * sum|x| + |x|max/127 * sum|w| (loose).
-            assert!(
-                (acc - *yc as f64).abs() < 0.2,
-                "col {cidx}: int8 {yc} vs exact {acc}"
-            );
+            assert!((acc - *yc as f64).abs() < 0.2, "col {cidx}: int8 {yc} vs exact {acc}");
         }
     }
 

@@ -71,7 +71,13 @@ impl Timeline {
     }
 
     /// Records an event (dropped silently past capacity, counted).
-    pub fn push(&mut self, kind: EventKind, start: SimTime, end: SimTime, label: impl Into<String>) {
+    pub fn push(
+        &mut self,
+        kind: EventKind,
+        start: SimTime,
+        end: SimTime,
+        label: impl Into<String>,
+    ) {
         if self.events.len() < self.capacity {
             self.events.push(Event { kind, start, end, label: label.into() });
         } else {

@@ -50,10 +50,7 @@ fn bench_wait_policies(c: &mut Criterion) {
     group.sample_size(20);
     let policies = [
         ("spin", WaitPolicy::Spin),
-        (
-            "poll",
-            WaitPolicy::Poll { interval: SimTime::from_us(10.0), insts_per_poll: 20 },
-        ),
+        ("poll", WaitPolicy::Poll { interval: SimTime::from_us(10.0), insts_per_poll: 20 }),
     ];
     for (name, wait) in policies {
         let exec_opts = ExecOptions {

@@ -24,8 +24,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 }
 
 fn bench_compile_all(c: &mut Criterion) {
-    let sources: Vec<String> =
-        Kernel::ALL.iter().map(|k| source(*k, Dataset::Medium)).collect();
+    let sources: Vec<String> = Kernel::ALL.iter().map(|k| source(*k, Dataset::Medium)).collect();
     c.bench_function("compile_all_kernels_tactics", |b| {
         b.iter(|| {
             for src in &sources {

@@ -37,15 +37,8 @@ fn main() {
     let model = LifetimeModel::default();
     println!("FIG. 5 — SYSTEM LIFETIME vs PCM CELL ENDURANCE (Listing 2)");
     println!("{}", "=".repeat(68));
-    println!(
-        "workload: 2x GEMM {n}x{n}, shared A; exec time {:.3} s; S = 512 KiB",
-        exec_s
-    );
-    println!(
-        "write traffic: naive {:.2} KB/s, smart {:.2} KB/s",
-        b_naive / 1e3,
-        b_smart / 1e3
-    );
+    println!("workload: 2x GEMM {n}x{n}, shared A; exec time {:.3} s; S = 512 KiB", exec_s);
+    println!("write traffic: naive {:.2} KB/s, smart {:.2} KB/s", b_naive / 1e3, b_smart / 1e3);
     println!("{}", "-".repeat(68));
     println!(
         "{:>22} {:>20} {:>20}",
@@ -53,12 +46,7 @@ fn main() {
     );
     for mw in (10..=40).step_by(5) {
         let e = mw as f64 * 1e6;
-        println!(
-            "{:>22} {:>20.2} {:>20.2}",
-            mw,
-            model.years(e, b_naive),
-            model.years(e, b_smart)
-        );
+        println!("{:>22} {:>20.2} {:>20.2}", mw, model.years(e, b_naive), model.years(e, b_smart));
     }
     println!("{}", "-".repeat(68));
     println!(

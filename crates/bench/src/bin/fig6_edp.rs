@@ -37,9 +37,7 @@ fn main() {
     );
     let best = rows
         .iter()
-        .max_by(|a, b| {
-            a.always.edp_improvement().total_cmp(&b.always.edp_improvement())
-        })
+        .max_by(|a, b| a.always.edp_improvement().total_cmp(&b.always.edp_improvement()))
         .expect("non-empty");
     println!(
         "\nbest EDP improvement: {:.0}x on {} (paper: up to 612x on gemm-like kernels);",

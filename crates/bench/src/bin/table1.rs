@@ -12,16 +12,13 @@ fn main() {
     println!("{}", "=".repeat(72));
     println!("{:<44} Value", "CIM Parameter");
     println!("{}", "-".repeat(72));
+    let tech = format!("IBM PCM 2x({}x{} @4-bit) = {}x{} @8-bit", a.rows, a.cols, a.rows, a.cols);
+    println!("{:<44} {tech}", "PCM Crossbar technology");
     println!(
-        "{:<44} {}",
-        "PCM Crossbar technology",
-        format!("IBM PCM 2x({}x{} @4-bit) = {}x{} @8-bit", a.rows, a.cols, a.rows, a.cols)
-    );
-    println!(
-        "{:<44} {} and {}",
+        "{:<44} {} us/GEMV and {} us/row-program",
         "Compute and Write Latency/8-bit",
-        format!("{} us/GEMV", e.compute_ns_per_gemv / 1000.0),
-        format!("{} us/row-program", e.write_ns_per_row / 1000.0)
+        e.compute_ns_per_gemv / 1000.0,
+        e.write_ns_per_row / 1000.0
     );
     println!(
         "{:<44} {} fJ (2x {} fJ/4-bit PCM)",
@@ -37,8 +34,7 @@ fn main() {
     );
     println!(
         "{:<44} {} nJ (@1.2GHz)",
-        "Energy for Mixed signal circuit",
-        e.mixed_signal_nj_per_gemv
+        "Energy for Mixed signal circuit", e.mixed_signal_nj_per_gemv
     );
     println!(
         "{:<44} {} pJ/byte-access",
@@ -49,24 +45,14 @@ fn main() {
         "{:<44} {} pJ/GEMV weighted sum, {} pJ/extra ALU op",
         "Digital Logic", e.weighted_sum_pj_per_gemv, e.alu_pj_per_op
     );
-    println!(
-        "{:<44} <{} nJ/GEMV",
-        "Energy for DMA and microEngine", e.dma_engine_nj_per_gemv
-    );
+    println!("{:<44} <{} nJ/GEMV", "Energy for DMA and microEngine", e.dma_engine_nj_per_gemv);
     println!("{}", "-".repeat(72));
     println!("{:<44} ", "Host CPU Spec");
-    println!(
-        "{:<44} {}",
-        format!("{}x Arm-A7 @{:.1}GHz", m.cores, m.freq_hz / 1e9),
-        format!("{}GB LPDDR3", m.phys_mem_bytes >> 30)
-    );
+    let cpu = format!("{}x Arm-A7 @{:.1}GHz", m.cores, m.freq_hz / 1e9);
+    println!("{cpu:<44} {}GB LPDDR3", m.phys_mem_bytes >> 30);
     println!(
         "{:<44} {} pJ/inst (including cache)",
-        format!(
-            "L1-I/D-{}KB, L2-{}MB",
-            m.l1d.size_bytes / 1024,
-            m.l2.size_bytes / (1024 * 1024)
-        ),
+        format!("L1-I/D-{}KB, L2-{}MB", m.l1d.size_bytes / 1024, m.l2.size_bytes / (1024 * 1024)),
         m.pj_per_inst
     );
     println!("{}", "=".repeat(72));

@@ -11,7 +11,7 @@
 //! ablation) live under `benches/`.
 
 use polybench::{init_fn, source, Dataset, Kernel};
-use tdo_cim::{compile, execute, geomean, CompileOptions, Comparison, ExecOptions};
+use tdo_cim::{compile, execute, geomean, Comparison, CompileOptions, ExecOptions};
 use tdo_tactics::OffloadPolicy;
 
 /// One row of the Fig. 6 data.
@@ -61,8 +61,7 @@ pub fn run_fig6(dataset: Dataset) -> Vec<Fig6Row> {
             } else if offloaded == report.kernels.len() {
                 always.energy_improvement()
             } else {
-                let sel_run =
-                    execute(&sel_compiled, &exec_opts, &init).expect("selective runs");
+                let sel_run = execute(&sel_compiled, &exec_opts, &init).expect("selective runs");
                 always.host.total_energy() / sel_run.total_energy()
             };
             Fig6Row { kernel, always, selective_energy_x, selective_offloaded: offloaded > 0 }
@@ -76,9 +75,8 @@ pub fn run_fig6(dataset: Dataset) -> Vec<Fig6Row> {
 /// how the paper's 32.6x vs 3.2x pair reads.
 pub fn fig6_geomeans(rows: &[Fig6Row]) -> (f64, f64) {
     let full = geomean(rows.iter().map(|r| r.always.energy_improvement()));
-    let selective = geomean(
-        rows.iter().filter(|r| r.selective_offloaded).map(|r| r.selective_energy_x),
-    );
+    let selective =
+        geomean(rows.iter().filter(|r| r.selective_offloaded).map(|r| r.selective_energy_x));
     (full, selective)
 }
 

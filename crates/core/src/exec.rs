@@ -333,8 +333,7 @@ impl<'p> Backend for MachineBackend<'p> {
     ) -> Result<(), InterpError> {
         match parse(callee, args)? {
             CimCall::Init(dev) => {
-                let mut ctx =
-                    CimContext::new(self.accel_cfg, self.driver_cfg, &self.mach);
+                let mut ctx = CimContext::new(self.accel_cfg, self.driver_cfg, &self.mach);
                 ctx.cim_init(&mut self.mach, dev as u32).map_err(cim_err)?;
                 self.ctx = Some(ctx);
                 Ok(())
@@ -438,8 +437,7 @@ impl<'p> Backend for MachineBackend<'p> {
                 let (img, filt, out) = (self.dev(c.img)?, self.dev(c.filt)?, self.dev(c.out)?);
                 let mach = &mut self.mach;
                 let ctx = self.ctx.as_mut().expect("checked");
-                ctx.cim_conv2d(mach, img, c.h, c.w, filt, c.fh, c.fw, out)
-                    .map_err(cim_err)?;
+                ctx.cim_conv2d(mach, img, c.h, c.w, filt, c.fh, c.fw, out).map_err(cim_err)?;
                 Ok(())
             }
         }

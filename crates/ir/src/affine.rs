@@ -126,11 +126,8 @@ impl AffineExpr {
             None
         };
         for (v, c) in &self.terms {
-            let term = if *c == 1 {
-                Expr::Var(*v)
-            } else {
-                Expr::mul(Expr::Int(*c), Expr::Var(*v))
-            };
+            let term =
+                if *c == 1 { Expr::Var(*v) } else { Expr::mul(Expr::Int(*c), Expr::Var(*v)) };
             acc = Some(match acc {
                 None => term,
                 Some(a) => Expr::add(a, term),

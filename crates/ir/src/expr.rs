@@ -149,10 +149,8 @@ mod tests {
         let a0 = ArrayId(0);
         let a1 = ArrayId(1);
         // A[B[0]] + 1
-        let e = Expr::add(
-            Expr::load(a0, vec![Expr::load(a1, vec![Expr::Int(0)])]),
-            Expr::Float(1.0),
-        );
+        let e =
+            Expr::add(Expr::load(a0, vec![Expr::load(a1, vec![Expr::Int(0)])]), Expr::Float(1.0));
         let mut seen = Vec::new();
         e.visit_accesses(&mut |a| seen.push(a.array));
         assert_eq!(seen, vec![a0, a1]);

@@ -404,10 +404,7 @@ mod tests {
     fn out_of_bounds_is_reported() {
         let mut p = Program::new("t");
         let a = p.add_array("A", vec![2]);
-        p.body = vec![Stmt::assign(
-            Access { array: a, idx: vec![Expr::Int(5)] },
-            Expr::Float(0.0),
-        )];
+        p.body = vec![Stmt::assign(Access { array: a, idx: vec![Expr::Int(5)] }, Expr::Float(0.0))];
         let mut b = PureBackend::for_program(&p);
         let err = run(&p, &mut b).unwrap_err();
         assert!(matches!(err, InterpError::OutOfBounds { flat: 5, .. }));
@@ -417,10 +414,8 @@ mod tests {
     fn float_as_index_is_type_error() {
         let mut p = Program::new("t");
         let a = p.add_array("A", vec![2]);
-        p.body = vec![Stmt::assign(
-            Access { array: a, idx: vec![Expr::Float(1.5)] },
-            Expr::Float(0.0),
-        )];
+        p.body =
+            vec![Stmt::assign(Access { array: a, idx: vec![Expr::Float(1.5)] }, Expr::Float(0.0))];
         let mut b = PureBackend::for_program(&p);
         assert!(matches!(run(&p, &mut b), Err(InterpError::TypeError(_))));
     }

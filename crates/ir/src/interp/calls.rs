@@ -402,9 +402,6 @@ mod tests {
     fn simple_memory_calls() {
         assert_eq!(parse("polly_cimInit", &[int(0)]).unwrap(), CimCall::Init(0));
         assert_eq!(parse("polly_cimMalloc", &[arr(3)]).unwrap(), CimCall::Malloc(ArrayId(3)));
-        assert_eq!(
-            parse("polly_cimDevToHost", &[arr(1)]).unwrap(),
-            CimCall::DevToHost(ArrayId(1))
-        );
+        assert_eq!(parse("polly_cimDevToHost", &[arr(1)]).unwrap(), CimCall::DevToHost(ArrayId(1)));
     }
 }

@@ -201,8 +201,7 @@ mod tests {
         let mut b = PureBackend::for_program(&p);
         b.set_array(ArrayId(0), &[1.0, 2.0, 3.0, 4.0]);
         b.set_array(ArrayId(1), &[1.0, 1.0]);
-        let args =
-            [int(1), int(2), int(2), num(1.0), arr(0), int(2), arr(1), num(0.0), arr(2)];
+        let args = [int(1), int(2), int(2), num(1.0), arr(0), int(2), arr(1), num(0.0), arr(2)];
         b.call(&p, "polly_cimBlasSGemv", &args).expect("gemv");
         assert_eq!(b.array(ArrayId(2)), &[4.0, 6.0]); // A^T x
     }
@@ -223,7 +222,9 @@ mod tests {
         let p = prog_with(&[("A", vec![2])]);
         let mut b = PureBackend::for_program(&p);
         b.set_array(ArrayId(0), &[1.0, 2.0]);
-        for callee in ["polly_cimMalloc", "polly_cimHostToDev", "polly_cimDevToHost", "polly_cimFree"] {
+        for callee in
+            ["polly_cimMalloc", "polly_cimHostToDev", "polly_cimDevToHost", "polly_cimFree"]
+        {
             b.call(&p, callee, &[arr(0)]).expect("noop");
         }
         b.call(&p, "polly_cimInit", &[int(0)]).expect("init");

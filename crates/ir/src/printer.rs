@@ -53,11 +53,7 @@ fn print_stmt(prog: &Program, s: &Stmt, indent: usize, out: &mut String) {
         Stmt::For(l) => {
             pad(indent, out);
             let v = prog.var_name(l.var);
-            let step = if l.step == 1 {
-                format!("{v}++")
-            } else {
-                format!("{v} += {}", l.step)
-            };
+            let step = if l.step == 1 { format!("{v}++") } else { format!("{v} += {}", l.step) };
             let _ = writeln!(
                 out,
                 "for (int {v} = {}; {v} < {}; {step}) {{",
@@ -172,12 +168,7 @@ fn print_prec(prog: &Program, e: &Expr, parent: u8) -> String {
                 BinOp::Div => "/",
                 BinOp::Min | BinOp::Max => unreachable!("handled above"),
             };
-            let s = format!(
-                "{} {} {}",
-                print_prec(prog, l, p),
-                sym,
-                print_prec(prog, r, p + 1)
-            );
+            let s = format!("{} {} {}", print_prec(prog, l, p), sym, print_prec(prog, r, p + 1));
             if p < parent {
                 format!("({s})")
             } else {

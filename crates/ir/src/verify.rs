@@ -111,11 +111,7 @@ fn verify_block(
     Ok(())
 }
 
-fn verify_access(
-    prog: &Program,
-    a: &Access,
-    live: &HashSet<VarId>,
-) -> Result<(), VerifyError> {
+fn verify_access(prog: &Program, a: &Access, live: &HashSet<VarId>) -> Result<(), VerifyError> {
     if a.array.0 >= prog.arrays.len() {
         return Err(VerifyError::DanglingArray(a.array.0));
     }
@@ -170,10 +166,7 @@ mod tests {
             Expr::Int(0),
             Expr::Int(4),
             1,
-            vec![Stmt::assign(
-                Access { array: a, idx: vec![Expr::Var(i)] },
-                Expr::Float(1.0),
-            )],
+            vec![Stmt::assign(Access { array: a, idx: vec![Expr::Var(i)] }, Expr::Float(1.0))],
         )];
         verify(&p).expect("valid");
     }
@@ -183,10 +176,7 @@ mod tests {
         let mut p = Program::new("bad");
         let a = p.add_array("A", vec![4]);
         let i = p.fresh_var("i");
-        p.body = vec![Stmt::assign(
-            Access { array: a, idx: vec![Expr::Var(i)] },
-            Expr::Float(1.0),
-        )];
+        p.body = vec![Stmt::assign(Access { array: a, idx: vec![Expr::Var(i)] }, Expr::Float(1.0))];
         assert_eq!(verify(&p), Err(VerifyError::UndefinedVar("i".into())));
     }
 
@@ -194,20 +184,14 @@ mod tests {
     fn rank_mismatch_detected() {
         let mut p = Program::new("bad");
         let a = p.add_array("A", vec![4, 4]);
-        p.body = vec![Stmt::assign(
-            Access { array: a, idx: vec![Expr::Int(0)] },
-            Expr::Float(1.0),
-        )];
+        p.body = vec![Stmt::assign(Access { array: a, idx: vec![Expr::Int(0)] }, Expr::Float(1.0))];
         assert!(matches!(verify(&p), Err(VerifyError::RankMismatch { .. })));
     }
 
     #[test]
     fn dangling_ids_detected() {
         let mut p = Program::new("bad");
-        p.body = vec![Stmt::assign(
-            Access { array: ArrayId(7), idx: vec![] },
-            Expr::Float(1.0),
-        )];
+        p.body = vec![Stmt::assign(Access { array: ArrayId(7), idx: vec![] }, Expr::Float(1.0))];
         assert_eq!(verify(&p), Err(VerifyError::DanglingArray(7)));
     }
 

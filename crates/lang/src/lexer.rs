@@ -27,7 +27,8 @@ pub struct Token {
 }
 
 const PUNCTS2: &[&str] = &["+=", "-=", "*=", "/=", "==", "!=", "<=", ">=", "++", "--"];
-const PUNCTS1: &[&str] = &["+", "-", "*", "/", "%", "=", "<", ">", "(", ")", "[", "]", "{", "}", ";", ","];
+const PUNCTS1: &[&str] =
+    &["+", "-", "*", "/", "%", "=", "<", ">", "(", ")", "[", "]", "{", "}", ";", ","];
 
 /// Tokenizes the whole input.
 ///

@@ -4,7 +4,7 @@
 //! discipline (integer index expressions, float data expressions), expands
 //! compound assignments and normalizes `<=` loops to exclusive bounds.
 
-use crate::ast::{ABinOp, ACmp, AExpr, ALval, AssignOp, AStmt, Item};
+use crate::ast::{ABinOp, ACmp, AExpr, ALval, AStmt, AssignOp, Item};
 use crate::error::{FrontendError, Pos};
 use crate::parser::parse;
 use std::collections::HashMap;
@@ -206,8 +206,7 @@ impl Lowerer {
                 l.pos,
             ));
         }
-        let idx =
-            l.idx.iter().map(|e| self.lower_index_expr(e)).collect::<Result<Vec<_>, _>>()?;
+        let idx = l.idx.iter().map(|e| self.lower_index_expr(e)).collect::<Result<Vec<_>, _>>()?;
         Ok(Access { array: id, idx })
     }
 
@@ -391,7 +390,8 @@ mod tests {
 
     #[test]
     fn indirect_indexing_rejected() {
-        let src = "float A[4]; float B[4]; void kernel() { for (int i = 0; i < 4; i++) A[B[i]] = 1.0; }";
+        let src =
+            "float A[4]; float B[4]; void kernel() { for (int i = 0; i < 4; i++) A[B[i]] = 1.0; }";
         assert!(compile(src).is_err());
     }
 

@@ -4,7 +4,7 @@
 //! constants, global `float` arrays/scalars, and functions containing
 //! counted `for` loops, `if` statements and (compound) assignments.
 
-use crate::ast::{ABinOp, ACmp, AExpr, ALval, AssignOp, AStmt, Item};
+use crate::ast::{ABinOp, ACmp, AExpr, ALval, AStmt, AssignOp, Item};
 use crate::error::{FrontendError, Pos};
 use crate::lexer::{lex, Tok, Token};
 
@@ -123,12 +123,7 @@ impl Parser {
                     AExpr::Neg(inner, _) => match *inner {
                         AExpr::Float(v, _) => -v,
                         AExpr::Int(v, _) => -(v as f64),
-                        _ => {
-                            return Err(FrontendError::new(
-                                "initializer must be a literal",
-                                pos,
-                            ))
-                        }
+                        _ => return Err(FrontendError::new("initializer must be a literal", pos)),
                     },
                     _ => return Err(FrontendError::new("initializer must be a literal", pos)),
                 });

@@ -110,10 +110,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "CMA carve-out")]
     fn cma_outside_memory_panics() {
-        let cfg = MachineConfig {
-            cma_base: 4 * 1024 * 1024 * 1024,
-            ..MachineConfig::test_small()
-        };
+        let cfg = MachineConfig { cma_base: 4 * 1024 * 1024 * 1024, ..MachineConfig::test_small() };
         cfg.validate();
     }
 }

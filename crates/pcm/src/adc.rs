@@ -2,7 +2,7 @@
 //!
 //! Column currents are converted back to digital by ADCs that are shared
 //! among multiple columns through sample-and-hold stages (Section II-B,
-//! following ISAAC [13]). The converter saturates at its full-scale range
+//! following ISAAC \[13\]). The converter saturates at its full-scale range
 //! and quantizes to its resolution; the default resolution is high enough
 //! to be lossless for 4-bit-level x 8-bit-input dot products over 256
 //! rows, reflecting the bit-serial input streaming real designs use, which

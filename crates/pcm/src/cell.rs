@@ -1,7 +1,7 @@
 //! Multi-level PCM cell model.
 //!
 //! A cell stores one of `2^bits` conductance levels (the paper uses IBM's
-//! 4-bit PCM device [4]). Programming is modelled as a reset pulse followed
+//! 4-bit PCM device \[4\]). Programming is modelled as a reset pulse followed
 //! by a partial-set pulse whose strength selects the level — a
 //! program-and-verify staircase abstracted to one step. Every program
 //! operation wears the device; endurance is the central non-ideality the

@@ -70,7 +70,8 @@ impl PcmEnergyModel {
     /// Digital-logic energy: weighted sums plus extra ALU operations.
     pub fn digital_energy(&self, gemvs: u64, extra_alu_ops: u64) -> Energy {
         Energy::from_pj(
-            self.weighted_sum_pj_per_gemv * gemvs as f64 + self.alu_pj_per_op * extra_alu_ops as f64,
+            self.weighted_sum_pj_per_gemv * gemvs as f64
+                + self.alu_pj_per_op * extra_alu_ops as f64,
         )
     }
 

@@ -116,7 +116,7 @@ mod tests {
     }
 }
 
-/// Start-Gap wear leveling (Qureshi et al., MICRO 2009 — reference [9] of
+/// Start-Gap wear leveling (Qureshi et al., MICRO 2009 — reference \[9\] of
 /// the paper).
 ///
 /// TDO-CIM attacks endurance at *compile time*; Start-Gap is the classic

@@ -8,7 +8,7 @@
 
 use crate::scop::Scop;
 use crate::tree::ScheduleTree;
-use tdo_ir::{Stmt, Program};
+use tdo_ir::{Program, Stmt};
 
 /// Generates the statement list realizing `tree` over the SCoP's
 /// statement table.
@@ -65,7 +65,10 @@ mod tests {
         tdo_ir::verify::verify(&rebuilt).expect("well-formed");
 
         let init = |be: &mut PureBackend| {
-            be.set_array(prog.array_by_name("A").unwrap(), &(0..25).map(|v| v as f32).collect::<Vec<_>>());
+            be.set_array(
+                prog.array_by_name("A").unwrap(),
+                &(0..25).map(|v| v as f32).collect::<Vec<_>>(),
+            );
             be.set_array(prog.array_by_name("x").unwrap(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
         };
         let mut b1 = PureBackend::for_program(&prog);

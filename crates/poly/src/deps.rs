@@ -69,10 +69,7 @@ pub fn domain_intervals(domain: &[LoopDim]) -> HashMap<VarId, (i64, i64)> {
 /// Rectangular over-approximation of one access over a domain.
 pub fn access_region(domain: &[LoopDim], acc: &AffineAccess) -> Region {
     let env = domain_intervals(domain);
-    Region {
-        array: acc.array,
-        bounds: acc.subs.iter().map(|s| affine_interval(s, &env)).collect(),
-    }
+    Region { array: acc.array, bounds: acc.subs.iter().map(|s| affine_interval(s, &env)).collect() }
 }
 
 /// Write regions of a statement (a single write per statement).

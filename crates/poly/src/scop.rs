@@ -148,13 +148,7 @@ fn build_stmt(
                 return Err(e);
             }
             let id = table.len();
-            table.push(ScopStmt {
-                id,
-                domain: domain.clone(),
-                assign: a.clone(),
-                write,
-                reads,
-            });
+            table.push(ScopStmt { id, domain: domain.clone(), assign: a.clone(), write, reads });
             Ok(ScheduleTree::Leaf { stmt: id })
         }
         Stmt::If(_) => Err(ScopError::HasIf),

@@ -68,10 +68,7 @@ pub fn tile(
         let point = BandDim {
             var: d.var,
             lo: Expr::Var(tile_vars[l]),
-            hi: Expr::min(
-                Expr::add(Expr::Var(tile_vars[l]), Expr::Int(sizes[l])),
-                d.hi.clone(),
-            ),
+            hi: Expr::min(Expr::add(Expr::Var(tile_vars[l]), Expr::Int(sizes[l])), d.hi.clone()),
             step: 1,
         };
         body = ScheduleTree::band(point, body);
@@ -80,12 +77,8 @@ pub fn tile(
     // Tile loops in `perm` order (perm[0] is the outermost tile loop).
     for &l in perm.iter().rev() {
         let d = &dims[l];
-        let tile_dim = BandDim {
-            var: tile_vars[l],
-            lo: d.lo.clone(),
-            hi: d.hi.clone(),
-            step: sizes[l],
-        };
+        let tile_dim =
+            BandDim { var: tile_vars[l], lo: d.lo.clone(), hi: d.hi.clone(), step: sizes[l] };
         body = ScheduleTree::band(tile_dim, body);
     }
     Some(ScheduleTree::mark("tiled", body))
@@ -119,11 +112,7 @@ pub fn interchange(tree: &ScheduleTree, a: usize, b: usize) -> Option<ScheduleTr
 /// independent per the paper's rule. The second kernel's statements are
 /// re-rooted onto the first kernel's induction variables (new statements
 /// are appended to the SCoP). Returns the fused tree or `None`.
-pub fn fuse_adjacent(
-    scop: &mut Scop,
-    seq: &ScheduleTree,
-    at: usize,
-) -> Option<ScheduleTree> {
+pub fn fuse_adjacent(scop: &mut Scop, seq: &ScheduleTree, at: usize) -> Option<ScheduleTree> {
     let ScheduleTree::Sequence { children } = seq else { return None };
     if at + 1 >= children.len() {
         return None;
@@ -171,8 +160,7 @@ pub fn fuse_adjacent(
         let mut reads = Vec::new();
         stmt.assign.value.visit_accesses(&mut |a| {
             reads.push(
-                tdo_ir::affine::AffineAccess::from_access(a)
-                    .expect("renaming preserves affinity"),
+                tdo_ir::affine::AffineAccess::from_access(a).expect("renaming preserves affinity"),
             );
         });
         stmt.reads = reads;
@@ -311,8 +299,7 @@ mod tests {
         let mut prog = compile(GEMM).expect("compiles");
         let scop = extract(&prog).expect("affine");
         let reference = run_to_arrays(&prog);
-        let tiled =
-            tile(&mut prog, &scop.tree, &[4, 4, 4], &[0, 2, 1]).expect("tiles");
+        let tiled = tile(&mut prog, &scop.tree, &[4, 4, 4], &[0, 2, 1]).expect("tiles");
         let mut tiled_prog = prog.clone();
         tiled_prog.body = generate(&scop, &tiled);
         tdo_ir::verify::verify(&tiled_prog).expect("well-formed");
@@ -417,7 +404,8 @@ mod tests {
 
     #[test]
     fn fusion_refuses_dependent_kernels() {
-        let src = TWO_INDEPENDENT.replace("D[i][j] += A[i][k] * E[k][j];", "D[i][j] += C[i][k] * E[k][j];");
+        let src = TWO_INDEPENDENT
+            .replace("D[i][j] += A[i][k] * E[k][j];", "D[i][j] += C[i][k] * E[k][j];");
         let prog = compile(&src).expect("compiles");
         let mut scop = extract(&prog).expect("affine");
         let tree = scop.tree.clone();
@@ -440,11 +428,10 @@ mod tests {
     fn replace_subtree_swaps_matching_nodes() {
         let prog = compile(GEMM).expect("compiles");
         let scop = extract(&prog).expect("affine");
-        let replaced = replace_subtree(
-            &scop.tree,
-            &|t| matches!(t, ScheduleTree::Leaf { .. }),
-            &mut |_| ScheduleTree::Extension { stmts: vec![] },
-        );
+        let replaced =
+            replace_subtree(&scop.tree, &|t| matches!(t, ScheduleTree::Leaf { .. }), &mut |_| {
+                ScheduleTree::Extension { stmts: vec![] }
+            });
         assert_eq!(replaced.leaf_stmts(), Vec::<usize>::new());
     }
 }

@@ -3,7 +3,7 @@
 //! "Internally Polly represents the schedule of each detected kernel as a
 //! tree, which we refer to as schedule tree. [...] Loop optimizations and
 //! device mapping are expressed as tree modifications and carried out by
-//! Loop Tactics" (Section III-A, after Verdoolaege et al. [21]).
+//! Loop Tactics" (Section III-A, after Verdoolaege et al. \[21\]).
 //!
 //! Node kinds follow the isl vocabulary: bands (loop dimensions),
 //! sequences, filters (implicit — one leaf per statement), marks, and

@@ -20,16 +20,16 @@ pub fn init_array(kernel: Kernel, name: &str, data: &mut [f32]) {
     // kernel's own init statements must win (and do — that is part of
     // what the equivalence tests check). Accumulator outputs (mvt x1/x2,
     // conv out, gemm C) get defined values.
-    let seed = name.bytes().fold(kernel.name().len() as u32 + 1, |h, b| {
-        h.wrapping_mul(31).wrapping_add(b as u32)
-    });
+    let seed = name
+        .bytes()
+        .fold(kernel.name().len() as u32 + 1, |h, b| h.wrapping_mul(31).wrapping_add(b as u32));
     for (i, v) in data.iter_mut().enumerate() {
         let h = seed.wrapping_add(i as u32).wrapping_mul(2654435761);
         *v = ((h >> 16) % 5) as f32 - 2.0; // values in {-2..2}
     }
 }
 
-/// An initializer closure for [`tdo_cim`-style] executors.
+/// An initializer closure for `tdo_cim`-style executors.
 pub fn init_fn(kernel: Kernel) -> impl Fn(&str, &mut [f32]) {
     move |name, data| init_array(kernel, name, data)
 }

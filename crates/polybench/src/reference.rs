@@ -162,11 +162,7 @@ mod tests {
             let outs = reference_outputs(k, Dataset::Mini);
             assert!(!outs.is_empty(), "{}", k.name());
             for (name, data) in outs {
-                assert!(
-                    data.iter().any(|v| *v != 0.0),
-                    "{}::{name} is identically zero",
-                    k.name()
-                );
+                assert!(data.iter().any(|v| *v != 0.0), "{}::{name} is identically zero", k.name());
                 assert!(data.iter().all(|v| v.is_finite()));
             }
         }

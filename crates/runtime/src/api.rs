@@ -310,10 +310,7 @@ impl CimContext {
         }
         self.stats.gemm_calls += 1;
         self.driver.ioctl(mach);
-        self.driver.flush_shared(
-            mach,
-            &[(a.pa, a.len), (b.pa, b.len), (c.pa, c.len)],
-        );
+        self.driver.flush_shared(mach, &[(a.pa, a.len), (b.pa, b.len), (c.pa, c.len)]);
         let regs = [
             (Reg::M, m as u64),
             (Reg::N, n as u64),
@@ -485,7 +482,8 @@ impl CimContext {
         }
         self.stats.conv_calls += 1;
         self.driver.ioctl(mach);
-        self.driver.flush_shared(mach, &[(img.pa, img.len), (filt.pa, filt.len), (out.pa, out.len)]);
+        self.driver
+            .flush_shared(mach, &[(img.pa, img.len), (filt.pa, filt.len), (out.pa, out.len)]);
         let regs = [
             (Reg::AddrA, img.pa),
             (Reg::AddrB, filt.pa),
@@ -581,8 +579,7 @@ mod tests {
         let a = dev_mat(&mut ctx, &mut mach, &[1.0, 0.0, 0.0, 1.0]);
         let x = dev_mat(&mut ctx, &mut mach, &[2.0, 3.0]);
         let y = dev_mat(&mut ctx, &mut mach, &[10.0, 20.0]);
-        ctx.cim_blas_sgemv(&mut mach, Transpose::No, 2, 2, 2.0, a, 2, x, 0.5, y)
-            .expect("gemv");
+        ctx.cim_blas_sgemv(&mut mach, Transpose::No, 2, 2, 2.0, a, 2, x, 0.5, y).expect("gemv");
         let host = mach.alloc_host(8);
         ctx.cim_dev_to_host(&mut mach, host, y, 8).expect("d2h");
         let mut out = [0f32; 2];
@@ -633,8 +630,7 @@ mod tests {
         let x = dev_mat(&mut ctx, &mut mach, &[1.0, 1.0]);
         let y = dev_mat(&mut ctx, &mut mach, &[0.0, 0.0]);
         let before = mach.core.instructions();
-        ctx.cim_blas_sgemv(&mut mach, Transpose::No, 2, 2, 1.0, a, 2, x, 0.0, y)
-            .expect("gemv");
+        ctx.cim_blas_sgemv(&mut mach, Transpose::No, 2, 2, 1.0, a, 2, x, 0.0, y).expect("gemv");
         let overhead = mach.core.instructions() - before;
         // ioctl + flush + regs + spin-wait: thousands of instructions for a
         // 4-MAC kernel — the GEMV-like loss of Fig. 6 in miniature.

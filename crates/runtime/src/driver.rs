@@ -23,8 +23,7 @@ use cim_machine::Machine;
 use crate::error::CimError;
 
 /// How the host waits for accelerator completion.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum WaitPolicy {
     /// Busy-wait on the status register: the core burns ~1 inst/cycle for
     /// the whole accelerator run (paper default; counted in Fig. 6's
@@ -40,7 +39,6 @@ pub enum WaitPolicy {
         insts_per_poll: u64,
     },
 }
-
 
 /// What the pre-invocation cache flush covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -294,6 +292,7 @@ mod tests {
         let insts_before = mach.core.instructions();
         let dur = drv.invoke(&mut mach, &mut acc).expect("gemv ok");
         assert!(dur.as_us() > 1.0); // at least one row-program + compute
+
         // Spin burns about one instruction per cycle of the wait.
         let spin = mach.core.spin_instructions();
         assert!(spin as f64 >= dur.to_cycles(mach.cfg.freq_hz) as f64 * 0.9);
@@ -304,8 +303,7 @@ mod tests {
     #[test]
     fn poll_wait_retires_far_fewer_instructions() {
         let (mut mach, mut acc, mut drv) = setup();
-        drv.cfg.wait =
-            WaitPolicy::Poll { interval: SimTime::from_us(10.0), insts_per_poll: 20 };
+        drv.cfg.wait = WaitPolicy::Poll { interval: SimTime::from_us(10.0), insts_per_poll: 20 };
         arm_identity_gemv(&mut mach, &mut acc, &mut drv);
         let before = mach.core.instructions();
         let dur = drv.invoke(&mut mach, &mut acc).expect("gemv ok");
@@ -325,6 +323,7 @@ mod tests {
         }
         drv.flush_shared(&mut mach, &[(pa, 256)]);
         assert!(drv.stats().flush_dirty >= 4); // 256B / 64B lines
+
         // Lines live in both L1 and L2; dirty copies only in L1.
         assert!(drv.stats().flush_lines >= drv.stats().flush_dirty);
     }

@@ -40,11 +40,7 @@ impl fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "runtime statistics:")?;
         writeln!(f, "  init/malloc      {:>8} / {:<8}", self.init_calls, self.malloc_calls)?;
-        writeln!(
-            f,
-            "  h2d/d2h bytes    {:>8} / {:<8}",
-            self.h2d_bytes, self.d2h_bytes
-        )?;
+        writeln!(f, "  h2d/d2h bytes    {:>8} / {:<8}", self.h2d_bytes, self.d2h_bytes)?;
         writeln!(
             f,
             "  gemm/gemv/batched/conv {:>4}/{}/{}/{}",

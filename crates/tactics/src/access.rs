@@ -54,11 +54,7 @@ fn collect_factors(prog: &Program, e: &Expr, out: &mut ProductParts) -> Option<(
 
 /// Folds scalar factors into one `alpha` expression (`1.0` when empty).
 pub fn fold_scalars(scalars: &[Expr]) -> Expr {
-    scalars
-        .iter()
-        .cloned()
-        .reduce(Expr::mul)
-        .unwrap_or(Expr::Float(1.0))
+    scalars.iter().cloned().reduce(Expr::mul).unwrap_or(Expr::Float(1.0))
 }
 
 /// Constant-bound extent of a loop dimension `[0, n)`; `None` for
@@ -253,7 +249,9 @@ pub fn match_init_scale(prog: &Program, stmt: &ScopStmt, rank: usize) -> Option<
         Expr::Float(v) if *v == 0.0 => Some(InitScale { target, beta: Expr::Float(0.0) }),
         Expr::Bin(BinOp::Mul, l, r) => {
             let (scalar, load) = match (&**l, &**r) {
-                (s, Expr::Load(a)) if !matches!(s, Expr::Load(x) if !prog.array(x.array).is_scalar()) => (s, a),
+                (s, Expr::Load(a)) if !matches!(s, Expr::Load(x) if !prog.array(x.array).is_scalar()) => {
+                    (s, a)
+                }
                 (Expr::Load(a), s) => (s, a),
                 _ => return None,
             };
@@ -303,11 +301,8 @@ pub fn match_conv_update(prog: &Program, stmt: &ScopStmt) -> Option<ConvUpdate> 
         return None;
     }
     let vars: Vec<VarId> = stmt.domain.iter().map(|d| d.var).collect();
-    let ext: Vec<usize> = stmt
-        .domain
-        .iter()
-        .map(|d| zero_based_extent(&d.lb, &d.ub))
-        .collect::<Option<Vec<_>>>()?;
+    let ext: Vec<usize> =
+        stmt.domain.iter().map(|d| zero_based_extent(&d.lb, &d.ub)).collect::<Option<Vec<_>>>()?;
     if stmt.domain.iter().any(|d| d.step != 1) {
         return None;
     }
@@ -329,11 +324,7 @@ pub fn match_conv_update(prog: &Program, stmt: &ScopStmt) -> Option<ConvUpdate> 
         return None;
     }
     // The filter is indexed [r][s]; the image [i+r][j+s].
-    let (fpos, _) = parts
-        .tensors
-        .iter()
-        .enumerate()
-        .find(|(_, (_, aff))| is_2d_vars(aff, r, s))?;
+    let (fpos, _) = parts.tensors.iter().enumerate().find(|(_, (_, aff))| is_2d_vars(aff, r, s))?;
     let (_, img_aff) = &parts.tensors[1 - fpos];
     let shifted = |sub: &AffineExpr, a: VarId, b: VarId| {
         sub.constant == 0 && sub.coeff(a) == 1 && sub.coeff(b) == 1 && sub.terms.len() == 2

@@ -234,8 +234,9 @@ mod tests {
         let g1 = gemm_desc();
         let g2 = GemmDesc { b: ArrayId(3), c: ArrayId(4), ..gemm_desc() };
         let stmts = batched_calls(&[&g1, &g2]);
-        let Some(Stmt::Call(batched)) =
-            stmts.iter().find(|s| matches!(s, Stmt::Call(c) if c.callee == "polly_cimBlasGemmBatched"))
+        let Some(Stmt::Call(batched)) = stmts
+            .iter()
+            .find(|s| matches!(s, Stmt::Call(c) if c.callee == "polly_cimBlasGemmBatched"))
         else {
             panic!("no batched call")
         };

@@ -4,9 +4,7 @@
 //! reduction leaves, optionally with an accumulator-scale init statement)
 //! with the access-relation matchers of [`crate::access`].
 
-use crate::access::{
-    match_conv_update, match_gemm_update, match_gemv_update, match_init_scale,
-};
+use crate::access::{match_conv_update, match_gemm_update, match_gemv_update, match_init_scale};
 use crate::kernels::{ConvDesc, GemmDesc, GemvDesc, MatchedKernel};
 use tdo_ir::{Expr, Program};
 use tdo_poly::scop::Scop;
@@ -32,9 +30,7 @@ pub fn match_kernel(prog: &Program, scop: &Scop, tree: &ScheduleTree) -> Option<
             gemm_from(prog, scop, *upd_id, Some(*init_id), init.beta, tree)
         }
         // for i, j: y[i] += A.. * x..      (gemv, beta = 1)
-        (2, ScheduleTree::Leaf { stmt }) => {
-            gemv_from(prog, scop, *stmt, None, Expr::Float(1.0))
-        }
+        (2, ScheduleTree::Leaf { stmt }) => gemv_from(prog, scop, *stmt, None, Expr::Float(1.0)),
         // for i: { y[i] = beta*y[i]; for j: y[i] += ... }
         (1, ScheduleTree::Sequence { children }) if children.len() == 2 => {
             let ScheduleTree::Leaf { stmt: init_id } = &children[0] else { return None };

@@ -137,9 +137,7 @@ impl MatchedKernel {
         match self {
             MatchedKernel::Gemm(g) => (g.m * g.n * g.k) as u64,
             MatchedKernel::Gemv(g) => (g.m * g.k) as u64,
-            MatchedKernel::Conv(c) => {
-                ((c.h - c.fh + 1) * (c.w - c.fw + 1) * c.fh * c.fw) as u64
-            }
+            MatchedKernel::Conv(c) => ((c.h - c.fh + 1) * (c.w - c.fw + 1) * c.fh * c.fw) as u64,
         }
     }
 

@@ -322,10 +322,7 @@ pub fn tile_oversized_gemm(
     let (ii, kk, jj) = (dims[0].var, dims[1].var, dims[2].var);
     let mk_extent = |tile_var, size: i64, total: usize| {
         Expr::sub(
-            Expr::min(
-                Expr::add(Expr::Var(tile_var), Expr::Int(size)),
-                Expr::Int(total as i64),
-            ),
+            Expr::min(Expr::add(Expr::Var(tile_var), Expr::Int(size)), Expr::Int(total as i64)),
             Expr::Var(tile_var),
         )
     };
@@ -444,7 +441,8 @@ mod tests {
 
     #[test]
     fn fusion_respects_dependences() {
-        let src = LISTING2_SRC.replace("D[i][j] += A[i][k] * E[k][j];", "D[i][j] += C[i][k] * E[k][j];");
+        let src =
+            LISTING2_SRC.replace("D[i][j] += A[i][k] * E[k][j];", "D[i][j] += C[i][k] * E[k][j];");
         let (_, report, new_prog) = offload(&src, TacticsConfig::default());
         assert_eq!(report.fused_groups, 0);
         let text = print_program(&new_prog);

@@ -2,7 +2,7 @@
 //!
 //! The paper offloads every matched kernel ("our approach is completely
 //! transparent"), which is [`OffloadPolicy::Always`]. The *Selective*
-//! policy adds a TOM-style cost model (Related Work, [22]): it compares
+//! policy adds a TOM-style cost model (Related Work, \[22\]): it compares
 //! the predicted accelerator energy — including the host-side wait — with
 //! a host execution estimate and offloads only when beneficial. The
 //! "Selective Geomean" series of Fig. 6 uses it.
@@ -87,17 +87,10 @@ impl CostModel {
                 Self::beta_zero(&g.beta),
                 false,
             ),
-            MatchedKernel::Gemv(g) => estimate_gemv(
-                &self.accel,
-                &self.bus,
-                g.m,
-                g.k,
-                Self::beta_zero(&g.beta),
-                false,
-            ),
-            MatchedKernel::Conv(c) => {
-                estimate_conv2d(&self.accel, &self.bus, c.h, c.w, c.fh, c.fw)
+            MatchedKernel::Gemv(g) => {
+                estimate_gemv(&self.accel, &self.bus, g.m, g.k, Self::beta_zero(&g.beta), false)
             }
+            MatchedKernel::Conv(c) => estimate_conv2d(&self.accel, &self.bus, c.h, c.w, c.fh, c.fw),
         }
     }
 

@@ -41,8 +41,7 @@ fn main() -> Result<(), CimError> {
     let b2 = ctx.cim_malloc(&mut mach, 4 * 4 * 4)?;
     let c1 = ctx.cim_malloc(&mut mach, 4 * 4 * 4)?;
     let c2 = ctx.cim_malloc(&mut mach, 4 * 4 * 4)?;
-    let ident: Vec<f32> =
-        (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+    let ident: Vec<f32> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
     mach.poke_f32_slice(b1.va, &ident);
     let two: Vec<f32> = ident.iter().map(|v| 2.0 * v).collect();
     mach.poke_f32_slice(b2.va, &two);

@@ -8,7 +8,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use polybench::{init_fn, source, Dataset, Kernel};
-use tdo_cim::{compile, execute, CompileOptions, Comparison, ExecOptions};
+use tdo_cim::{compile, execute, Comparison, CompileOptions, ExecOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let src = source(Kernel::Gemm, Dataset::Small);

@@ -102,20 +102,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r_bad = execute(&mk(bad), &ExecOptions::default(), &init)?;
     assert_eq!(r_good.array("C"), r_bad.array("C"));
 
-    let (wg, wb) = (
-        r_good.accel.expect("accel").cell_writes,
-        r_bad.accel.expect("accel").cell_writes,
-    );
+    let (wg, wb) =
+        (r_good.accel.expect("accel").cell_writes, r_bad.accel.expect("accel").cell_writes);
     println!("\ncrossbar cell writes, [ii, kk, jj] order: {wg}");
     println!("crossbar cell writes, [ii, jj, kk] order: {wb}");
     println!(
         "interchange reduces crossbar writes by {:.2}x (= number of jj tiles)",
         wb as f64 / wg as f64
     );
-    println!(
-        "energy: {} vs {}",
-        r_good.total_energy(),
-        r_bad.total_energy()
-    );
+    println!("energy: {} vs {}", r_good.total_energy(), r_bad.total_energy());
     Ok(())
 }

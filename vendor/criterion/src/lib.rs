@@ -1,0 +1,223 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the TDO-CIM benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — with no external dependencies, so `cargo bench` works
+//! without network access.
+//!
+//! Measurement is intentionally simple: each benchmark runs a short
+//! warm-up, then `sample_size` timed samples of a fixed iteration
+//! batch, and prints the median per-iteration time. There are no HTML
+//! reports, no outlier analysis, and no saved baselines (see
+//! `vendor/README.md`).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for call sites that import it from
+/// criterion rather than `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: large batches.
+    SmallInput,
+    /// Large per-iteration inputs: batches of one.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    samples: usize,
+    medians_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(iters: u64, samples: usize) -> Self {
+        Bencher { iters, samples, medians_ns: Vec::new() }
+    }
+
+    fn record(&mut self, mut sample: impl FnMut(u64) -> Duration) {
+        // Warm-up: one untimed batch.
+        let _ = sample(self.iters.clamp(1, 4));
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| sample(self.iters).as_nanos() as f64 / self.iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.medians_ns.push(per_iter[per_iter.len() / 2]);
+    }
+
+    /// Times `routine` over the sample budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.record(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.record(|iters| {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            start.elapsed()
+        });
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate the iteration count so one sample stays near 5 ms.
+    let mut bench = Bencher::new(1, 1);
+    f(&mut bench);
+    let once_ns = bench.medians_ns.last().copied().unwrap_or(1.0).max(1.0);
+    let iters = ((5_000_000.0 / once_ns) as u64).clamp(1, 10_000);
+    let mut bench = Bencher::new(iters, sample_size.max(3));
+    f(&mut bench);
+    let median = bench.medians_ns.last().copied().unwrap_or(f64::NAN);
+    println!("{id:<48} time: [{}]  ({iters} iters/sample)", human(median));
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The real default (100 samples) makes simulator benches crawl;
+        // 10 gives a stable median for a smoke-level harness.
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for `harness = false` bench targets, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        (0..n).fold(0, |acc, i| acc ^ i.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        c.bench_function("spin_small", |b| b.iter(|| spin(black_box(100))));
+    }
+
+    #[test]
+    fn groups_and_batched_iter_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 64], |v| spin(v.len() as u64), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.bench_function("demo", |b| b.iter(|| spin(black_box(10))));
+    }
+
+    #[test]
+    fn criterion_group_macro_compiles_and_runs() {
+        demo_group();
+    }
+}
