@@ -1,24 +1,93 @@
 //! Accelerator configuration (Table I, "CIM Parameter").
 
-use cim_pcm::{AdcConfig, CellConfig, Fidelity, PcmEnergyModel};
+use cim_pcm::{AdcConfig, CellConfig, DeviceKind, Fidelity, PcmEnergyModel};
 
 /// Static configuration of the CIM accelerator.
+///
+/// Besides the per-tile crossbar geometry, the configuration carries two
+/// sweepable knobs: the resistive [`DeviceKind`] whose physics fills the
+/// `cell`/`adc`/`energy` fields ([`AccelConfig::for_device`]) and the
+/// tile-grid shape `grid` over which oversized GEMMs are sharded
+/// ([`AccelConfig::with_grid`]). `docs/DEVICES.md` tabulates both axes.
+///
+/// # Examples
+///
+/// Sweep tile grids for a GEMM four times larger than one crossbar and
+/// check how many physical tiles each shape engages:
+///
+/// ```
+/// use cim_accel::{AccelConfig, CimAccelerator};
+/// use cim_accel::regs::{Command, Reg, Status};
+/// use cim_machine::{Machine, MachineConfig};
+///
+/// for (grid, expect_tiles) in [((1, 1), 1), ((2, 1), 2), ((2, 2), 4)] {
+///     let cfg = AccelConfig::test_small().with_grid(grid.0, grid.1);
+///     assert_eq!(cfg.tile_count(), expect_tiles);
+///
+///     // 16x16 GEMM on 8x8 tiles: a 2x2 block grid.
+///     let mut mach = Machine::new(MachineConfig::test_small());
+///     let mut acc = CimAccelerator::new(cfg, mach.cfg.bus);
+///     let n = 16usize;
+///     let (_, a) = mach.alloc_cma((n * n * 4) as u64).unwrap();
+///     let (_, b) = mach.alloc_cma((n * n * 4) as u64).unwrap();
+///     let (_, c) = mach.alloc_cma((n * n * 4) as u64).unwrap();
+///     let data: Vec<f32> = (0..n * n).map(|i| (i % 7) as f32 - 3.0).collect();
+///     mach.mem.write_f32_slice(a, &data);
+///     mach.mem.write_f32_slice(b, &data);
+///     for (r, v) in [(Reg::M, n as u64), (Reg::N, n as u64), (Reg::K, n as u64),
+///                    (Reg::Lda, n as u64), (Reg::Ldb, n as u64), (Reg::Ldc, n as u64),
+///                    (Reg::AddrA, a), (Reg::AddrB, b), (Reg::AddrC, c),
+///                    (Reg::Alpha, 1.0f32.to_bits() as u64),
+///                    (Reg::Beta, 0.0f32.to_bits() as u64),
+///                    (Reg::Command, Command::Gemm as u64)] {
+///         acc.pmio_write(r, v);
+///     }
+///     acc.execute(&mut mach);
+///     assert_eq!(acc.regs().status(), Status::Done);
+///     // All configured tiles absorb blocks of the 2x2 block grid.
+///     assert_eq!(acc.stats().max_tiles_active, expect_tiles as u64);
+/// }
+/// ```
+///
+/// Sweep device models — same geometry, different physics:
+///
+/// ```
+/// use cim_accel::AccelConfig;
+/// use cim_pcm::DeviceKind;
+///
+/// let energies: Vec<f64> = DeviceKind::ALL
+///     .iter()
+///     .map(|&d| AccelConfig::for_device(d).energy.write_pj_per_cell)
+///     .collect();
+/// assert!(energies[0] > energies[1], "PCM writes cost more than ReRAM");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccelConfig {
-    /// Crossbar word lines — the stationary operand's *input* dimension
-    /// capacity (paper: 256).
+    /// Crossbar word lines per tile — the stationary operand's *input*
+    /// dimension capacity (paper: 256).
     pub rows: usize,
-    /// Crossbar bit lines — the stationary operand's *output* dimension
-    /// capacity (paper: 256 logical 8-bit columns, realized as two 4-bit
-    /// device columns each).
+    /// Crossbar bit lines per tile — the stationary operand's *output*
+    /// dimension capacity (paper: 256 logical 8-bit columns, realized as
+    /// two 4-bit device columns each).
     pub cols: usize,
-    /// PCM cell parameters (4-bit IBM PCM).
+    /// Tile-grid shape `(k_tiles, m_tiles)`: how many physical tiles sit
+    /// along the reduction (word-line) and output (bit-line) axes. The
+    /// paper's accelerator is a single tile, `(1, 1)`; larger grids let
+    /// the micro-engine shard oversized GEMMs across tiles that compute
+    /// in parallel.
+    pub grid: (usize, usize),
+    /// Which resistive device technology the tiles are built from. This
+    /// is a descriptive tag; the operative parameters live in `cell`,
+    /// `adc` and `energy` (use [`AccelConfig::for_device`] to keep them
+    /// in sync).
+    pub device: DeviceKind,
+    /// Cell parameters (4-bit multi-level devices).
     pub cell: CellConfig,
     /// Shared-ADC configuration.
     pub adc: AdcConfig,
     /// Energy/latency constants.
     pub energy: PcmEnergyModel,
-    /// Input/output buffer capacity in bytes (paper: 1.5 KiB).
+    /// Input/output buffer capacity in bytes per tile (paper: 1.5 KiB).
     pub buffer_bytes: usize,
     /// Numerical fidelity of the compute path.
     pub fidelity: Fidelity,
@@ -34,6 +103,8 @@ impl Default for AccelConfig {
         AccelConfig {
             rows: 256,
             cols: 256,
+            grid: (1, 1),
+            device: DeviceKind::Pcm,
             cell: CellConfig::default(),
             adc: AdcConfig::default(),
             energy: PcmEnergyModel::default(),
@@ -51,9 +122,39 @@ impl AccelConfig {
         AccelConfig { rows: 8, cols: 8, buffer_bytes: 64, ..AccelConfig::default() }
     }
 
-    /// Logical crossbar capacity in 8-bit cells.
+    /// Paper-geometry configuration built from the given device model's
+    /// parameters (cell window, ADC, energy/latency constants).
+    pub fn for_device(kind: DeviceKind) -> Self {
+        AccelConfig::default().with_device(kind)
+    }
+
+    /// Replaces the device technology, refreshing `cell`, `adc` and
+    /// `energy` from the device model while keeping geometry, buffers,
+    /// fidelity and all other knobs.
+    pub fn with_device(self, kind: DeviceKind) -> Self {
+        let model = kind.model();
+        AccelConfig {
+            device: kind,
+            cell: model.cell(),
+            adc: model.adc(),
+            energy: model.energy(),
+            ..self
+        }
+    }
+
+    /// Sets the tile-grid shape `(k_tiles, m_tiles)`.
+    pub fn with_grid(self, k_tiles: usize, m_tiles: usize) -> Self {
+        AccelConfig { grid: (k_tiles, m_tiles), ..self }
+    }
+
+    /// Number of physical tiles in the grid.
+    pub fn tile_count(&self) -> usize {
+        self.grid.0 * self.grid.1
+    }
+
+    /// Logical crossbar capacity in 8-bit cells, across all tiles.
     pub fn cells(&self) -> usize {
-        self.rows * self.cols
+        self.rows * self.cols * self.tile_count()
     }
 
     /// Crossbar capacity in bytes (one byte per logical 8-bit cell).
@@ -68,6 +169,7 @@ impl AccelConfig {
     /// Panics on degenerate geometry.
     pub fn validate(&self) {
         assert!(self.rows > 0 && self.cols > 0, "crossbar must be non-empty");
+        assert!(self.grid.0 > 0 && self.grid.1 > 0, "tile grid must be non-empty");
         assert!(self.buffer_bytes > 0, "buffers must be non-empty");
         assert_eq!(self.cell.bits, 4, "8-bit cells are built from two 4-bit devices");
     }
@@ -82,6 +184,8 @@ mod tests {
         let c = AccelConfig::default();
         assert_eq!(c.rows, 256);
         assert_eq!(c.cols, 256);
+        assert_eq!(c.grid, (1, 1));
+        assert_eq!(c.device, DeviceKind::Pcm);
         assert_eq!(c.cells(), 65536);
         assert_eq!(c.buffer_bytes, 1536);
         c.validate();
@@ -90,5 +194,30 @@ mod tests {
     #[test]
     fn small_config_valid() {
         AccelConfig::test_small().validate();
+    }
+
+    #[test]
+    fn grid_scales_capacity() {
+        let c = AccelConfig::default().with_grid(2, 2);
+        assert_eq!(c.tile_count(), 4);
+        assert_eq!(c.cells(), 4 * 65536);
+        c.validate();
+    }
+
+    #[test]
+    fn with_device_swaps_physics_keeps_geometry() {
+        let c = AccelConfig::test_small().with_grid(2, 3).with_device(DeviceKind::Reram);
+        assert_eq!(c.device, DeviceKind::Reram);
+        assert_eq!(c.rows, 8);
+        assert_eq!(c.grid, (2, 3));
+        assert_eq!(c.energy, DeviceKind::Reram.model().energy());
+        assert_eq!(c.cell, DeviceKind::Reram.model().cell());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tile grid")]
+    fn zero_grid_panics() {
+        AccelConfig::default().with_grid(0, 1).validate();
     }
 }

@@ -12,14 +12,19 @@
 //! crossbar (`G[k][m] = op(A)[m][k]`) so that word lines carry the
 //! reduction dimension and bit lines produce output rows. Each GEMV
 //! streams one column of `B` and produces one column segment of `C`.
-//! K- and M-dimensions larger than the crossbar are tiled; partial results
-//! accumulate through read-modify-write of `C` (Listing 3's tiling is the
-//! compiler-side counterpart that maximizes tile reuse).
+//! K- and M-dimensions larger than one crossbar are sharded across the
+//! configured tile grid ([`crate::shard`]): within a wave, up to
+//! `grid.0 * grid.1` tiles install and compute in parallel, reduction
+//! lanes accumulate partial columns digitally, and only block waves
+//! beyond the grid serialize through read-modify-write of `C` (Listing
+//! 3's tiling is the compiler-side counterpart that maximizes tile
+//! reuse).
 
 use cim_machine::units::SimTime;
 use cim_machine::Machine;
 
 use crate::buffers::BufferKind;
+use crate::shard::{plan_waves, InstallClock, Wave};
 use crate::tile::TileKey;
 use crate::timeline::EventKind;
 use crate::CimAccelerator;
@@ -118,13 +123,15 @@ pub struct ConvParams {
 }
 
 impl CimAccelerator {
-    /// Per-GEMV step time: crossbar compute vs. the DMA traffic of the
-    /// step. With double buffering (Section II-C) DMA overlaps compute.
-    /// Shared by the functional engine and the analytic estimator so they
-    /// can never diverge.
+    /// Per-step time of one GEMV wave: crossbar compute (all active tiles
+    /// fire simultaneously) vs. the aggregate DMA traffic of the step,
+    /// moved as one gather descriptor chain per direction. With double
+    /// buffering (Section II-C) DMA overlaps compute. Shared by the
+    /// functional engine and the analytic estimator so they can never
+    /// diverge.
     pub(crate) fn gemv_step_time(&self, in_bytes: u64, out_rmw_bytes: u64) -> (SimTime, SimTime) {
         let compute = self.cfg.energy.compute_time(1);
-        let dma = self.bus_cfg_estimate(in_bytes) + self.bus_cfg_estimate(out_rmw_bytes);
+        let dma = self.bus_cfg.dma_time(in_bytes) + self.bus_cfg.dma_time(out_rmw_bytes);
         if self.cfg.double_buffering {
             (compute.max(dma), dma)
         } else {
@@ -132,14 +139,80 @@ impl CimAccelerator {
         }
     }
 
-    pub(crate) fn bus_cfg_estimate(&self, bytes: u64) -> SimTime {
-        if bytes == 0 {
-            return SimTime::ZERO;
+    /// Installs one wave's missing blocks on the [`InstallClock`]
+    /// schedule (serial DMA, parallel row programming). Returns the
+    /// phase duration (zero when everything was resident).
+    fn install_wave(
+        &mut self,
+        mach: &mut Machine,
+        p: &GemmParams,
+        wave: &Wave,
+        g: &mut [f32],
+        t0: SimTime,
+        t: SimTime,
+    ) -> SimTime {
+        let mut clock = InstallClock::default();
+        for ms in &wave.m_spans {
+            for ks in &wave.k_spans {
+                let (k0, kt) = (ks.start, ks.len);
+                let (m0, mt) = (ms.start, ms.len);
+                let key = TileKey {
+                    base_pa: p.a,
+                    ld: p.lda,
+                    transposed: p.trans_a,
+                    origin: (m0, k0),
+                    extent: (kt, mt),
+                    generation: self.generation,
+                };
+                let idx = self.tile_index((ks.lane, ms.lane));
+                if self.tiles[idx].resident() == Some(&key) {
+                    continue;
+                }
+                // Gather op(A)[m0..m0+mt][k0..k0+kt] transposed into G.
+                for r in 0..kt {
+                    if p.trans_a {
+                        // op(A)[m][k] = A[k][m]: row k0+r of A, cols m0..
+                        let base = p.a + 4 * ((k0 + r) * p.lda + m0) as u64;
+                        let mut row = vec![0f32; mt];
+                        self.dma.read_f32s(mach, base, &mut row);
+                        g[r * mt..(r + 1) * mt].copy_from_slice(&row);
+                    } else {
+                        // op(A)[m][k] = A[m][k]: column k0+r of A, rows m0..
+                        let base = p.a + 4 * (m0 * p.lda + k0 + r) as u64;
+                        let mut col = vec![0f32; mt];
+                        self.dma.read_f32s_strided(mach, base, mt, p.lda, &mut col);
+                        g[r * mt..(r + 1) * mt].copy_from_slice(&col);
+                    }
+                }
+                let tile_bytes = (kt * mt * 4) as u64;
+                let dma_t = self.bus_cfg.dma_time(tile_bytes);
+                self.buffers.stage(BufferKind::Column, kt * mt);
+                self.stats.buffers += self.cfg.energy.buffer_energy(2 * (kt * mt) as u64);
+                let receipt = self.tiles[idx].install(key, &g[..kt * mt], kt, mt);
+                debug_assert!(!receipt.resident_hit);
+                let install_t = self.cfg.energy.write_time(receipt.rows_programmed);
+                self.stats.cell_writes += receipt.cells_written;
+                self.stats.rows_programmed += receipt.rows_programmed;
+                self.stats.crossbar_write += self.cfg.energy.write_energy(receipt.cells_written);
+                self.stats.install_time += install_t;
+                self.stats.dma_exposed_time += dma_t;
+                let program_start = clock.add(dma_t, install_t);
+                self.timeline.push_on(
+                    EventKind::WriteCrossbar,
+                    Some((ks.lane, ms.lane)),
+                    t0 + t + program_start,
+                    t0 + t + program_start + install_t,
+                    format!("install A tile m0={m0} k0={k0} ({kt}x{mt})"),
+                );
+            }
         }
-        self.bus_cfg.dma_setup + SimTime::from_ns(bytes as f64 / self.bus_cfg.dma_bytes_per_ns)
+        clock.finish()
     }
 
-    /// Executes a GEMM, returning the busy duration.
+    /// Executes a GEMM, returning the busy duration. The block grid of
+    /// `op(A)` runs in waves over the physical tile grid: per wave, all
+    /// tiles compute in parallel and reduction lanes accumulate partial
+    /// `C` columns digitally before the single read-modify-write.
     #[allow(clippy::needless_range_loop)]
     pub(crate) fn run_gemm(
         &mut self,
@@ -150,121 +223,85 @@ impl CimAccelerator {
         p.validate()?;
         let tr = self.cfg.rows;
         let tc = self.cfg.cols;
+        let waves = plan_waves(tr, tc, self.cfg.grid, p.m, p.k);
         let mut t = SimTime::ZERO;
         let mut g = vec![0f32; tr * tc];
-        let mut x = vec![0f32; tr];
+        let mut x = vec![0f32; self.cfg.grid.0 * tr];
         let mut cseg = vec![0f32; tc];
 
-        let mut m0 = 0;
-        while m0 < p.m {
-            let mt = tc.min(p.m - m0);
-            let mut k0 = 0;
-            while k0 < p.k {
-                let kt = tr.min(p.k - k0);
-                let key = TileKey {
-                    base_pa: p.a,
-                    ld: p.lda,
-                    transposed: p.trans_a,
-                    origin: (m0, k0),
-                    extent: (kt, mt),
-                    generation: self.generation,
-                };
-                if self.tile.resident() != Some(&key) {
-                    // Gather op(A)[m0..m0+mt][k0..k0+kt] transposed into G.
-                    for r in 0..kt {
-                        if p.trans_a {
-                            // op(A)[m][k] = A[k][m]: row k0+r of A, cols m0..
-                            let base = p.a + 4 * ((k0 + r) * p.lda + m0) as u64;
-                            let mut row = vec![0f32; mt];
-                            self.dma.read_f32s(mach, base, &mut row);
-                            g[r * mt..(r + 1) * mt].copy_from_slice(&row);
-                        } else {
-                            // op(A)[m][k] = A[m][k]: column k0+r of A, rows m0..
-                            let base = p.a + 4 * (m0 * p.lda + k0 + r) as u64;
-                            let mut col = vec![0f32; mt];
-                            self.dma.read_f32s_strided(mach, base, mt, p.lda, &mut col);
-                            g[r * mt..(r + 1) * mt].copy_from_slice(&col);
-                        }
-                    }
-                    let tile_bytes = (kt * mt * 4) as u64;
-                    let dma_t = self.bus_cfg_estimate(tile_bytes);
-                    self.buffers.stage(BufferKind::Column, kt * mt);
-                    self.stats.buffers += self.cfg.energy.buffer_energy(2 * (kt * mt) as u64);
-                    let receipt = self.tile.install(key, &g[..kt * mt], kt, mt);
-                    debug_assert!(!receipt.resident_hit);
-                    let install_t = self.cfg.energy.write_time(receipt.rows_programmed);
-                    self.stats.cell_writes += receipt.cells_written;
-                    self.stats.rows_programmed += receipt.rows_programmed;
-                    self.stats.crossbar_write +=
-                        self.cfg.energy.write_energy(receipt.cells_written);
-                    self.stats.install_time += install_t;
-                    self.stats.dma_exposed_time += dma_t;
-                    self.timeline.push(
-                        EventKind::WriteCrossbar,
-                        t0 + t + dma_t,
-                        t0 + t + dma_t + install_t,
-                        format!("install A tile m0={m0} k0={k0} ({kt}x{mt})"),
-                    );
-                    t += dma_t + install_t;
-                }
+        for wave in &waves {
+            self.stats.max_tiles_active =
+                self.stats.max_tiles_active.max(wave.tiles_active() as u64);
+            t += self.install_wave(mach, p, wave, &mut g, t0, t);
 
-                let first_read_c = k0 == 0 && p.beta == 0.0;
-                for j in 0..p.n {
-                    // Stream column j of B into the row buffer.
-                    let bbase = p.b + 4 * (k0 * p.ldb + j) as u64;
-                    self.dma.read_f32s_strided(mach, bbase, kt, p.ldb, &mut x[..kt]);
-                    let (y, receipt) = self.tile.gemv(&x[..kt]);
-                    // Read-modify-write the C column segment.
+            let reads_c = !(wave.first_k && p.beta == 0.0);
+            for j in 0..p.n {
+                // Stream column j of B: one segment per reduction lane,
+                // broadcast along the output lanes.
+                let mut in_bytes = 0u64;
+                for ks in &wave.k_spans {
+                    let bbase = p.b + 4 * (ks.start * p.ldb + j) as u64;
+                    let seg = &mut x[ks.lane * tr..ks.lane * tr + ks.len];
+                    self.dma.read_f32s_strided(mach, bbase, ks.len, p.ldb, seg);
+                    in_bytes += (ks.len * 4) as u64;
+                }
+                let mut out_bytes = 0u64;
+                for ms in &wave.m_spans {
+                    let (m0, mt) = (ms.start, ms.len);
+                    // Read-modify-write the C column segment once per
+                    // output lane, regardless of how many reduction lanes
+                    // feed it.
                     let cbase = p.c + 4 * (m0 * p.ldc + j) as u64;
-                    let reads_c = !(first_read_c);
                     if reads_c {
                         self.dma.read_f32s_strided(mach, cbase, mt, p.ldc, &mut cseg[..mt]);
                     }
-                    for i in 0..mt {
-                        let old = if k0 == 0 {
-                            if p.beta == 0.0 {
-                                0.0
-                            } else {
-                                p.beta * cseg[i]
-                            }
-                        } else {
-                            cseg[i]
-                        };
-                        cseg[i] = old + p.alpha * y[i];
+                    if wave.first_k {
+                        for i in 0..mt {
+                            cseg[i] = if p.beta == 0.0 { 0.0 } else { p.beta * cseg[i] };
+                        }
+                    }
+                    for ks in &wave.k_spans {
+                        let idx = self.tile_index((ks.lane, ms.lane));
+                        let seg = &x[ks.lane * tr..ks.lane * tr + ks.len];
+                        let (y, receipt) = self.tiles[idx].gemv(seg);
+                        // Accumulate the partial column; lanes beyond the
+                        // first cost one extra adder pass in the digital
+                        // block.
+                        for i in 0..mt {
+                            cseg[i] += p.alpha * y[i];
+                        }
+                        let reduce_ops = if ks.lane == 0 { 0 } else { mt as u64 };
+                        self.account_gemv(
+                            receipt.active_cells,
+                            receipt.useful_macs,
+                            ks.len,
+                            mt,
+                            receipt.extra_alu_ops + 2 * mt as u64 + reduce_ops,
+                        );
+                        if j < 2 {
+                            self.timeline.push_on(
+                                EventKind::Compute,
+                                Some((ks.lane, ms.lane)),
+                                t0 + t,
+                                t0 + t + self.cfg.energy.compute_time(1),
+                                format!("gemv j={j} (tile m0={m0} k0={})", ks.start),
+                            );
+                        }
                     }
                     // Scatter back (strided store, element-wise).
                     for i in 0..mt {
                         let addr = cbase + 4 * (i * p.ldc) as u64;
                         mach.uncached_write(addr, &cseg[i].to_le_bytes());
                     }
-                    let out_bytes = (mt * 4 * if reads_c { 2 } else { 1 }) as u64;
-                    let in_bytes = (kt * 4) as u64;
-                    let (step, dma_t) = self.gemv_step_time(in_bytes, out_bytes);
-                    t += step;
-                    self.account_gemv(
-                        receipt.active_cells,
-                        receipt.useful_macs,
-                        kt,
-                        mt,
-                        receipt.extra_alu_ops + 2 * mt as u64,
-                    );
-                    if dma_t > self.cfg.energy.compute_time(1) {
-                        self.stats.dma_exposed_time += dma_t - self.cfg.energy.compute_time(1);
-                    }
-                    if j < 2 {
-                        self.timeline.push(
-                            EventKind::Compute,
-                            t0 + t - step,
-                            t0 + t,
-                            format!("gemv j={j} (tile m0={m0} k0={k0})"),
-                        );
-                    }
+                    out_bytes += (mt * 4 * if reads_c { 2 } else { 1 }) as u64;
                 }
-                k0 += kt;
+                let (step, dma_t) = self.gemv_step_time(in_bytes, out_bytes);
+                t += step;
+                if dma_t > self.cfg.energy.compute_time(1) {
+                    self.stats.dma_exposed_time += dma_t - self.cfg.energy.compute_time(1);
+                }
             }
-            m0 += mt;
         }
-        self.stats.compute_time += self.cfg.energy.compute_time(0); // no-op, keeps field alive
         Ok(t)
     }
 
@@ -320,6 +357,8 @@ impl CimAccelerator {
     /// as a doubly-blocked Toeplitz operand: word lines carry `fh`
     /// consecutive image-row segments, bit lines produce a run of output
     /// pixels, so one GEMV computes `seg` outputs with all `fh*fw` taps.
+    /// Convolution always runs on tile `(0, 0)`; its Toeplitz operand is
+    /// far smaller than a crossbar, so sharding buys nothing.
     pub(crate) fn run_conv2d(
         &mut self,
         mach: &mut Machine,
@@ -364,8 +403,9 @@ impl CimAccelerator {
             extent: (in_dim, seg_out),
             generation: self.generation,
         };
-        if self.tile.resident() != Some(&key) {
-            let receipt = self.tile.install(key, &g, in_dim, seg_out);
+        self.stats.max_tiles_active = self.stats.max_tiles_active.max(1);
+        if self.tiles[0].resident() != Some(&key) {
+            let receipt = self.tiles[0].install(key, &g, in_dim, seg_out);
             let install_t = self.cfg.energy.write_time(receipt.rows_programmed);
             self.stats.cell_writes += receipt.cells_written;
             self.stats.rows_programmed += receipt.rows_programmed;
@@ -373,8 +413,9 @@ impl CimAccelerator {
             self.stats.install_time += install_t;
             self.buffers.stage(BufferKind::Column, in_dim * seg_out);
             self.stats.buffers += self.cfg.energy.buffer_energy(2 * (in_dim * seg_out) as u64);
-            self.timeline.push(
+            self.timeline.push_on(
                 EventKind::WriteCrossbar,
+                Some((0, 0)),
                 t0 + t,
                 t0 + t + install_t,
                 format!("install Toeplitz filter ({in_dim}x{seg_out})"),
@@ -396,7 +437,7 @@ impl CimAccelerator {
                     self.dma.read_f32s(mach, base, &mut seg);
                     v[fr * seg_in..fr * seg_in + valid].copy_from_slice(&seg);
                 }
-                let (y, receipt) = self.tile.gemv(&v);
+                let (y, receipt) = self.tiles[0].gemv(&v);
                 // Accumulate into the existing output (the kernel is a
                 // reduction: out[i][j] += ...), read-modify-write via DMA.
                 let obase = p.out + 4 * (oi * out_w + s0) as u64;
@@ -422,8 +463,9 @@ impl CimAccelerator {
                     self.stats.dma_exposed_time += dma_t - self.cfg.energy.compute_time(1);
                 }
                 if first {
-                    self.timeline.push(
+                    self.timeline.push_on(
                         EventKind::Compute,
+                        Some((0, 0)),
                         t0 + t - step,
                         t0 + t,
                         format!("conv gemv row {oi}, seg {s0} (+{n_out})"),

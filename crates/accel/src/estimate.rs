@@ -10,6 +10,7 @@ use cim_machine::bus::BusConfig;
 use cim_machine::units::{Energy, SimTime};
 
 use crate::config::AccelConfig;
+use crate::shard::{plan_waves, InstallClock};
 
 /// Predicted cost of one accelerator operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -28,6 +29,8 @@ pub struct OpEstimate {
     pub macs: u64,
     /// Bytes moved by DMA.
     pub dma_bytes: u64,
+    /// Most physical tiles concurrently active in any sharding wave.
+    pub parallel_tiles: u64,
 }
 
 impl OpEstimate {
@@ -40,6 +43,7 @@ impl OpEstimate {
         self.gemvs += o.gemvs;
         self.macs += o.macs;
         self.dma_bytes += o.dma_bytes;
+        self.parallel_tiles = self.parallel_tiles.max(o.parallel_tiles);
     }
 
     /// Crossbar write traffic in bytes (one byte per 8-bit cell write).
@@ -48,15 +52,12 @@ impl OpEstimate {
     }
 }
 
-fn dma_time(bus: &BusConfig, bytes: u64) -> SimTime {
-    if bytes == 0 {
-        SimTime::ZERO
-    } else {
-        bus.dma_setup + SimTime::from_ns(bytes as f64 / bus.dma_bytes_per_ns)
-    }
-}
-
 /// Estimates `C = alpha*op(A)*B + beta*C` on the accelerator.
+///
+/// Replays the exact wave plan of the micro-engine
+/// ([`crate::shard::plan_waves`]): per wave, installs pipeline serial DMA
+/// against parallel row programming, and all active tiles compute each
+/// `B` column simultaneously.
 ///
 /// `beta_zero` skips the initial read of `C`; `a_resident` models the
 /// stationary operand already being installed (only meaningful when `A`
@@ -81,40 +82,51 @@ pub fn estimate_gemm(
     }
     let e = &cfg.energy;
     let mut est = OpEstimate::default();
-    let mut m0 = 0;
-    while m0 < m {
-        let mt = tc.min(m - m0);
-        let mut k0 = 0;
-        while k0 < k {
-            let kt = tr.min(k - k0);
-            if !a_resident {
+    for wave in &plan_waves(tr, tc, cfg.grid, m, k) {
+        est.parallel_tiles = est.parallel_tiles.max(wave.tiles_active() as u64);
+        // Install phase: serial DMA, parallel programming (see
+        // `CimAccelerator::install_wave`).
+        let mut clock = InstallClock::default();
+        for ms in &wave.m_spans {
+            for ks in &wave.k_spans {
+                if a_resident {
+                    continue;
+                }
+                let (kt, mt) = (ks.len, ms.len);
                 let tile_bytes = (kt * mt * 4) as u64;
-                est.time += dma_time(bus, tile_bytes) + e.write_time(kt as u64);
+                clock.add(bus.dma_time(tile_bytes), e.write_time(kt as u64));
                 est.energy +=
                     e.write_energy((kt * mt) as u64) + e.buffer_energy(2 * (kt * mt) as u64);
                 est.cell_writes += (kt * mt) as u64;
                 est.rows_programmed += kt as u64;
                 est.dma_bytes += tile_bytes;
             }
-            let reads_c = !(k0 == 0 && beta_zero);
-            let in_bytes = (kt * 4) as u64;
-            let out_bytes = (mt * 4 * if reads_c { 2 } else { 1 }) as u64;
-            let dma = dma_time(bus, in_bytes) + dma_time(bus, out_bytes);
-            let compute = e.compute_time(1);
-            let step = if cfg.double_buffering { compute.max(dma) } else { compute + dma };
-            est.time += step * n as f64;
-            est.gemvs += n as u64;
-            est.macs += (n * kt * mt) as u64;
-            est.dma_bytes += (in_bytes + out_bytes) * n as u64;
-            let per_gemv = e.compute_energy((kt * mt) as u64)
-                + e.mixed_signal_energy(1)
-                + e.digital_energy(1, (3 * mt + 2 * mt) as u64)
-                + e.dma_engine_energy(1)
-                + e.buffer_energy(2 * (kt + mt) as u64);
-            est.energy += per_gemv * n as f64;
-            k0 += kt;
         }
-        m0 += mt;
+        est.time += clock.finish();
+        // Compute phase: one step per B column, all tiles in parallel.
+        let reads_c = !(wave.first_k && beta_zero);
+        let in_bytes: u64 = wave.k_spans.iter().map(|s| (s.len * 4) as u64).sum();
+        let out_bytes: u64 =
+            wave.m_spans.iter().map(|s| (s.len * 4 * if reads_c { 2 } else { 1 }) as u64).sum();
+        let dma = bus.dma_time(in_bytes) + bus.dma_time(out_bytes);
+        let compute = e.compute_time(1);
+        let step = if cfg.double_buffering { compute.max(dma) } else { compute + dma };
+        est.time += step * n as f64;
+        est.dma_bytes += (in_bytes + out_bytes) * n as u64;
+        for ms in &wave.m_spans {
+            for ks in &wave.k_spans {
+                let (kt, mt) = (ks.len, ms.len);
+                let reduce_ops = if ks.lane == 0 { 0 } else { mt as u64 };
+                est.gemvs += n as u64;
+                est.macs += (n * kt * mt) as u64;
+                let per_gemv = e.compute_energy((kt * mt) as u64)
+                    + e.mixed_signal_energy(1)
+                    + e.digital_energy(1, (3 * mt + 2 * mt) as u64 + reduce_ops)
+                    + e.dma_engine_energy(1)
+                    + e.buffer_energy(2 * (kt + mt) as u64);
+                est.energy += per_gemv * n as f64;
+            }
+        }
     }
     est
 }
@@ -147,7 +159,7 @@ pub fn estimate_gemm_batched(
 ) -> OpEstimate {
     let mut est = OpEstimate::default();
     let descr_bytes = (count * 3 * 8) as u64;
-    est.time += dma_time(bus, descr_bytes);
+    est.time += bus.dma_time(descr_bytes);
     est.dma_bytes += descr_bytes;
     let single_tile = m <= cfg.cols && k <= cfg.rows;
     for i in 0..count {
@@ -176,7 +188,7 @@ pub fn estimate_conv2d(
     let mut est = OpEstimate::default();
     // Filter fetch + Toeplitz install.
     let filt_bytes = (fh * fw * 4) as u64;
-    est.time += dma_time(bus, filt_bytes) + e.write_time(in_dim as u64);
+    est.time += bus.dma_time(filt_bytes) + e.write_time(in_dim as u64);
     est.dma_bytes += filt_bytes;
     est.cell_writes += (in_dim * seg_out) as u64;
     est.rows_programmed += in_dim as u64;
@@ -189,7 +201,7 @@ pub fn estimate_conv2d(
             let valid = seg_in.min(w - s0);
             let in_bytes = (fh * valid * 4) as u64;
             let out_bytes = (2 * n_out * 4) as u64; // read-modify-write
-            let dma = dma_time(bus, in_bytes) + dma_time(bus, out_bytes);
+            let dma = bus.dma_time(in_bytes) + bus.dma_time(out_bytes);
             let compute = e.compute_time(1);
             let step = if cfg.double_buffering { compute.max(dma) } else { compute + dma };
             est.time += step;
@@ -272,5 +284,61 @@ mod tests {
     #[should_panic(expected = "single-tile")]
     fn resident_multi_tile_panics() {
         estimate_gemm(&cfg(), &bus(), 1024, 8, 1024, true, true);
+    }
+
+    #[test]
+    fn sharding_cuts_latency_but_not_work() {
+        let single = estimate_gemm(&cfg(), &bus(), 512, 256, 512, true, false);
+        let sharded = estimate_gemm(
+            &AccelConfig::default().with_grid(2, 2),
+            &bus(),
+            512,
+            256,
+            512,
+            true,
+            false,
+        );
+        assert_eq!(single.parallel_tiles, 1);
+        assert_eq!(sharded.parallel_tiles, 4);
+        // The physical work is invariant: same installs, same MACs.
+        assert_eq!(sharded.cell_writes, single.cell_writes);
+        assert_eq!(sharded.rows_programmed, single.rows_programmed);
+        assert_eq!(sharded.macs, single.macs);
+        assert_eq!(sharded.gemvs, single.gemvs);
+        // Parallel tiles collapse the serial block walk: big latency win.
+        assert!(
+            sharded.time.as_ns() < 0.5 * single.time.as_ns(),
+            "{} vs {}",
+            sharded.time,
+            single.time
+        );
+        // Energy is nearly unchanged (only the partial-column adders).
+        let delta = (sharded.energy.as_pj() - single.energy.as_pj()) / single.energy.as_pj();
+        assert!((0.0..0.05).contains(&delta), "energy delta {delta}");
+    }
+
+    #[test]
+    fn reram_device_shifts_cost_balance() {
+        let pcm = estimate_gemm(
+            &AccelConfig::for_device(cim_pcm::DeviceKind::Pcm),
+            &bus(),
+            256,
+            256,
+            256,
+            true,
+            false,
+        );
+        let reram = estimate_gemm(
+            &AccelConfig::for_device(cim_pcm::DeviceKind::Reram),
+            &bus(),
+            256,
+            256,
+            256,
+            true,
+            false,
+        );
+        assert!(reram.time < pcm.time, "faster writes and reads");
+        assert!(reram.energy < pcm.energy, "cheaper programming");
+        assert_eq!(reram.macs, pcm.macs);
     }
 }

@@ -7,6 +7,15 @@
 //! (GEMM) can be implemented as a series of matrix-vector operations"
 //! (Section II-C of the TDO-CIM paper).
 //!
+//! The accelerator generalizes the paper's single tile to a
+//! [`AccelConfig::grid`]-shaped array of tiles built from a pluggable
+//! resistive device model ([`cim_pcm::DeviceKind`]). GEMMs larger than
+//! one crossbar are *sharded*: the micro-engine spreads the block grid of
+//! `op(A)` across physical tiles that install and compute in parallel,
+//! accumulating partial columns digitally instead of serializing crossbar
+//! views ([`shard`]). A `(1, 1)` grid reproduces the paper's accelerator
+//! exactly.
+//!
 //! The accelerator is driven exactly like the hardware: the host writes
 //! dimensions, addresses and scales into memory-mapped [`regs`] and arms
 //! the command register; [`CimAccelerator::execute`] then plays the role
@@ -45,15 +54,17 @@ pub mod dma;
 pub mod engine;
 pub mod estimate;
 pub mod regs;
+pub mod shard;
 pub mod stats;
 pub mod tile;
 pub mod timeline;
 
+pub use cim_pcm::{DeviceKind, DeviceModel};
 pub use config::AccelConfig;
 pub use engine::{ConvParams, EngineError, GemmParams};
 pub use estimate::OpEstimate;
 pub use stats::AccelStats;
-pub use tile::{CimTile, TileKey};
+pub use tile::{CimTile, TileKey, TileWear};
 pub use timeline::{EventKind, Timeline};
 
 use cim_machine::bus::BusConfig;
@@ -65,12 +76,14 @@ use dma::DmaEngine;
 use regs::{Command, ContextRegisters, Reg, Status};
 use timeline::EventKind as Ev;
 
-/// The standalone CIM accelerator of Fig. 2 (b).
+/// The standalone CIM accelerator of Fig. 2 (b), generalized to a grid
+/// of tiles.
 #[derive(Debug)]
 pub struct CimAccelerator {
     pub(crate) cfg: AccelConfig,
     pub(crate) bus_cfg: BusConfig,
-    pub(crate) tile: CimTile,
+    /// Physical tiles in row-major `(k_lane, m_lane)` order.
+    pub(crate) tiles: Vec<CimTile>,
     pub(crate) buffers: DeviceBuffers,
     pub(crate) dma: DmaEngine,
     pub(crate) regs: ContextRegisters,
@@ -89,7 +102,7 @@ impl CimAccelerator {
     pub fn new(cfg: AccelConfig, bus_cfg: BusConfig) -> Self {
         cfg.validate();
         CimAccelerator {
-            tile: CimTile::new(&cfg),
+            tiles: (0..cfg.tile_count()).map(|_| CimTile::new(&cfg)).collect(),
             buffers: DeviceBuffers::new(cfg.buffer_bytes),
             dma: DmaEngine::new(),
             regs: ContextRegisters::new(),
@@ -105,6 +118,31 @@ impl CimAccelerator {
     /// Static configuration.
     pub fn config(&self) -> &AccelConfig {
         &self.cfg
+    }
+
+    /// The physical tiles, row-major by `(k_lane, m_lane)`.
+    pub fn tiles(&self) -> &[CimTile] {
+        &self.tiles
+    }
+
+    /// Flat index of the tile at grid lane `(k_lane, m_lane)`.
+    pub(crate) fn tile_index(&self, lane: (usize, usize)) -> usize {
+        lane.0 * self.cfg.grid.1 + lane.1
+    }
+
+    /// Per-tile wear, in grid order — shows how sharding spreads cell
+    /// programs across the array (the endurance dimension of Eq. 1).
+    pub fn tile_wear(&self) -> Vec<TileWear> {
+        let gm = self.cfg.grid.1;
+        self.tiles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TileWear {
+                tile: (i / gm, i % gm),
+                cell_writes: t.cell_writes(),
+                max_cell_writes: t.max_cell_writes(),
+            })
+            .collect()
     }
 
     /// Host-visible PMIO register write (bus timing is charged by the
@@ -128,7 +166,9 @@ impl CimAccelerator {
     /// host-to-device transfers.
     pub fn bump_generation(&mut self) {
         self.generation += 1;
-        self.tile.invalidate();
+        for tile in &mut self.tiles {
+            tile.invalidate();
+        }
     }
 
     /// Current buffer-content generation.
@@ -136,14 +176,16 @@ impl CimAccelerator {
         self.generation
     }
 
-    /// Range-precise residency invalidation: drops the installed operand
-    /// only if its source buffer lies inside `[pa, pa+len)`. Used by the
+    /// Range-precise residency invalidation: drops installed operands
+    /// only if their source buffer lies inside `[pa, pa+len)`. Used by the
     /// zero-copy sync path so refreshing one buffer does not evict an
     /// unrelated resident operand.
     pub fn invalidate_range(&mut self, pa: u64, len: u64) {
-        if let Some(key) = self.tile.resident() {
-            if key.base_pa >= pa && key.base_pa < pa + len {
-                self.tile.invalidate();
+        for tile in &mut self.tiles {
+            if let Some(key) = tile.resident() {
+                if key.base_pa >= pa && key.base_pa < pa + len {
+                    tile.invalidate();
+                }
             }
         }
     }
@@ -529,6 +571,112 @@ mod tests {
         assert_eq!(acc.stats().cell_writes, est.cell_writes);
         assert_eq!(acc.stats().macs, est.macs);
         assert!((dur.as_ns() - est.time.as_ns()).abs() < 1e-6, "time {dur} vs {}", est.time);
+    }
+
+    /// Runs one GEMM under `cfg` on a fresh machine, returning `C`.
+    fn run_gemm_with(cfg: AccelConfig, n: usize, av: &[f32], bv: &[f32]) -> (Vec<f32>, AccelStats) {
+        let mut mach = Machine::new(MachineConfig::test_small());
+        let mut acc = CimAccelerator::new(cfg, mach.cfg.bus);
+        let a = alloc_mat(&mut mach, av);
+        let b = alloc_mat(&mut mach, bv);
+        let c = alloc_mat(&mut mach, &vec![0.0; n * n]);
+        arm_gemm(&mut acc, n, n, n, a, b, c);
+        acc.execute(&mut mach);
+        assert_eq!(acc.regs().status(), Status::Done, "{:?}", acc.last_error());
+        (read_mat(&mut mach, c, n * n), *acc.stats())
+    }
+
+    #[test]
+    fn sharded_gemm_bit_identical_to_single_tile() {
+        // 20x20 GEMM on 8x8 tiles: a 3x3 block grid over several shapes.
+        let n = 20usize;
+        let av: Vec<f32> = (0..n * n).map(|i| ((i * 7) % 23) as f32 * 0.37 - 4.0).collect();
+        let bv: Vec<f32> = (0..n * n).map(|i| ((i * 13) % 19) as f32 * 0.21 - 2.0).collect();
+        let (reference, ref_stats) = run_gemm_with(AccelConfig::test_small(), n, &av, &bv);
+        for grid in [(2, 1), (1, 2), (2, 2), (3, 3), (4, 2)] {
+            let cfg = AccelConfig::test_small().with_grid(grid.0, grid.1);
+            let (got, stats) = run_gemm_with(cfg, n, &av, &bv);
+            assert_eq!(got, reference, "grid {grid:?} diverged");
+            // Work is invariant; only the schedule changes.
+            assert_eq!(stats.cell_writes, ref_stats.cell_writes);
+            assert_eq!(stats.macs, ref_stats.macs);
+            assert!(stats.busy <= ref_stats.busy, "sharding must not slow down");
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_estimate() {
+        let mut mach = Machine::new(MachineConfig::test_small());
+        let cfg = AccelConfig::test_small().with_grid(2, 2);
+        let mut acc = CimAccelerator::new(cfg, mach.cfg.bus);
+        let n = 20usize;
+        let av: Vec<f32> = (0..n * n).map(|i| (i % 9) as f32 * 0.5 - 2.0).collect();
+        let a = alloc_mat(&mut mach, &av);
+        let b = alloc_mat(&mut mach, &av);
+        let c = alloc_mat(&mut mach, &vec![0.0; n * n]);
+        arm_gemm(&mut acc, n, n, n, a, b, c);
+        let dur = acc.execute(&mut mach);
+        let est = estimate::estimate_gemm(acc.config(), &mach.cfg.bus, n, n, n, true, false);
+        assert_eq!(acc.stats().gemv_count, est.gemvs);
+        assert_eq!(acc.stats().cell_writes, est.cell_writes);
+        assert_eq!(acc.stats().rows_programmed, est.rows_programmed);
+        assert_eq!(acc.stats().macs, est.macs);
+        assert_eq!(acc.stats().max_tiles_active, est.parallel_tiles);
+        assert_eq!(acc.stats().max_tiles_active, 4);
+        assert!((dur.as_ns() - est.time.as_ns()).abs() < 1e-6, "time {dur} vs {}", est.time);
+        let measured = acc.stats().total_energy();
+        assert!(
+            (measured.as_pj() - est.energy.as_pj()).abs() / est.energy.as_pj() < 1e-9,
+            "energy {measured} vs {}",
+            est.energy
+        );
+    }
+
+    #[test]
+    fn sharding_spreads_wear_across_tiles() {
+        // A 16x16 operand is a 2x2 block grid on 8x8 tiles. One tile eats
+        // all four installs; a 2x2 grid takes one install each.
+        let n = 16usize;
+        let av: Vec<f32> = (0..n * n).map(|i| (i % 5) as f32).collect();
+        let run = |cfg: AccelConfig| {
+            let mut mach = Machine::new(MachineConfig::test_small());
+            let mut acc = CimAccelerator::new(cfg, mach.cfg.bus);
+            let a = alloc_mat(&mut mach, &av);
+            let b = alloc_mat(&mut mach, &av);
+            let c = alloc_mat(&mut mach, &vec![0.0; n * n]);
+            arm_gemm(&mut acc, n, n, n, a, b, c);
+            acc.execute(&mut mach);
+            assert_eq!(acc.regs().status(), Status::Done);
+            acc.tile_wear()
+        };
+        let single = run(AccelConfig::test_small());
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].max_cell_writes, 4, "one tile reprogrammed per block");
+        let sharded = run(AccelConfig::test_small().with_grid(2, 2));
+        assert_eq!(sharded.len(), 4);
+        let total: u64 = sharded.iter().map(|w| w.cell_writes).sum();
+        assert_eq!(total, single[0].cell_writes, "same write volume overall");
+        for w in &sharded {
+            assert_eq!(w.cell_writes, 64, "tile {:?} takes exactly its block", w.tile);
+            assert_eq!(w.max_cell_writes, 1, "no cell reprogrammed");
+        }
+    }
+
+    #[test]
+    fn sharded_timeline_shows_parallel_occupancy() {
+        let mut mach = Machine::new(MachineConfig::test_small());
+        let cfg = AccelConfig::test_small().with_grid(2, 2);
+        let mut acc = CimAccelerator::new(cfg, mach.cfg.bus);
+        let n = 16usize;
+        let av: Vec<f32> = (0..n * n).map(|i| (i % 3) as f32).collect();
+        let a = alloc_mat(&mut mach, &av);
+        let b = alloc_mat(&mut mach, &av);
+        let c = alloc_mat(&mut mach, &vec![0.0; n * n]);
+        arm_gemm(&mut acc, n, n, n, a, b, c);
+        acc.execute(&mut mach);
+        let occ = acc.timeline().tile_occupancy();
+        assert_eq!(occ.len(), 4, "all four tiles appear in the timeline");
+        assert!(occ.iter().all(|(_, busy)| busy.as_ns() > 0.0));
     }
 
     #[test]

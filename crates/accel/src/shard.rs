@@ -1,0 +1,184 @@
+//! Sharding plan: how a GEMM's block grid maps onto the physical tiles.
+//!
+//! The stationary operand `op(A)` is partitioned into `ceil(k / rows) x
+//! ceil(m / cols)` blocks. On a single tile the micro-engine used to walk
+//! those blocks serially, reprogramming the crossbar between them; with a
+//! `(gk, gm)` tile grid it instead processes them in *waves* of up to
+//! `gk * gm` blocks, one block per physical tile. Within a wave all tiles
+//! hold their block simultaneously: a streamed `B` column fans out across
+//! the `gm` output lanes, the `gk` reduction lanes fire in parallel, and
+//! the digital block sums the partial columns before the single
+//! read-modify-write of `C` — "accumulate partial columns instead of
+//! serializing crossbar views".
+//!
+//! The planner here is the single source of truth for that decomposition:
+//! both the functional micro-engine ([`crate::engine`]) and the analytic
+//! estimator ([`crate::estimate`]) replay the identical plan, which is
+//! what keeps them bit-for-bit and nanosecond-for-nanosecond in lockstep.
+
+use cim_machine::units::SimTime;
+
+/// Pipelined clock of one wave's install phase: block DMA gathers
+/// serialize on the shared bus while row programming runs in parallel
+/// across the wave's tiles, so the phase ends when the last tile whose
+/// DMA completed also finishes programming. The single timing formula
+/// shared by the micro-engine and the analytic estimator.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct InstallClock {
+    dma_clock: SimTime,
+    finish: SimTime,
+}
+
+impl InstallClock {
+    /// Accounts one block install (`dma_t` bus time, then `program_t` of
+    /// row programming on that block's tile). Returns the time the
+    /// block's DMA completes — when its tile starts programming.
+    pub fn add(&mut self, dma_t: SimTime, program_t: SimTime) -> SimTime {
+        self.dma_clock += dma_t;
+        self.finish = self.finish.max(self.dma_clock + program_t);
+        self.dma_clock
+    }
+
+    /// Duration of the whole install phase (zero if nothing installed).
+    pub fn finish(&self) -> SimTime {
+        self.finish
+    }
+}
+
+/// One block span along a single axis, pinned to a grid lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First element covered (in the K or M dimension).
+    pub start: usize,
+    /// Number of elements covered (at most the tile's rows or cols).
+    pub len: usize,
+    /// Physical grid coordinate along this axis.
+    pub lane: usize,
+}
+
+/// One wave: the cross product of its K-spans and M-spans, each block on
+/// the physical tile `(k_span.lane, m_span.lane)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wave {
+    /// Reduction-axis spans active in this wave (parallel grid rows).
+    pub k_spans: Vec<Span>,
+    /// Output-axis spans active in this wave (parallel grid columns).
+    pub m_spans: Vec<Span>,
+    /// Whether this wave covers `k = 0` — it then owns the `beta`
+    /// handling; later waves over the same M-spans accumulate into `C`.
+    pub first_k: bool,
+}
+
+impl Wave {
+    /// Number of physical tiles active in this wave.
+    pub fn tiles_active(&self) -> usize {
+        self.k_spans.len() * self.m_spans.len()
+    }
+}
+
+fn partition(total: usize, chunk: usize) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut at = 0;
+    while at < total {
+        let len = chunk.min(total - at);
+        spans.push((at, len));
+        at += len;
+    }
+    spans
+}
+
+/// Plans the wave schedule for an `m x k` stationary operand on tiles of
+/// `rows x cols` arranged in a `grid = (gk, gm)` array. M-waves are the
+/// outer loop and K-waves the inner loop, mirroring the single-tile block
+/// walk; a `(1, 1)` grid therefore degenerates to exactly the historical
+/// one-block-per-wave schedule.
+///
+/// # Panics
+///
+/// Panics if any geometry component is zero.
+pub fn plan_waves(rows: usize, cols: usize, grid: (usize, usize), m: usize, k: usize) -> Vec<Wave> {
+    assert!(rows > 0 && cols > 0 && grid.0 > 0 && grid.1 > 0, "degenerate geometry");
+    let k_blocks = partition(k, rows);
+    let m_blocks = partition(m, cols);
+    let mut waves = Vec::new();
+    for mw in m_blocks.chunks(grid.1) {
+        for (wi, kw) in k_blocks.chunks(grid.0).enumerate() {
+            waves.push(Wave {
+                k_spans: kw
+                    .iter()
+                    .enumerate()
+                    .map(|(lane, &(start, len))| Span { start, len, lane })
+                    .collect(),
+                m_spans: mw
+                    .iter()
+                    .enumerate()
+                    .map(|(lane, &(start, len))| Span { start, len, lane })
+                    .collect(),
+                first_k: wi == 0,
+            });
+        }
+    }
+    waves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tile_grid_replays_block_walk() {
+        // 20x20 operand on 8x8 tiles: 3x3 blocks, one per wave, K inner.
+        let waves = plan_waves(8, 8, (1, 1), 20, 20);
+        assert_eq!(waves.len(), 9);
+        assert!(waves.iter().all(|w| w.tiles_active() == 1));
+        // First M-block sees K-waves 0, 8, 16 in order.
+        let k_starts: Vec<usize> = waves[..3].iter().map(|w| w.k_spans[0].start).collect();
+        assert_eq!(k_starts, vec![0, 8, 16]);
+        assert!(waves[0].first_k);
+        assert!(!waves[1].first_k);
+        // All blocks land on lane (0, 0).
+        assert!(waves.iter().all(|w| w.k_spans[0].lane == 0 && w.m_spans[0].lane == 0));
+    }
+
+    #[test]
+    fn full_grid_collapses_to_one_wave() {
+        let waves = plan_waves(8, 8, (2, 2), 16, 16);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].tiles_active(), 4);
+        assert!(waves[0].first_k);
+        let lanes: Vec<usize> = waves[0].k_spans.iter().map(|s| s.lane).collect();
+        assert_eq!(lanes, vec![0, 1]);
+    }
+
+    #[test]
+    fn ragged_edges_shrink_spans() {
+        let waves = plan_waves(8, 8, (2, 2), 12, 20);
+        // K: 8 + 8 + 4 over 2 lanes -> two K-waves; M: 8 + 4 in one wave.
+        assert_eq!(waves.len(), 2);
+        assert_eq!(waves[0].k_spans.len(), 2);
+        assert_eq!(waves[1].k_spans.len(), 1);
+        assert_eq!(waves[1].k_spans[0], Span { start: 16, len: 4, lane: 0 });
+        assert_eq!(waves[0].m_spans[1], Span { start: 8, len: 4, lane: 1 });
+        assert!(!waves[1].first_k);
+    }
+
+    #[test]
+    fn coverage_is_exact_and_disjoint() {
+        for (m, k, grid) in [(30, 17, (2, 3)), (8, 8, (4, 4)), (65, 1, (2, 2))] {
+            let waves = plan_waves(8, 8, grid, m, k);
+            let mut covered = vec![0u32; m * k];
+            for w in &waves {
+                for ks in &w.k_spans {
+                    for ms in &w.m_spans {
+                        for kk in ks.start..ks.start + ks.len {
+                            for mm in ms.start..ms.start + ms.len {
+                                covered[mm * k + kk] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "m={m} k={k} grid={grid:?}");
+        }
+    }
+}

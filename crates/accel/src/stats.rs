@@ -16,6 +16,9 @@ pub struct AccelStats {
     pub rows_programmed: u64,
     /// Useful multiply-accumulates performed on the crossbar.
     pub macs: u64,
+    /// Most physical tiles concurrently active in any sharding wave (1
+    /// for single-tile runs, up to `grid.0 * grid.1` for sharded GEMMs).
+    pub max_tiles_active: u64,
     /// Analog compute energy (200 fJ per active cell).
     pub crossbar_compute: Energy,
     /// Cell programming energy (200 pJ per cell).
@@ -65,6 +68,7 @@ impl AccelStats {
         self.cell_writes += o.cell_writes;
         self.rows_programmed += o.rows_programmed;
         self.macs += o.macs;
+        self.max_tiles_active = self.max_tiles_active.max(o.max_tiles_active);
         self.crossbar_compute += o.crossbar_compute;
         self.crossbar_write += o.crossbar_write;
         self.mixed_signal += o.mixed_signal;
@@ -86,6 +90,7 @@ impl fmt::Display for AccelStats {
         writeln!(f, "  rows programmed  {:>12}", self.rows_programmed)?;
         writeln!(f, "  macs             {:>12}", self.macs)?;
         writeln!(f, "  macs/write       {:>12.2}", self.macs_per_write())?;
+        writeln!(f, "  max tiles active {:>12}", self.max_tiles_active)?;
         writeln!(f, "  E crossbar compute {}", self.crossbar_compute)?;
         writeln!(f, "  E crossbar write   {}", self.crossbar_write)?;
         writeln!(f, "  E mixed signal     {}", self.mixed_signal)?;

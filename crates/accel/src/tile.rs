@@ -1,10 +1,13 @@
 //! The CIM tile: nibble crossbar pair + ADCs + digital recombination.
 //!
-//! An 8-bit 256x256 logical crossbar built from two 4-bit IBM-PCM device
-//! arrays (MSB and LSB nibbles, Section IV). The tile holds one stationary
-//! operand at a time; the micro-engine tracks residency so that repeated
-//! use of the same operand (fused kernels, reused tiles) programs the
-//! devices only once — the paper's endurance optimization.
+//! One tile of the accelerator's tile array: an 8-bit logical crossbar
+//! (256x256 in the paper's geometry) built from two 4-bit resistive
+//! device arrays (MSB and LSB nibbles, Section IV) — IBM PCM by default,
+//! or any other [`cim_pcm::DeviceModel`] the [`AccelConfig`] selects.
+//! Each tile holds one stationary operand at a time; the micro-engine
+//! tracks residency so that repeated use of the same operand (fused
+//! kernels, reused tiles) programs the devices only once — the paper's
+//! endurance optimization.
 
 use cim_pcm::adc::full_scale_for;
 use cim_pcm::quant::{
@@ -45,6 +48,17 @@ pub struct InstallReceipt {
     pub cells_written: u64,
     /// Whether the install was skipped because the operand was resident.
     pub resident_hit: bool,
+}
+
+/// Wear summary of one physical tile in the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileWear {
+    /// Grid lane `(k_lane, m_lane)` of the tile.
+    pub tile: (usize, usize),
+    /// Total 8-bit cell programs endured by the tile.
+    pub cell_writes: u64,
+    /// Programs endured by the tile's most-written logical cell.
+    pub max_cell_writes: u64,
 }
 
 /// Receipt describing the cost of one GEMV.

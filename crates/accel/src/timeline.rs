@@ -48,11 +48,15 @@ impl fmt::Display for EventKind {
 pub struct Event {
     /// Event class.
     pub kind: EventKind,
+    /// Physical tile `(k_lane, m_lane)` the event occupied, if the event
+    /// is tile-specific (installs and computes are; trigger/status flips
+    /// are not).
+    pub tile: Option<(usize, usize)>,
     /// Start time (relative to machine epoch).
     pub start: SimTime,
     /// End time.
     pub end: SimTime,
-    /// Free-form detail (e.g. `"tile(0,0)"`).
+    /// Free-form detail (e.g. `"install A tile m0=0 k0=8"`).
     pub label: String,
 }
 
@@ -70,7 +74,8 @@ impl Timeline {
         Timeline { events: Vec::new(), capacity, dropped: 0 }
     }
 
-    /// Records an event (dropped silently past capacity, counted).
+    /// Records an event not pinned to a tile (dropped silently past
+    /// capacity, counted).
     pub fn push(
         &mut self,
         kind: EventKind,
@@ -78,8 +83,21 @@ impl Timeline {
         end: SimTime,
         label: impl Into<String>,
     ) {
+        self.push_on(kind, None, start, end, label);
+    }
+
+    /// Records an event occupying the physical tile `tile` — the
+    /// per-tile occupancy view of a sharded run.
+    pub fn push_on(
+        &mut self,
+        kind: EventKind,
+        tile: Option<(usize, usize)>,
+        start: SimTime,
+        end: SimTime,
+        label: impl Into<String>,
+    ) {
         if self.events.len() < self.capacity {
-            self.events.push(Event { kind, start, end, label: label.into() });
+            self.events.push(Event { kind, tile, start, end, label: label.into() });
         } else {
             self.dropped += 1;
         }
@@ -101,17 +119,35 @@ impl Timeline {
         self.dropped = 0;
     }
 
+    /// Busy time per physical tile: the summed durations of the recorded
+    /// tile-pinned events, sorted by tile coordinate. A balanced sharded
+    /// run shows near-equal occupancy across the grid.
+    pub fn tile_occupancy(&self) -> Vec<((usize, usize), SimTime)> {
+        let mut acc: Vec<((usize, usize), SimTime)> = Vec::new();
+        for e in &self.events {
+            let Some(tile) = e.tile else { continue };
+            match acc.iter_mut().find(|(t, _)| *t == tile) {
+                Some((_, busy)) => *busy += e.end - e.start,
+                None => acc.push((tile, e.end - e.start)),
+            }
+        }
+        acc.sort_by_key(|(t, _)| *t);
+        acc
+    }
+
     /// Renders an ASCII table of the recorded events.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<16} {:>14} {:>14} {:>12}  {}\n",
-            "event", "start", "end", "duration", "detail"
+            "{:<16} {:>7} {:>14} {:>14} {:>12}  {}\n",
+            "event", "tile", "start", "end", "duration", "detail"
         ));
         for e in &self.events {
+            let tile = e.tile.map_or_else(|| "-".to_string(), |(a, b)| format!("({a},{b})"));
             out.push_str(&format!(
-                "{:<16} {:>14} {:>14} {:>12}  {}\n",
+                "{:<16} {:>7} {:>14} {:>14} {:>12}  {}\n",
                 e.kind.to_string(),
+                tile,
                 format!("{}", e.start),
                 format!("{}", e.end),
                 format!("{}", e.end - e.start),
@@ -163,5 +199,21 @@ mod tests {
     fn kinds_have_display_names() {
         assert_eq!(EventKind::WriteCrossbar.to_string(), "write-crossbar");
         assert_eq!(EventKind::ResultReady.to_string(), "result-ready");
+    }
+
+    #[test]
+    fn tile_occupancy_sums_per_tile() {
+        let mut t = Timeline::new(8);
+        let us = SimTime::from_us;
+        t.push(EventKind::Trigger, SimTime::ZERO, us(1.0), "untiled");
+        t.push_on(EventKind::Compute, Some((0, 0)), us(1.0), us(3.0), "a");
+        t.push_on(EventKind::Compute, Some((0, 1)), us(1.0), us(2.0), "b");
+        t.push_on(EventKind::WriteCrossbar, Some((0, 0)), us(3.0), us(4.0), "c");
+        let occ = t.tile_occupancy();
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0].0, (0, 0));
+        assert!((occ[0].1.as_us() - 3.0).abs() < 1e-9);
+        assert!((occ[1].1.as_us() - 1.0).abs() < 1e-9);
+        assert!(t.render().contains("(0,1)"));
     }
 }

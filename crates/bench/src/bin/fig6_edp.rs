@@ -1,17 +1,25 @@
 //! Regenerates Fig. 6 (right): energy-delay-product improvement and
-//! runtime improvement per kernel.
+//! runtime improvement per kernel — sweepable over device models and
+//! tile grids (see `docs/DEVICES.md`).
 //!
-//! Usage: `cargo run --release -p tdo-bench --bin fig6_edp [--dataset=small|medium|large]`
+//! Usage: `cargo run --release -p tdo_bench --bin fig6_edp --
+//!     [--dataset=small|medium|large] [--device pcm|reram] [--grid KxM]`
 
-use tdo_bench::{dataset_from_args, run_fig6};
-use tdo_cim::geomean;
+use tdo_bench::{dataset_from_args, device_from_args, grid_from_args, run_fig6_with};
+use tdo_cim::{geomean, ExecOptions};
 
 fn main() {
     let dataset = dataset_from_args();
-    eprintln!("running fig6 EDP study at {dataset:?} ...");
-    let rows = run_fig6(dataset);
+    let device = device_from_args();
+    let grid = grid_from_args();
+    eprintln!("running fig6 EDP study at {dataset:?} on {device} tiles, grid {grid:?} ...");
+    let opts = ExecOptions::default().with_device(device).with_tile_grid(grid.0, grid.1);
+    let rows = run_fig6_with(dataset, &opts);
 
-    println!("FIG. 6 (RIGHT) — EDP AND RUNTIME IMPROVEMENT ({dataset:?})");
+    println!(
+        "FIG. 6 (RIGHT) — EDP AND RUNTIME IMPROVEMENT ({dataset:?}, {device}, {}x{} tiles)",
+        grid.0, grid.1
+    );
     println!("{}", "=".repeat(78));
     println!(
         "{:<9} {:>16} {:>16} {:>16} {:>16}",

@@ -1,7 +1,10 @@
-//! Regenerates Table I: CIM and host system configuration.
+//! Regenerates Table I: CIM and host system configuration, plus the
+//! device/tile sweep matrix the simulator supports beyond the paper's
+//! fixed part (see `docs/DEVICES.md`).
 
 use cim_accel::AccelConfig;
 use cim_machine::MachineConfig;
+use cim_pcm::DeviceKind;
 
 fn main() {
     let a = AccelConfig::default();
@@ -54,6 +57,34 @@ fn main() {
         "{:<44} {} pJ/inst (including cache)",
         format!("L1-I/D-{}KB, L2-{}MB", m.l1d.size_bytes / 1024, m.l2.size_bytes / (1024 * 1024)),
         m.pj_per_inst
+    );
+    println!("{}", "=".repeat(72));
+
+    println!();
+    println!("DEVICE / TILE SWEEP MATRIX (beyond the paper's fixed part)");
+    println!("{}", "-".repeat(72));
+    println!(
+        "{:<26} {:>10} {:>12} {:>10} {:>10}",
+        "device", "write pJ", "write ns/row", "read ns", "endurance"
+    );
+    for kind in DeviceKind::ALL {
+        let d = kind.model();
+        let de = d.energy();
+        println!(
+            "{:<26} {:>10} {:>12} {:>10} {:>10.0e}",
+            d.name(),
+            de.write_pj_per_cell,
+            de.write_ns_per_row,
+            de.compute_ns_per_gemv,
+            d.endurance_writes()
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!(
+        "tile grid: default {}x{} ({} tile(s)); sweep with fig6_edp --device/--grid",
+        a.grid.0,
+        a.grid.1,
+        a.tile_count()
     );
     println!("{}", "=".repeat(72));
 }

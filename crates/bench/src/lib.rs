@@ -10,6 +10,7 @@
 //! Criterion micro-benchmarks (crossbar, compiler, machine, pipeline,
 //! ablation) live under `benches/`.
 
+use cim_pcm::DeviceKind;
 use polybench::{init_fn, source, Dataset, Kernel};
 use tdo_cim::{compile, execute, geomean, Comparison, CompileOptions, ExecOptions};
 use tdo_tactics::OffloadPolicy;
@@ -28,18 +29,29 @@ pub struct Fig6Row {
     pub selective_offloaded: bool,
 }
 
-/// Runs the Fig. 6 study at a dataset size.
+/// Runs the Fig. 6 study at a dataset size with the paper's default
+/// platform (Table-I PCM, single tile).
 ///
 /// # Panics
 ///
 /// Panics if any kernel fails to compile or run (they are all tested).
 pub fn run_fig6(dataset: Dataset) -> Vec<Fig6Row> {
+    run_fig6_with(dataset, &ExecOptions::default())
+}
+
+/// Runs the Fig. 6 study under explicit execution options — the sweep
+/// entry point for alternative device models and tile grids.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to compile or run (they are all tested).
+pub fn run_fig6_with(dataset: Dataset, exec_opts: &ExecOptions) -> Vec<Fig6Row> {
     Kernel::ALL
         .iter()
         .map(|&kernel| {
             let src = source(kernel, dataset);
             let init = init_fn(kernel);
-            let exec_opts = ExecOptions::default();
+            let exec_opts = exec_opts.clone();
             let always = tdo_cim::compare(
                 kernel.name(),
                 &src,
@@ -80,10 +92,40 @@ pub fn fig6_geomeans(rows: &[Fig6Row]) -> (f64, f64) {
     (full, selective)
 }
 
-/// Parses the dataset from argv (defaults to Medium, the figure default).
+/// Parses `--dataset <size>` (or `--dataset=<size>`) from argv, defaulting
+/// to Medium, the figure default.
 pub fn dataset_from_args() -> Dataset {
-    std::env::args()
-        .skip(1)
-        .find_map(|a| Dataset::parse(a.trim_start_matches("--dataset=")))
-        .unwrap_or(Dataset::Medium)
+    flag_value("--dataset").and_then(|v| Dataset::parse(&v)).unwrap_or(Dataset::Medium)
+}
+
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let prefix = format!("{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+        if a == flag {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Parses `--device <pcm|reram>` (or `--device=...`) from argv, defaulting
+/// to the paper's PCM part.
+pub fn device_from_args() -> DeviceKind {
+    flag_value("--device").and_then(|v| DeviceKind::parse(&v)).unwrap_or(DeviceKind::Pcm)
+}
+
+/// Parses `--grid <KxM>` (or `--grid=KxM`, e.g. `--grid 2x2`) from argv,
+/// defaulting to the paper's single tile.
+pub fn grid_from_args() -> (usize, usize) {
+    flag_value("--grid")
+        .and_then(|v| {
+            let (gk, gm) = v.split_once(['x', 'X'])?;
+            Some((gk.trim().parse().ok()?, gm.trim().parse().ok()?))
+        })
+        .filter(|&(gk, gm)| gk > 0 && gm > 0)
+        .unwrap_or((1, 1))
 }

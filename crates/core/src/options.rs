@@ -63,6 +63,21 @@ impl Default for ExecOptions {
     }
 }
 
+impl ExecOptions {
+    /// Retargets the accelerator to another device technology (keeps
+    /// geometry and every other knob).
+    pub fn with_device(mut self, device: cim_pcm::DeviceKind) -> Self {
+        self.accel = self.accel.with_device(device);
+        self
+    }
+
+    /// Reshapes the accelerator's tile grid to `(k_tiles, m_tiles)`.
+    pub fn with_tile_grid(mut self, k_tiles: usize, m_tiles: usize) -> Self {
+        self.accel = self.accel.with_grid(k_tiles, m_tiles);
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +89,13 @@ mod tests {
         let e = ExecOptions::default();
         assert_eq!(e.accel.rows, 256);
         assert!(e.fidelity.is_exact());
+    }
+
+    #[test]
+    fn device_and_grid_builders() {
+        let e = ExecOptions::default().with_device(cim_pcm::DeviceKind::Reram).with_tile_grid(2, 2);
+        assert_eq!(e.accel.device, cim_pcm::DeviceKind::Reram);
+        assert_eq!(e.accel.grid, (2, 2));
+        assert_eq!(e.accel.rows, 256);
     }
 }

@@ -40,6 +40,19 @@ impl Default for BusConfig {
     }
 }
 
+impl BusConfig {
+    /// Time for a DMA burst of `bytes` (setup + sustained transfer; zero
+    /// bytes are free). The single timing formula shared by the live bus,
+    /// the micro-engine's step model and the analytic estimator.
+    pub fn dma_time(&self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            SimTime::ZERO
+        } else {
+            self.dma_setup + SimTime::from_ns(bytes as f64 / self.dma_bytes_per_ns)
+        }
+    }
+}
+
 /// Traffic counters for the bus.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BusStats {
@@ -93,7 +106,7 @@ impl SystemBus {
         } else {
             self.stats.dma_bytes_out += bytes;
         }
-        self.cfg.dma_setup + SimTime::from_ns(bytes as f64 / self.cfg.dma_bytes_per_ns)
+        self.cfg.dma_time(bytes)
     }
 
     /// Time for one PMIO context-register access.
@@ -104,11 +117,7 @@ impl SystemBus {
 
     /// Pure estimate of a DMA burst time (no counters touched).
     pub fn estimate_dma(&self, bytes: u64) -> SimTime {
-        if bytes == 0 {
-            SimTime::ZERO
-        } else {
-            self.cfg.dma_setup + SimTime::from_ns(bytes as f64 / self.cfg.dma_bytes_per_ns)
-        }
+        self.cfg.dma_time(bytes)
     }
 }
 

@@ -11,6 +11,12 @@
 //! because endurance — the 1e6..1e8-write budget of PCM — is the resource
 //! the TDO-CIM compiler transformations conserve.
 //!
+//! Despite the crate name, the device physics is pluggable: the
+//! [`DeviceModel`] trait ([`device`]) bundles cell, ADC, energy and
+//! endurance parameters per technology, with the paper's PCM part
+//! ([`PcmDevice`]) and an HfOx ReRAM-style part ([`ReramDevice`]) as the
+//! built-in instances.
+//!
 //! ```
 //! use cim_pcm::cell::CellConfig;
 //! use cim_pcm::crossbar::Crossbar;
@@ -24,6 +30,7 @@
 pub mod adc;
 pub mod cell;
 pub mod crossbar;
+pub mod device;
 pub mod energy;
 pub mod pulse;
 pub mod quant;
@@ -32,6 +39,7 @@ pub mod wear;
 pub use adc::{AdcArray, AdcConfig};
 pub use cell::{CellConfig, PcmCell};
 pub use crossbar::Crossbar;
+pub use device::{DeviceKind, DeviceModel, PcmDevice, ReramDevice};
 pub use energy::PcmEnergyModel;
 pub use quant::QuantParams;
 

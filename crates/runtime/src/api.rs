@@ -65,8 +65,13 @@ pub struct CimContext {
 
 impl CimContext {
     /// Creates a context around a fresh accelerator. `bus_cfg` must match
-    /// the machine the context will run against.
+    /// the machine the context will run against. The driver's device and
+    /// tile-grid overrides ([`DriverConfig::device`] /
+    /// [`DriverConfig::tile_grid`]) are applied to `accel_cfg` first, so
+    /// callers can sweep technologies without rebuilding the accelerator
+    /// configuration by hand.
     pub fn new(accel_cfg: AccelConfig, driver_cfg: DriverConfig, mach: &Machine) -> Self {
+        let accel_cfg = driver_cfg.apply_overrides(accel_cfg);
         CimContext {
             accel: CimAccelerator::new(accel_cfg, mach.cfg.bus),
             driver: CimDriver::new(driver_cfg),
@@ -656,6 +661,20 @@ mod tests {
             ctx.cim_host_to_dev(&mut mach, p, host, 128),
             Err(CimError::InvalidArg(_))
         ));
+    }
+
+    #[test]
+    fn context_applies_driver_overrides() {
+        use cim_accel::DeviceKind;
+        let mach = Machine::new(MachineConfig::test_small());
+        let drv = DriverConfig {
+            device: Some(DeviceKind::Reram),
+            tile_grid: Some((2, 2)),
+            ..DriverConfig::default()
+        };
+        let ctx = CimContext::new(AccelConfig::test_small(), drv, &mach);
+        assert_eq!(ctx.accel().config().device, DeviceKind::Reram);
+        assert_eq!(ctx.accel().tiles().len(), 4);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod error;
 pub mod stats;
 
 pub use api::{CimContext, DevPtr, Transpose};
+pub use cim_accel::DeviceKind;
 pub use driver::{CimDriver, DriverConfig, FlushMode, WaitPolicy};
 pub use error::CimError;
 pub use stats::RuntimeStats;
