@@ -24,7 +24,7 @@ use cim_machine::units::SimTime;
 use cim_machine::Machine;
 
 use crate::buffers::BufferKind;
-use crate::shard::{plan_waves, InstallClock, Wave};
+use crate::shard::{partition_grid, plan_waves, GridRegion, InstallClock, Wave};
 use crate::tile::TileKey;
 use crate::timeline::EventKind;
 use crate::CimAccelerator;
@@ -81,6 +81,20 @@ pub struct GemmParams {
 }
 
 impl GemmParams {
+    /// Conservative physical byte ranges `(base, len)` touched by this
+    /// GEMM as `[A, B, C]`, over-approximated to whole leading-dimension
+    /// rows. Used to decide whether batch elements are independent and
+    /// may be modeled as running concurrently on disjoint tile regions.
+    fn ranges(&self) -> [(u64, u64); 3] {
+        let a_rows = if self.trans_a { self.k } else { self.m };
+        let span = |rows: usize, ld: usize| 4 * (rows.saturating_mul(ld)) as u64;
+        [
+            (self.a, span(a_rows, self.lda)),
+            (self.b, span(self.k, self.ldb)),
+            (self.c, span(self.m, self.ldc)),
+        ]
+    }
+
     fn validate(&self) -> Result<(), EngineError> {
         if self.trans_b {
             return Err(EngineError::Unsupported("transposed B operand".into()));
@@ -122,6 +136,26 @@ pub struct ConvParams {
     pub out: u64,
 }
 
+/// Whether the batch elements may be modeled as running concurrently:
+/// every element's `C` range must be disjoint from every *other*
+/// element's `A`, `B` and `C` ranges (aliasing within one element is the
+/// single-GEMM in-place case and does not order elements against each
+/// other). Ranges are conservative over-approximations, so a false
+/// negative merely serializes the schedule — never the reverse.
+fn batch_is_independent(params: &[GemmParams]) -> bool {
+    let overlap = |(b1, l1): (u64, u64), (b2, l2): (u64, u64)| b1 < b2 + l2 && b2 < b1 + l1;
+    let ranges: Vec<[(u64, u64); 3]> = params.iter().map(GemmParams::ranges).collect();
+    for (i, r_i) in ranges.iter().enumerate() {
+        let c = r_i[2];
+        for (j, r_j) in ranges.iter().enumerate() {
+            if i != j && r_j.iter().any(|&r| overlap(c, r)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 impl CimAccelerator {
     /// Per-step time of one GEMV wave: crossbar compute (all active tiles
     /// fire simultaneously) vs. the aggregate DMA traffic of the step,
@@ -141,11 +175,16 @@ impl CimAccelerator {
 
     /// Installs one wave's missing blocks on the [`InstallClock`]
     /// schedule (serial DMA, parallel row programming). Returns the
-    /// phase duration (zero when everything was resident).
+    /// phase duration (zero when everything was resident). Lanes are
+    /// relative to `region`, which pins the wave to a sub-array of the
+    /// physical grid.
+    #[allow(clippy::too_many_arguments)]
     fn install_wave(
         &mut self,
         mach: &mut Machine,
         p: &GemmParams,
+        region: GridRegion,
+        cmd: Option<u64>,
         wave: &Wave,
         g: &mut [f32],
         t0: SimTime,
@@ -164,7 +203,8 @@ impl CimAccelerator {
                     extent: (kt, mt),
                     generation: self.generation,
                 };
-                let idx = self.tile_index((ks.lane, ms.lane));
+                let lane = (region.origin.0 + ks.lane, region.origin.1 + ms.lane);
+                let idx = self.tile_index(lane);
                 if self.tiles[idx].resident() == Some(&key) {
                     continue;
                 }
@@ -199,7 +239,8 @@ impl CimAccelerator {
                 let program_start = clock.add(dma_t, install_t);
                 self.timeline.push_on(
                     EventKind::WriteCrossbar,
-                    Some((ks.lane, ms.lane)),
+                    Some(lane),
+                    cmd,
                     t0 + t + program_start,
                     t0 + t + program_start + install_t,
                     format!("install A tile m0={m0} k0={k0} ({kt}x{mt})"),
@@ -209,30 +250,50 @@ impl CimAccelerator {
         clock.finish()
     }
 
-    /// Executes a GEMM, returning the busy duration. The block grid of
-    /// `op(A)` runs in waves over the physical tile grid: per wave, all
-    /// tiles compute in parallel and reduction lanes accumulate partial
-    /// `C` columns digitally before the single read-modify-write.
-    #[allow(clippy::needless_range_loop)]
+    /// Executes a GEMM on the full tile grid, returning the busy
+    /// duration (the historical serial entry point).
     pub(crate) fn run_gemm(
         &mut self,
         mach: &mut Machine,
         p: &GemmParams,
         t0: SimTime,
     ) -> Result<SimTime, EngineError> {
+        let cmd = self.next_cmd();
+        let region = GridRegion::full(self.cfg.grid);
+        let (dur, tiles) = self.run_gemm_region(mach, p, region, Some(cmd), t0)?;
+        self.stats.max_tiles_active = self.stats.max_tiles_active.max(tiles);
+        Ok(dur)
+    }
+
+    /// Executes a GEMM confined to `region`, returning the busy duration
+    /// and the most tiles the command had active in any wave. The block
+    /// grid of `op(A)` runs in waves over the region's tiles: per wave,
+    /// all tiles compute in parallel and reduction lanes accumulate
+    /// partial `C` columns digitally before the single read-modify-write.
+    /// Does not touch [`crate::AccelStats::max_tiles_active`] — callers
+    /// modeling concurrent commands aggregate tile occupancy themselves.
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn run_gemm_region(
+        &mut self,
+        mach: &mut Machine,
+        p: &GemmParams,
+        region: GridRegion,
+        cmd: Option<u64>,
+        t0: SimTime,
+    ) -> Result<(SimTime, u64), EngineError> {
         p.validate()?;
         let tr = self.cfg.rows;
         let tc = self.cfg.cols;
-        let waves = plan_waves(tr, tc, self.cfg.grid, p.m, p.k);
+        let waves = plan_waves(tr, tc, region.shape, p.m, p.k);
         let mut t = SimTime::ZERO;
+        let mut tiles_peak = 0u64;
         let mut g = vec![0f32; tr * tc];
-        let mut x = vec![0f32; self.cfg.grid.0 * tr];
+        let mut x = vec![0f32; region.shape.0 * tr];
         let mut cseg = vec![0f32; tc];
 
         for wave in &waves {
-            self.stats.max_tiles_active =
-                self.stats.max_tiles_active.max(wave.tiles_active() as u64);
-            t += self.install_wave(mach, p, wave, &mut g, t0, t);
+            tiles_peak = tiles_peak.max(wave.tiles_active() as u64);
+            t += self.install_wave(mach, p, region, cmd, wave, &mut g, t0, t);
 
             let reads_c = !(wave.first_k && p.beta == 0.0);
             for j in 0..p.n {
@@ -261,7 +322,8 @@ impl CimAccelerator {
                         }
                     }
                     for ks in &wave.k_spans {
-                        let idx = self.tile_index((ks.lane, ms.lane));
+                        let idx =
+                            self.tile_index((region.origin.0 + ks.lane, region.origin.1 + ms.lane));
                         let seg = &x[ks.lane * tr..ks.lane * tr + ks.len];
                         let (y, receipt) = self.tiles[idx].gemv(seg);
                         // Accumulate the partial column; lanes beyond the
@@ -281,7 +343,8 @@ impl CimAccelerator {
                         if j < 2 {
                             self.timeline.push_on(
                                 EventKind::Compute,
-                                Some((ks.lane, ms.lane)),
+                                Some((region.origin.0 + ks.lane, region.origin.1 + ms.lane)),
+                                cmd,
                                 t0 + t,
                                 t0 + t + self.cfg.energy.compute_time(1),
                                 format!("gemv j={j} (tile m0={m0} k0={})", ks.start),
@@ -302,7 +365,7 @@ impl CimAccelerator {
                 }
             }
         }
-        Ok(t)
+        Ok((t, tiles_peak))
     }
 
     fn account_gemv(
@@ -329,6 +392,15 @@ impl CimAccelerator {
     /// descriptor table holds `(addr_a, addr_b, addr_c)` triples. Batches
     /// that share `A` hit tile residency and skip reprogramming — the
     /// fusion endurance win of Listing 2.
+    ///
+    /// Independent elements (pairwise disjoint `C` ranges that no other
+    /// element reads) are scheduled round-robin onto the disjoint tile
+    /// sub-grids planned by [`partition_grid`]: each region runs its
+    /// elements back-to-back and the batch finishes when the slowest
+    /// region does, so the modeled busy time can be a fraction of the
+    /// serial sum. Dependent batches fall back to the serial full-grid
+    /// chain. Results are identical either way — elements always execute
+    /// functionally in index order; only the timing schedule changes.
     pub(crate) fn run_gemm_batched(
         &mut self,
         mach: &mut Machine,
@@ -340,17 +412,48 @@ impl CimAccelerator {
         if count == 0 {
             return Err(EngineError::BadDims("empty batch".into()));
         }
-        let (descr, mut t) = self.dma.read_u64s(mach, table_pa, count * 3);
-        for i in 0..count {
-            let p = GemmParams {
+        let (descr, table_t) = self.dma.read_u64s(mach, table_pa, count * 3);
+        let params: Vec<GemmParams> = (0..count)
+            .map(|i| GemmParams {
                 a: descr[3 * i],
                 b: descr[3 * i + 1],
                 c: descr[3 * i + 2],
                 ..*template
-            };
-            t += self.run_gemm(mach, &p, t0 + t)?;
+            })
+            .collect();
+        let regions = if batch_is_independent(&params) {
+            partition_grid(self.cfg.grid, count)
+        } else {
+            vec![GridRegion::full(self.cfg.grid)]
+        };
+        let nr = regions.len();
+        // Per-region clocks, relative to the end of the table read.
+        let mut chain = vec![SimTime::ZERO; nr];
+        let mut round_tiles = 0u64;
+        for (i, p) in params.iter().enumerate() {
+            let r = i % nr;
+            if r == 0 && i > 0 {
+                // A full round of concurrent commands has been issued.
+                self.stats.max_tiles_active = self.stats.max_tiles_active.max(round_tiles);
+                round_tiles = 0;
+            }
+            let cmd = self.next_cmd();
+            let (dur, tiles) =
+                self.run_gemm_region(mach, p, regions[r], Some(cmd), t0 + table_t + chain[r])?;
+            chain[r] += dur;
+            round_tiles += tiles;
         }
-        Ok(t)
+        self.stats.max_tiles_active = self.stats.max_tiles_active.max(round_tiles);
+        let busy = chain.iter().fold(SimTime::ZERO, |a, &b| a.max(b));
+        Ok(table_t + busy)
+    }
+
+    /// Fresh logical command id (tags timeline events; one per armed
+    /// command, one per batched element).
+    pub(crate) fn next_cmd(&mut self) -> u64 {
+        let id = self.cmd_seq;
+        self.cmd_seq += 1;
+        id
     }
 
     /// Executes a single-channel 2-D convolution by installing the filter
@@ -371,6 +474,7 @@ impl CimAccelerator {
                 p.h, p.w, p.fh, p.fw
             )));
         }
+        let cmd = self.next_cmd();
         let out_h = p.h - p.fh + 1;
         let out_w = p.w - p.fw + 1;
         let seg_in = self.cfg.rows / p.fh;
@@ -416,6 +520,7 @@ impl CimAccelerator {
             self.timeline.push_on(
                 EventKind::WriteCrossbar,
                 Some((0, 0)),
+                Some(cmd),
                 t0 + t,
                 t0 + t + install_t,
                 format!("install Toeplitz filter ({in_dim}x{seg_out})"),
@@ -466,6 +571,7 @@ impl CimAccelerator {
                     self.timeline.push_on(
                         EventKind::Compute,
                         Some((0, 0)),
+                        Some(cmd),
                         t0 + t - step,
                         t0 + t,
                         format!("conv gemv row {oi}, seg {s0} (+{n_out})"),

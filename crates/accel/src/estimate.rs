@@ -10,7 +10,7 @@ use cim_machine::bus::BusConfig;
 use cim_machine::units::{Energy, SimTime};
 
 use crate::config::AccelConfig;
-use crate::shard::{plan_waves, InstallClock};
+use crate::shard::{partition_grid, plan_waves, InstallClock};
 
 /// Predicted cost of one accelerator operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -61,11 +61,12 @@ impl OpEstimate {
 ///
 /// `beta_zero` skips the initial read of `C`; `a_resident` models the
 /// stationary operand already being installed (only meaningful when `A`
-/// fits in one tile).
+/// fits in one wave of the grid — single-tile blocks that are never
+/// evicted by later waves).
 ///
 /// # Panics
 ///
-/// Panics if `a_resident` is set for a multi-tile `A`.
+/// Panics if `a_resident` is set for an operand spanning several waves.
 pub fn estimate_gemm(
     cfg: &AccelConfig,
     bus: &BusConfig,
@@ -75,14 +76,41 @@ pub fn estimate_gemm(
     beta_zero: bool,
     a_resident: bool,
 ) -> OpEstimate {
+    estimate_gemm_on(cfg, bus, cfg.grid, m, n, k, beta_zero, a_resident)
+}
+
+/// Whether an `m x k` stationary operand fits in one wave of a
+/// `(gk, gm)` sub-grid — the condition under which tile residency can
+/// survive across back-to-back kernels.
+fn fits_one_wave(cfg: &AccelConfig, grid: (usize, usize), m: usize, k: usize) -> bool {
+    k.div_ceil(cfg.rows) <= grid.0 && m.div_ceil(cfg.cols) <= grid.1
+}
+
+/// [`estimate_gemm`] confined to a sub-grid of `grid` lanes — the
+/// per-region building block the batched estimator composes, mirroring
+/// [`crate::CimAccelerator`]'s region-scoped execution.
+#[allow(clippy::too_many_arguments)]
+fn estimate_gemm_on(
+    cfg: &AccelConfig,
+    bus: &BusConfig,
+    grid: (usize, usize),
+    m: usize,
+    n: usize,
+    k: usize,
+    beta_zero: bool,
+    a_resident: bool,
+) -> OpEstimate {
     let tr = cfg.rows;
     let tc = cfg.cols;
     if a_resident {
-        assert!(m <= tc && k <= tr, "residency only possible for single-tile operands");
+        assert!(
+            fits_one_wave(cfg, grid, m, k),
+            "residency only possible for single-tile (one block per lane, one wave) operands"
+        );
     }
     let e = &cfg.energy;
     let mut est = OpEstimate::default();
-    for wave in &plan_waves(tr, tc, cfg.grid, m, k) {
+    for wave in &plan_waves(tr, tc, grid, m, k) {
         est.parallel_tiles = est.parallel_tiles.max(wave.tiles_active() as u64);
         // Install phase: serial DMA, parallel programming (see
         // `CimAccelerator::install_wave`).
@@ -143,9 +171,20 @@ pub fn estimate_gemv(
     estimate_gemm(cfg, bus, m, 1, k, beta_zero, a_resident)
 }
 
-/// Estimates a batch of `count` GEMMs sharing dimensions. With `share_a`
-/// (fused kernels with a common left operand, Listing 2) only the first
-/// problem installs the operand — the endurance win of the batched call.
+/// Estimates a batch of `count` GEMMs sharing dimensions, replaying the
+/// engine's concurrent schedule exactly: elements are assigned
+/// round-robin to the disjoint sub-grids of
+/// [`crate::shard::partition_grid`], each region chains its elements
+/// serially, and the batch's time is the table read plus the slowest
+/// region's chain. The estimator assumes the batch is independent
+/// (pairwise disjoint outputs) — the condition under which the engine
+/// actually partitions; dependent batches run the serial full-grid
+/// schedule and should be estimated with `count` single calls instead.
+///
+/// With `share_a` (fused kernels with a common left operand, Listing 2)
+/// each *region* installs the operand once — one install per sub-grid,
+/// the first round of the batch — and later rounds hit residency: the
+/// endurance win of the batched call.
 #[allow(clippy::too_many_arguments)]
 pub fn estimate_gemm_batched(
     cfg: &AccelConfig,
@@ -161,11 +200,30 @@ pub fn estimate_gemm_batched(
     let descr_bytes = (count * 3 * 8) as u64;
     est.time += bus.dma_time(descr_bytes);
     est.dma_bytes += descr_bytes;
-    let single_tile = m <= cfg.cols && k <= cfg.rows;
+    let regions = partition_grid(cfg.grid, count);
+    let nr = regions.len();
+    let mut chain = vec![SimTime::ZERO; nr];
+    let mut round_tiles = 0u64;
     for i in 0..count {
-        let resident = share_a && single_tile && i > 0;
-        est.merge(&estimate_gemm(cfg, bus, m, n, k, beta_zero, resident));
+        let r = i % nr;
+        if r == 0 && i > 0 {
+            est.parallel_tiles = est.parallel_tiles.max(round_tiles);
+            round_tiles = 0;
+        }
+        let shape = regions[r].shape;
+        let resident = share_a && i >= nr && fits_one_wave(cfg, shape, m, k);
+        let g = estimate_gemm_on(cfg, bus, shape, m, n, k, beta_zero, resident);
+        est.energy += g.energy;
+        est.cell_writes += g.cell_writes;
+        est.rows_programmed += g.rows_programmed;
+        est.gemvs += g.gemvs;
+        est.macs += g.macs;
+        est.dma_bytes += g.dma_bytes;
+        chain[r] += g.time;
+        round_tiles += g.parallel_tiles;
     }
+    est.parallel_tiles = est.parallel_tiles.max(round_tiles);
+    est.time += chain.iter().fold(SimTime::ZERO, |a, &b| a.max(b));
     est
 }
 

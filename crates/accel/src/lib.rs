@@ -63,6 +63,7 @@ pub use cim_pcm::{DeviceKind, DeviceModel};
 pub use config::AccelConfig;
 pub use engine::{ConvParams, EngineError, GemmParams};
 pub use estimate::OpEstimate;
+pub use shard::{partition_grid, GridRegion};
 pub use stats::AccelStats;
 pub use tile::{CimTile, TileKey, TileWear};
 pub use timeline::{EventKind, Timeline};
@@ -90,6 +91,10 @@ pub struct CimAccelerator {
     pub(crate) timeline: Timeline,
     pub(crate) stats: AccelStats,
     pub(crate) generation: u64,
+    /// Next logical command id (monotonic across the device's lifetime).
+    pub(crate) cmd_seq: u64,
+    /// First command id of the most recently executed command.
+    last_cmd: u64,
     last_error: Option<EngineError>,
 }
 
@@ -109,6 +114,8 @@ impl CimAccelerator {
             timeline: Timeline::new(cfg.timeline_capacity),
             stats: AccelStats::default(),
             generation: 0,
+            cmd_seq: 0,
+            last_cmd: 0,
             last_error: None,
             cfg,
             bus_cfg,
@@ -257,6 +264,15 @@ impl CimAccelerator {
     /// waits for it (spin or poll), which is where the host-side energy of
     /// Fig. 6 comes from.
     pub fn execute(&mut self, mach: &mut Machine) -> SimTime {
+        let t0 = mach.now();
+        self.execute_at(mach, t0)
+    }
+
+    /// As [`Self::execute`], but places the command's timeline events
+    /// starting at `t0` rather than the host's current clock — the entry
+    /// point of an async driver whose dispatch queue may hold the command
+    /// until earlier in-flight work on the same tiles retires.
+    pub fn execute_at(&mut self, mach: &mut Machine, t0: SimTime) -> SimTime {
         let cmd = match Command::decode(self.regs.read(Reg::Command)) {
             Some(c) => c,
             None => {
@@ -269,9 +285,16 @@ impl CimAccelerator {
             self.regs.set_status(Status::Idle);
             return SimTime::ZERO;
         }
-        let t0 = mach.now();
+        self.last_cmd = self.cmd_seq;
         self.regs.set_status(Status::Busy);
-        self.timeline.push(Ev::Trigger, t0, t0, format!("{cmd:?} armed"));
+        self.timeline.push_on(
+            Ev::Trigger,
+            None,
+            Some(self.last_cmd),
+            t0,
+            t0,
+            format!("{cmd:?} armed"),
+        );
         let result = match cmd {
             Command::Gemm => {
                 let p = self.decode_gemm();
@@ -297,7 +320,14 @@ impl CimAccelerator {
             Ok(dur) => {
                 self.stats.busy += dur;
                 self.regs.set_status(Status::Done);
-                self.timeline.push(Ev::ResultReady, t0 + dur, t0 + dur, "status := done");
+                self.timeline.push_on(
+                    Ev::ResultReady,
+                    None,
+                    Some(self.last_cmd),
+                    t0 + dur,
+                    t0 + dur,
+                    "status := done",
+                );
                 self.last_error = None;
                 dur
             }
@@ -307,6 +337,13 @@ impl CimAccelerator {
                 SimTime::ZERO
             }
         }
+    }
+
+    /// First logical command id assigned to the most recently executed
+    /// command (batched elements count up from it). Identifies the
+    /// command in timeline events and driver completion handles.
+    pub fn last_cmd(&self) -> u64 {
+        self.last_cmd
     }
 }
 
@@ -451,6 +488,121 @@ mod tests {
         // A installed once: 2 rows, not 4 — the Listing-2 endurance win.
         assert_eq!(acc.stats().rows_programmed, 2);
         assert_eq!(acc.stats().cell_writes, 4);
+    }
+
+    /// Runs a batch of `count` independent GEMMs (distinct operands) on
+    /// `cfg`, returning the concatenated `C` results and the stats.
+    fn run_batch_with(cfg: AccelConfig, n: usize, count: usize) -> (Vec<f32>, AccelStats, SimTime) {
+        let mut mach = Machine::new(MachineConfig::test_small());
+        let mut acc = CimAccelerator::new(cfg, mach.cfg.bus);
+        let mut descr = Vec::new();
+        let mut c_pas = Vec::new();
+        for i in 0..count {
+            let av: Vec<f32> = (0..n * n).map(|j| ((i * 31 + j * 7) % 11) as f32 - 5.0).collect();
+            let bv: Vec<f32> = (0..n * n).map(|j| ((i * 17 + j * 3) % 13) as f32 - 6.0).collect();
+            let a = alloc_mat(&mut mach, &av);
+            let b = alloc_mat(&mut mach, &bv);
+            let c = alloc_mat(&mut mach, &vec![0.0; n * n]);
+            descr.extend_from_slice(&[a, b, c]);
+            c_pas.push(c);
+        }
+        let mut raw = Vec::new();
+        for v in &descr {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        let (_va, table) = mach.alloc_cma(raw.len() as u64).expect("cma");
+        mach.uncached_write(table, &raw);
+        arm_gemm(&mut acc, n, n, n, descr[0], descr[1], descr[2]);
+        acc.pmio_write(Reg::BatchCount, count as u64);
+        acc.pmio_write(Reg::AddrBatch, table);
+        acc.pmio_write(Reg::Command, Command::GemmBatched as u64);
+        let dur = acc.execute(&mut mach);
+        assert_eq!(acc.regs().status(), Status::Done, "{:?}", acc.last_error());
+        let mut out = Vec::new();
+        for c in c_pas {
+            out.extend(read_mat(&mut mach, c, n * n));
+        }
+        (out, *acc.stats(), dur)
+    }
+
+    #[test]
+    fn batched_partitions_grid_and_beats_serial() {
+        // Four independent 8x8 GEMMs on 8x8 tiles: a 2x2 grid runs them
+        // on four disjoint one-tile regions concurrently.
+        let (serial_c, serial_stats, serial_dur) = run_batch_with(AccelConfig::test_small(), 8, 4);
+        let (sharded_c, sharded_stats, sharded_dur) =
+            run_batch_with(AccelConfig::test_small().with_grid(2, 2), 8, 4);
+        assert_eq!(sharded_c, serial_c, "partitioned batch diverged");
+        assert_eq!(sharded_stats.cell_writes, serial_stats.cell_writes);
+        assert_eq!(sharded_stats.macs, serial_stats.macs);
+        assert_eq!(serial_stats.max_tiles_active, 1);
+        assert_eq!(sharded_stats.max_tiles_active, 4, "all regions active in one round");
+        assert!(
+            sharded_dur.as_ns() < 0.5 * serial_dur.as_ns(),
+            "batch {sharded_dur} not faster than serial {serial_dur}"
+        );
+    }
+
+    #[test]
+    fn batched_run_matches_estimate_on_partitioned_grid() {
+        for (count, grid) in [(4usize, (2usize, 2usize)), (3, (2, 2)), (5, (4, 1))] {
+            let cfg = AccelConfig::test_small().with_grid(grid.0, grid.1);
+            let (_, stats, dur) = run_batch_with(cfg, 8, count);
+            let est = estimate::estimate_gemm_batched(
+                &cfg,
+                &Machine::new(MachineConfig::test_small()).cfg.bus,
+                8,
+                8,
+                8,
+                true,
+                count,
+                false,
+            );
+            assert_eq!(stats.gemv_count, est.gemvs, "count={count} grid={grid:?}");
+            assert_eq!(stats.cell_writes, est.cell_writes);
+            assert_eq!(stats.rows_programmed, est.rows_programmed);
+            assert_eq!(stats.macs, est.macs);
+            assert_eq!(stats.max_tiles_active, est.parallel_tiles);
+            assert!(
+                (dur.as_ns() - est.time.as_ns()).abs() < 1e-6,
+                "count={count} grid={grid:?}: time {dur} vs {}",
+                est.time
+            );
+            let measured = stats.total_energy();
+            assert!(
+                (measured.as_pj() - est.energy.as_pj()).abs() / est.energy.as_pj() < 1e-9,
+                "energy {measured} vs {}",
+                est.energy
+            );
+        }
+    }
+
+    #[test]
+    fn dependent_batch_serializes() {
+        // Two batch elements writing the same C must not be modeled as
+        // concurrent: the schedule falls back to the serial chain.
+        let mut mach = Machine::new(MachineConfig::test_small());
+        let cfg = AccelConfig::test_small().with_grid(2, 2);
+        let mut acc = CimAccelerator::new(cfg, mach.cfg.bus);
+        let a = alloc_mat(&mut mach, &[1.0, 0.0, 0.0, 1.0]);
+        let b = alloc_mat(&mut mach, &[1.0, 2.0, 3.0, 4.0]);
+        let c = alloc_mat(&mut mach, &[0.0; 4]);
+        let mut raw = Vec::new();
+        for v in [a, b, c, a, c, c] {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        let (_va, table) = mach.alloc_cma(raw.len() as u64).expect("cma");
+        mach.uncached_write(table, &raw);
+        arm_gemm(&mut acc, 2, 2, 2, a, b, c);
+        acc.pmio_write(Reg::Beta, 0.0f32.to_bits() as u64);
+        acc.pmio_write(Reg::BatchCount, 2);
+        acc.pmio_write(Reg::AddrBatch, table);
+        acc.pmio_write(Reg::Command, Command::GemmBatched as u64);
+        acc.execute(&mut mach);
+        assert_eq!(acc.regs().status(), Status::Done);
+        // Element 2 consumed element 1's output: C := I * C.
+        assert_eq!(read_mat(&mut mach, c, 4), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(acc.stats().max_tiles_active, 1, "dependent batch stays serial");
     }
 
     #[test]

@@ -45,6 +45,99 @@ impl InstallClock {
     }
 }
 
+/// A rectangular sub-array of the physical tile grid, in grid-lane
+/// coordinates: `origin = (k_lane, m_lane)`, `shape = (gk, gm)`. Commands
+/// dispatched to disjoint regions occupy disjoint tiles and can run
+/// concurrently; [`partition_grid`] plans such a decomposition for a
+/// batch of independent kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridRegion {
+    /// First `(k_lane, m_lane)` covered.
+    pub origin: (usize, usize),
+    /// Lanes covered along each axis.
+    pub shape: (usize, usize),
+}
+
+impl GridRegion {
+    /// The region covering the whole `grid`.
+    pub fn full(grid: (usize, usize)) -> Self {
+        GridRegion { origin: (0, 0), shape: grid }
+    }
+
+    /// Number of physical tiles in the region.
+    pub fn tiles(&self) -> usize {
+        self.shape.0 * self.shape.1
+    }
+
+    /// Whether two regions share any physical tile.
+    pub fn overlaps(&self, other: &GridRegion) -> bool {
+        let disjoint_k = self.origin.0 + self.shape.0 <= other.origin.0
+            || other.origin.0 + other.shape.0 <= self.origin.0;
+        let disjoint_m = self.origin.1 + self.shape.1 <= other.origin.1
+            || other.origin.1 + other.shape.1 <= self.origin.1;
+        !(disjoint_k || disjoint_m)
+    }
+}
+
+/// Partitions a `(gk, gm)` tile grid into up to `count` disjoint
+/// [`GridRegion`]s, one per concurrent command of a batch. The planner
+/// picks the `(pk, pm)` split with the most regions not exceeding
+/// `count`, tie-broken toward square regions, and balances ragged lane
+/// counts so no region is more than one lane wider than another. A
+/// `(1, 1)` grid (the paper's single tile) always yields one full-grid
+/// region — the serial schedule.
+///
+/// Deterministic: the same inputs always produce the same partition, so
+/// the analytic estimator can replay the engine's schedule exactly.
+///
+/// # Panics
+///
+/// Panics if the grid has a zero axis.
+pub fn partition_grid(grid: (usize, usize), count: usize) -> Vec<GridRegion> {
+    let (gk, gm) = grid;
+    assert!(gk > 0 && gm > 0, "degenerate grid");
+    let want = count.max(1).min(gk * gm);
+    let mut best = (1usize, 1usize);
+    for pk in 1..=gk {
+        for pm in 1..=gm {
+            let n = pk * pm;
+            if n > want {
+                continue;
+            }
+            let better = n > best.0 * best.1
+                || (n == best.0 * best.1 && pk.abs_diff(pm) < best.0.abs_diff(best.1));
+            if better {
+                best = (pk, pm);
+            }
+        }
+    }
+    let (pk, pm) = best;
+    let k_chunks = balance(gk, pk);
+    let m_chunks = balance(gm, pm);
+    let mut regions = Vec::with_capacity(pk * pm);
+    for &(k0, klen) in &k_chunks {
+        for &(m0, mlen) in &m_chunks {
+            regions.push(GridRegion { origin: (k0, m0), shape: (klen, mlen) });
+        }
+    }
+    regions
+}
+
+/// Splits `total` lanes into `parts` contiguous chunks whose sizes differ
+/// by at most one.
+fn balance(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut at = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((at, len));
+        at += len;
+    }
+    out
+}
+
 /// One block span along a single axis, pinned to a grid lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Span {
@@ -160,6 +253,65 @@ mod tests {
         assert_eq!(waves[1].k_spans[0], Span { start: 16, len: 4, lane: 0 });
         assert_eq!(waves[0].m_spans[1], Span { start: 8, len: 4, lane: 1 });
         assert!(!waves[1].first_k);
+    }
+
+    #[test]
+    fn partition_grid_is_disjoint_and_covers() {
+        for (grid, count) in
+            [((2, 2), 4), ((2, 2), 3), ((4, 1), 4), ((1, 4), 2), ((3, 3), 5), ((2, 3), 100)]
+        {
+            let regions = partition_grid(grid, count);
+            assert!(!regions.is_empty());
+            assert!(regions.len() <= count, "grid {grid:?} count {count}");
+            let covered: usize = regions.iter().map(GridRegion::tiles).sum();
+            for (i, a) in regions.iter().enumerate() {
+                for b in &regions[i + 1..] {
+                    assert!(!a.overlaps(b), "{a:?} vs {b:?}");
+                }
+            }
+            assert!(covered <= grid.0 * grid.1);
+            // Every lane belongs to some region (full coverage).
+            let owned = |k: usize, m: usize| {
+                regions.iter().any(|r| {
+                    (r.origin.0..r.origin.0 + r.shape.0).contains(&k)
+                        && (r.origin.1..r.origin.1 + r.shape.1).contains(&m)
+                })
+            };
+            for k in 0..grid.0 {
+                for m in 0..grid.1 {
+                    assert!(owned(k, m), "lane ({k},{m}) unowned for {grid:?}/{count}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_tile_grid_never_partitions() {
+        let regions = partition_grid((1, 1), 8);
+        assert_eq!(regions, vec![GridRegion::full((1, 1))]);
+    }
+
+    #[test]
+    fn partition_prefers_square_regions() {
+        // 2x2 grid, batch of 2: split one axis, keeping 2-tile regions.
+        let regions = partition_grid((2, 2), 2);
+        assert_eq!(regions.len(), 2);
+        assert!(regions.iter().all(|r| r.tiles() == 2));
+        // Batch of 4: one tile each.
+        let regions = partition_grid((2, 2), 4);
+        assert_eq!(regions.len(), 4);
+        assert!(regions.iter().all(|r| r.tiles() == 1));
+    }
+
+    #[test]
+    fn region_overlap_geometry() {
+        let a = GridRegion { origin: (0, 0), shape: (2, 1) };
+        let b = GridRegion { origin: (0, 1), shape: (2, 1) };
+        let c = GridRegion { origin: (1, 0), shape: (1, 2) };
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert!(a.overlaps(&a));
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct Event {
     /// is tile-specific (installs and computes are; trigger/status flips
     /// are not).
     pub tile: Option<(usize, usize)>,
+    /// Logical command the event belongs to. Every armed command gets a
+    /// fresh id; the elements of a batched GEMM each get their own, so a
+    /// concurrent batch can be untangled per command in the rendering.
+    pub cmd: Option<u64>,
     /// Start time (relative to machine epoch).
     pub start: SimTime,
     /// End time.
@@ -83,21 +87,23 @@ impl Timeline {
         end: SimTime,
         label: impl Into<String>,
     ) {
-        self.push_on(kind, None, start, end, label);
+        self.push_on(kind, None, None, start, end, label);
     }
 
-    /// Records an event occupying the physical tile `tile` — the
-    /// per-tile occupancy view of a sharded run.
+    /// Records an event occupying the physical tile `tile` on behalf of
+    /// logical command `cmd` — the per-tile, per-command occupancy view
+    /// of a sharded or batched run.
     pub fn push_on(
         &mut self,
         kind: EventKind,
         tile: Option<(usize, usize)>,
+        cmd: Option<u64>,
         start: SimTime,
         end: SimTime,
         label: impl Into<String>,
     ) {
         if self.events.len() < self.capacity {
-            self.events.push(Event { kind, tile, start, end, label: label.into() });
+            self.events.push(Event { kind, tile, cmd, start, end, label: label.into() });
         } else {
             self.dropped += 1;
         }
@@ -139,15 +145,17 @@ impl Timeline {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<16} {:>7} {:>14} {:>14} {:>12}  {}\n",
-            "event", "tile", "start", "end", "duration", "detail"
+            "{:<16} {:>7} {:>5} {:>14} {:>14} {:>12}  {}\n",
+            "event", "tile", "cmd", "start", "end", "duration", "detail"
         ));
         for e in &self.events {
             let tile = e.tile.map_or_else(|| "-".to_string(), |(a, b)| format!("({a},{b})"));
+            let cmd = e.cmd.map_or_else(|| "-".to_string(), |c| format!("#{c}"));
             out.push_str(&format!(
-                "{:<16} {:>7} {:>14} {:>14} {:>12}  {}\n",
+                "{:<16} {:>7} {:>5} {:>14} {:>14} {:>12}  {}\n",
                 e.kind.to_string(),
                 tile,
+                cmd,
                 format!("{}", e.start),
                 format!("{}", e.end),
                 format!("{}", e.end - e.start),
@@ -206,14 +214,24 @@ mod tests {
         let mut t = Timeline::new(8);
         let us = SimTime::from_us;
         t.push(EventKind::Trigger, SimTime::ZERO, us(1.0), "untiled");
-        t.push_on(EventKind::Compute, Some((0, 0)), us(1.0), us(3.0), "a");
-        t.push_on(EventKind::Compute, Some((0, 1)), us(1.0), us(2.0), "b");
-        t.push_on(EventKind::WriteCrossbar, Some((0, 0)), us(3.0), us(4.0), "c");
+        t.push_on(EventKind::Compute, Some((0, 0)), Some(0), us(1.0), us(3.0), "a");
+        t.push_on(EventKind::Compute, Some((0, 1)), Some(1), us(1.0), us(2.0), "b");
+        t.push_on(EventKind::WriteCrossbar, Some((0, 0)), Some(0), us(3.0), us(4.0), "c");
         let occ = t.tile_occupancy();
         assert_eq!(occ.len(), 2);
         assert_eq!(occ[0].0, (0, 0));
         assert!((occ[0].1.as_us() - 3.0).abs() < 1e-9);
         assert!((occ[1].1.as_us() - 1.0).abs() < 1e-9);
         assert!(t.render().contains("(0,1)"));
+    }
+
+    #[test]
+    fn events_carry_command_ids() {
+        let mut t = Timeline::new(4);
+        t.push_on(EventKind::Compute, Some((0, 0)), Some(7), SimTime::ZERO, SimTime::ZERO, "x");
+        t.push(EventKind::Trigger, SimTime::ZERO, SimTime::ZERO, "y");
+        assert_eq!(t.events()[0].cmd, Some(7));
+        assert_eq!(t.events()[1].cmd, None);
+        assert!(t.render().contains("#7"));
     }
 }

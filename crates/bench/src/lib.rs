@@ -121,11 +121,29 @@ pub fn device_from_args() -> DeviceKind {
 /// Parses `--grid <KxM>` (or `--grid=KxM`, e.g. `--grid 2x2`) from argv,
 /// defaulting to the paper's single tile.
 pub fn grid_from_args() -> (usize, usize) {
+    grid_from_args_or((1, 1))
+}
+
+/// As [`grid_from_args`], with an explicit default — overlap studies
+/// default to a multi-tile grid, the figure binaries to the paper's
+/// single tile.
+pub fn grid_from_args_or(default: (usize, usize)) -> (usize, usize) {
     flag_value("--grid")
         .and_then(|v| {
             let (gk, gm) = v.split_once(['x', 'X'])?;
             Some((gk.trim().parse().ok()?, gm.trim().parse().ok()?))
         })
         .filter(|&(gk, gm)| gk > 0 && gm > 0)
-        .unwrap_or((1, 1))
+        .unwrap_or(default)
+}
+
+/// Parses `--batch <N>` (or `--batch=N`) from argv.
+pub fn batch_from_args_or(default: usize) -> usize {
+    flag_value("--batch").and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+/// Parses `--size <N>` (or `--size=N`) from argv — per-kernel problem
+/// size for the overlap study.
+pub fn size_from_args_or(default: usize) -> usize {
+    flag_value("--size").and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0).unwrap_or(default)
 }

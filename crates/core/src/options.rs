@@ -3,7 +3,7 @@
 use cim_accel::AccelConfig;
 use cim_machine::MachineConfig;
 use cim_pcm::Fidelity;
-use cim_runtime::DriverConfig;
+use cim_runtime::{DispatchMode, DriverConfig};
 use tdo_tactics::TacticsConfig;
 
 /// Options of the end-to-end pipeline — the two compilation strings of
@@ -76,6 +76,25 @@ impl ExecOptions {
         self.accel = self.accel.with_grid(k_tiles, m_tiles);
         self
     }
+
+    /// Selects how `polly_cim*` calls reach the accelerator:
+    /// [`DispatchMode::Sync`] blocks the host per invocation (the paper's
+    /// spinlock), [`DispatchMode::Async`] submits and lets the host
+    /// overlap its own compute until a result is observed.
+    ///
+    /// ```
+    /// use cim_runtime::DispatchMode;
+    /// use tdo_cim::ExecOptions;
+    ///
+    /// let opts = ExecOptions::default().with_dispatch(DispatchMode::Async);
+    /// assert_eq!(opts.driver.dispatch, DispatchMode::Async);
+    /// // The default remains the paper's blocking driver.
+    /// assert_eq!(ExecOptions::default().driver.dispatch, DispatchMode::Sync);
+    /// ```
+    pub fn with_dispatch(mut self, mode: DispatchMode) -> Self {
+        self.driver.dispatch = mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +116,12 @@ mod tests {
         assert_eq!(e.accel.device, cim_pcm::DeviceKind::Reram);
         assert_eq!(e.accel.grid, (2, 2));
         assert_eq!(e.accel.rows, 256);
+    }
+
+    #[test]
+    fn dispatch_builder() {
+        let e = ExecOptions::default().with_dispatch(DispatchMode::Async);
+        assert_eq!(e.driver.dispatch, DispatchMode::Async);
+        assert_eq!(ExecOptions::default().driver.dispatch, DispatchMode::Sync);
     }
 }

@@ -18,8 +18,9 @@ use cim_accel::{AccelConfig, CimAccelerator};
 use cim_machine::cpu::InstClass;
 use cim_machine::units::SimTime;
 use cim_machine::Machine;
+use std::collections::VecDeque;
 
-use crate::driver::{CimDriver, DriverConfig};
+use crate::driver::{CimDriver, CimFuture, DispatchMode, DriverConfig};
 use crate::error::CimError;
 use crate::stats::RuntimeStats;
 
@@ -53,6 +54,15 @@ impl Transpose {
     }
 }
 
+/// A command submitted under [`DispatchMode::Async`] that the context
+/// has not yet synchronized, plus the scratch buffers (batched
+/// descriptor tables) that must stay live until it completes.
+#[derive(Debug)]
+struct PendingCmd {
+    future: CimFuture,
+    scratch: Vec<DevPtr>,
+}
+
 /// The per-device runtime context (device handle + driver session).
 #[derive(Debug)]
 pub struct CimContext {
@@ -60,6 +70,7 @@ pub struct CimContext {
     driver: CimDriver,
     device_id: Option<u32>,
     allocations: Vec<DevPtr>,
+    pending: Vec<PendingCmd>,
     stats: RuntimeStats,
 }
 
@@ -77,6 +88,7 @@ impl CimContext {
             driver: CimDriver::new(driver_cfg),
             device_id: None,
             allocations: Vec::new(),
+            pending: Vec::new(),
             stats: RuntimeStats::default(),
         }
     }
@@ -106,6 +118,89 @@ impl CimContext {
             return Err(CimError::NotInitialized);
         }
         Ok(())
+    }
+
+    /// Commands submitted asynchronously and not yet synchronized.
+    pub fn pending_commands(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Synchronizes every pending asynchronous command: the host pays
+    /// whatever wait remains after its overlapped work ([`CimDriver::sync`])
+    /// and the commands' scratch buffers are released. A no-op under
+    /// [`DispatchMode::Sync`] or with nothing in flight. Returns the
+    /// summed accelerator busy time of the synchronized commands.
+    ///
+    /// Called implicitly by every entry point that observes or
+    /// invalidates device results (`cim_dev_to_host`, the sync calls,
+    /// host-to-device copies, `cim_free`), so results can never be read
+    /// before the modeled hardware produced them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver or free errors; unprocessed commands (and any
+    /// scratch still unfreed) stay pending, so nothing leaks.
+    pub fn cim_sync(&mut self, mach: &mut Machine) -> Result<SimTime, CimError> {
+        let mut total = SimTime::ZERO;
+        // Take the whole queue up front: `cim_free` below re-enters this
+        // method, and the nested call must see an empty queue rather
+        // than sync commands behind the outer loop's back (which would
+        // silently drop their busy time from `total`).
+        let mut pending: VecDeque<PendingCmd> = std::mem::take(&mut self.pending).into();
+        while let Some(cmd) = pending.pop_front() {
+            if let Err(e) = self.driver.sync(mach, &mut self.accel, &cmd.future) {
+                pending.push_front(cmd);
+                self.pending = pending.into();
+                return Err(e);
+            }
+            total += cmd.future.busy;
+            for (i, p) in cmd.scratch.iter().enumerate() {
+                if let Err(e) = self.cim_free(mach, *p) {
+                    // The command itself completed; park its unfreed
+                    // scratch on a re-queued entry (the future is already
+                    // past `ready_at`, so a later sync retries the frees
+                    // without waiting again).
+                    let scratch = cmd.scratch[i..].to_vec();
+                    pending.push_front(PendingCmd { future: cmd.future, scratch });
+                    self.pending = pending.into();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Dispatches the armed command per the configured [`DispatchMode`],
+    /// taking ownership of `scratch` buffers that must be freed once the
+    /// command is done (on every path, including errors — the descriptor
+    /// table must never leak).
+    fn dispatch_armed(
+        &mut self,
+        mach: &mut Machine,
+        scratch: Vec<DevPtr>,
+    ) -> Result<SimTime, CimError> {
+        match self.driver.config().dispatch {
+            DispatchMode::Sync => {
+                let result = self.driver.invoke(mach, &mut self.accel);
+                for p in scratch {
+                    self.cim_free(mach, p)?;
+                }
+                result
+            }
+            DispatchMode::Async => match self.driver.submit(mach, &mut self.accel) {
+                Ok(future) => {
+                    self.stats.async_submits += 1;
+                    self.pending.push(PendingCmd { future, scratch });
+                    Ok(future.busy)
+                }
+                Err(e) => {
+                    for p in scratch {
+                        self.cim_free(mach, p)?;
+                    }
+                    Err(e)
+                }
+            },
+        }
     }
 
     /// `polly_cimInit(device)`: opens the device and resets the engine.
@@ -149,6 +244,8 @@ impl CimContext {
     /// [`CimError::InvalidPointer`] if `ptr` is not live.
     pub fn cim_free(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
         self.ensure_init()?;
+        // The buffer may back an in-flight command: complete them first.
+        self.cim_sync(mach)?;
         let Some(at) = self.allocations.iter().position(|p| p == &ptr) else {
             return Err(CimError::InvalidPointer(ptr.va));
         };
@@ -204,6 +301,7 @@ impl CimContext {
     /// [`CimError::InvalidPointer`] for unregistered buffers.
     pub fn cim_sync_to_dev(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
         self.ensure_init()?;
+        self.cim_sync(mach)?;
         self.check_live(&ptr)?;
         self.driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
         self.accel.invalidate_range(ptr.pa, ptr.len);
@@ -220,6 +318,7 @@ impl CimContext {
     /// [`CimError::InvalidPointer`] for unregistered buffers.
     pub fn cim_sync_to_host(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
         self.ensure_init()?;
+        self.cim_sync(mach)?;
         self.check_live(&ptr)?;
         self.driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
         self.stats.d2h_calls += 1;
@@ -241,6 +340,7 @@ impl CimContext {
         len: u64,
     ) -> Result<(), CimError> {
         self.ensure_init()?;
+        self.cim_sync(mach)?;
         self.check_live(&dst)?;
         if len > dst.len {
             return Err(CimError::InvalidArg(format!(
@@ -270,6 +370,7 @@ impl CimContext {
         len: u64,
     ) -> Result<(), CimError> {
         self.ensure_init()?;
+        self.cim_sync(mach)?;
         self.check_live(&src)?;
         if len > src.len {
             return Err(CimError::InvalidArg(format!(
@@ -333,7 +434,7 @@ impl CimContext {
             (Reg::Command, Command::Gemm as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
-        self.driver.invoke(mach, &mut self.accel)
+        self.dispatch_armed(mach, Vec::new())
     }
 
     /// `polly_cimBlasSGemv`: `y = alpha*op(A)*x + beta*y`.
@@ -376,7 +477,7 @@ impl CimContext {
             (Reg::Command, Command::Gemv as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
-        self.driver.invoke(mach, &mut self.accel)
+        self.dispatch_armed(mach, Vec::new())
     }
 
     /// `polly_cimBlasGemmBatched`: a batch of same-shape GEMMs issued in
@@ -459,9 +560,10 @@ impl CimContext {
             (Reg::Command, Command::GemmBatched as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
-        let result = self.driver.invoke(mach, &mut self.accel);
-        self.cim_free(mach, table)?;
-        result
+        // The scratch table travels with the dispatch: freed after a
+        // synchronous invocation (success *or* device error) or when the
+        // asynchronous command is synchronized — never leaked.
+        self.dispatch_armed(mach, vec![table])
     }
 
     /// `polly_cimConv2d`: single-channel 2-D convolution (valid padding).
@@ -500,7 +602,7 @@ impl CimContext {
             (Reg::Command, Command::Conv2d as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
-        self.driver.invoke(mach, &mut self.accel)
+        self.dispatch_armed(mach, Vec::new())
     }
 }
 
@@ -625,6 +727,92 @@ mod tests {
         let mut out = [0f32; 4];
         mach.peek_f32_slice(host, &mut out);
         assert_eq!(out, [5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn batched_error_path_frees_descriptor_table() {
+        // The scratch CMA descriptor table must be released even when
+        // the engine rejects the command — in both dispatch modes.
+        for dispatch in [DispatchMode::Sync, DispatchMode::Async] {
+            let mut mach = Machine::new(cim_machine::MachineConfig::test_small());
+            let drv_cfg = DriverConfig { dispatch, ..DriverConfig::default() };
+            let mut ctx = CimContext::new(AccelConfig::test_small(), drv_cfg, &mach);
+            ctx.cim_init(&mut mach, 0).expect("init");
+            let a = dev_mat(&mut ctx, &mut mach, &[1.0, 0.0, 0.0, 1.0]);
+            let b = dev_mat(&mut ctx, &mut mach, &[1.0, 2.0, 3.0, 4.0]);
+            let c = dev_mat(&mut ctx, &mut mach, &[0.0; 4]);
+            let used_before = mach.cma.used();
+            // m = 0 -> the engine flags BadDims after the table is built.
+            let err = ctx
+                .cim_blas_gemm_batched(
+                    &mut mach,
+                    Transpose::No,
+                    Transpose::No,
+                    0,
+                    2,
+                    2,
+                    1.0,
+                    &[a],
+                    2,
+                    &[b],
+                    2,
+                    0.0,
+                    &[c],
+                    2,
+                )
+                .unwrap_err();
+            assert!(matches!(err, CimError::Device(_)), "{dispatch:?}");
+            assert_eq!(
+                mach.cma.used(),
+                used_before,
+                "{dispatch:?}: descriptor table leaked CMA bytes"
+            );
+            assert_eq!(ctx.pending_commands(), 0, "{dispatch:?}");
+        }
+    }
+
+    #[test]
+    fn async_batched_defers_wait_until_results_observed() {
+        let mut mach = Machine::new(cim_machine::MachineConfig::test_small());
+        let drv_cfg = DriverConfig { dispatch: DispatchMode::Async, ..DriverConfig::default() };
+        let mut ctx = CimContext::new(AccelConfig::test_small().with_grid(2, 2), drv_cfg, &mach);
+        ctx.cim_init(&mut mach, 0).expect("init");
+        let a1 = dev_mat(&mut ctx, &mut mach, &[1.0, 0.0, 0.0, 1.0]);
+        let a2 = dev_mat(&mut ctx, &mut mach, &[2.0, 0.0, 0.0, 2.0]);
+        let b1 = dev_mat(&mut ctx, &mut mach, &[1.0, 2.0, 3.0, 4.0]);
+        let b2 = dev_mat(&mut ctx, &mut mach, &[5.0, 6.0, 7.0, 8.0]);
+        let c1 = dev_mat(&mut ctx, &mut mach, &[0.0; 4]);
+        let c2 = dev_mat(&mut ctx, &mut mach, &[0.0; 4]);
+        ctx.cim_blas_gemm_batched(
+            &mut mach,
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            1.0,
+            &[a1, a2],
+            2,
+            &[b1, b2],
+            2,
+            0.0,
+            &[c1, c2],
+            2,
+        )
+        .expect("batched submits");
+        // The call returned with the command in flight; the independent
+        // elements ran on disjoint tile regions.
+        assert_eq!(ctx.pending_commands(), 1);
+        assert_eq!(ctx.stats().async_submits, 1);
+        assert!(ctx.accel().stats().max_tiles_active >= 2);
+        // Overlap host work, then observe a result: the d2h path syncs.
+        mach.advance_host(cim_machine::units::SimTime::from_us(5.0));
+        let host = mach.alloc_host(16);
+        ctx.cim_dev_to_host(&mut mach, host, c2, 16).expect("d2h");
+        assert_eq!(ctx.pending_commands(), 0);
+        let mut out = [0f32; 4];
+        mach.peek_f32_slice(host, &mut out);
+        assert_eq!(out, [10.0, 12.0, 14.0, 16.0]);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! offloading in Fig. 6.
 
 use cim_accel::regs::{Reg, Status};
-use cim_accel::{AccelConfig, CimAccelerator, DeviceKind};
+use cim_accel::{AccelConfig, CimAccelerator, DeviceKind, GridRegion};
 use cim_machine::cpu::InstClass;
 use cim_machine::units::SimTime;
 use cim_machine::Machine;
@@ -33,11 +33,35 @@ pub enum WaitPolicy {
     /// WFE-style waiting: the clock advances without retiring
     /// instructions, except for a periodic status poll.
     Poll {
-        /// Interval between status reads.
+        /// Interval between status reads. Must be positive; see
+        /// [`DriverConfig::validate`].
         interval: SimTime,
         /// Instructions per poll (wake, uncached load, compare, branch).
         insts_per_poll: u64,
     },
+}
+
+/// Smallest poll interval the wait path will honor, in nanoseconds:
+/// below this the "sleep" degenerates into a spin and the poll-count
+/// arithmetic divides by (nearly) zero, so [`CimDriver`] clamps to it
+/// defensively even if a caller mutates the config after construction.
+pub const MIN_POLL_INTERVAL_NS: f64 = 1.0;
+
+/// How runtime calls reach the accelerator.
+///
+/// The paper's host "can either wait on spinlock or continue with other
+/// tasks and check the status of such register periodically" (Section
+/// III-B); `Sync` is the first half of that sentence, `Async` the second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Every invocation blocks the host until the accelerator finishes
+    /// (the historical behavior).
+    #[default]
+    Sync,
+    /// Invocations return a completion handle immediately; the host
+    /// overlaps other work and pays only the *remaining* wait when it
+    /// synchronizes ([`CimDriver::sync`] / [`crate::CimContext::cim_sync`]).
+    Async,
 }
 
 /// What the pre-invocation cache flush covers.
@@ -66,6 +90,8 @@ pub struct DriverConfig {
     pub flush_base_insts: u64,
     /// Wait policy.
     pub wait: WaitPolicy,
+    /// Dispatch mode: blocking invocations or submit/sync overlap.
+    pub dispatch: DispatchMode,
     /// Flush coverage.
     pub flush: FlushMode,
     /// Device-model override: when set, the context re-derives the
@@ -85,6 +111,7 @@ impl Default for DriverConfig {
             malloc_insts: 2000,
             flush_base_insts: 200,
             wait: WaitPolicy::Spin,
+            dispatch: DispatchMode::Sync,
             flush: FlushMode::Ranges,
             device: None,
             tile_grid: None,
@@ -93,6 +120,24 @@ impl Default for DriverConfig {
 }
 
 impl DriverConfig {
+    /// Checks the configuration for values the wait path cannot honor.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidArg`] for a [`WaitPolicy::Poll`] interval below
+    /// [`MIN_POLL_INTERVAL_NS`] — a zero interval would divide the poll
+    /// count by zero and bill infinite poll instructions.
+    pub fn validate(&self) -> Result<(), CimError> {
+        if let WaitPolicy::Poll { interval, .. } = self.wait {
+            if interval.as_ns() < MIN_POLL_INTERVAL_NS {
+                return Err(CimError::InvalidArg(format!(
+                    "poll interval {interval} is below the {MIN_POLL_INTERVAL_NS} ns minimum"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Applies the driver's device/tile overrides to an accelerator
     /// configuration (identity when both are `None`).
     pub fn apply_overrides(&self, cfg: AccelConfig) -> AccelConfig {
@@ -118,10 +163,101 @@ pub struct DriverStats {
     pub flush_lines: u64,
     /// Cache lines flushed that were dirty (written back).
     pub flush_dirty: u64,
-    /// Total time the host spent waiting on the accelerator.
-    pub wait_time: SimTime,
-    /// Number of accelerator invocations.
+    /// Wait time the host spent *spinning* on the status register —
+    /// retired instructions, billed at pJ/inst (the Fig. 3 host-side
+    /// driver energy).
+    pub busy_wait_time: SimTime,
+    /// Wait time the host spent *idle* (WFE between polls) — the clock
+    /// advances but almost no instructions retire, so this time is
+    /// nearly free in host energy.
+    pub idle_wait_time: SimTime,
+    /// Number of accelerator invocations (submits included).
     pub invocations: u64,
+}
+
+impl DriverStats {
+    /// Total time the host spent waiting on the accelerator, regardless
+    /// of how (spinning or idling).
+    pub fn total_wait_time(&self) -> SimTime {
+        self.busy_wait_time + self.idle_wait_time
+    }
+}
+
+/// Completion handle for a command dispatched with [`CimDriver::submit`]:
+/// the driver's prediction of when the accelerator will flip its status
+/// register, plus the command's busy time. Plain data — dropping it
+/// without waiting leaks nothing (the queue entry retires on the next
+/// [`CimDriver::sync`] sweep), but the host then never charges itself
+/// the residual wait, so well-behaved callers always sync.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CimFuture {
+    /// Logical command id ([`CimAccelerator::last_cmd`]).
+    pub cmd_id: u64,
+    /// Host time at submission.
+    pub submitted_at: SimTime,
+    /// Predicted completion time (start + busy; start may be later than
+    /// submission when earlier in-flight commands occupy the tiles).
+    pub ready_at: SimTime,
+    /// Accelerator busy time of the command itself.
+    pub busy: SimTime,
+}
+
+impl CimFuture {
+    /// Blocks the host until the command completes, applying the
+    /// driver's [`WaitPolicy`] to whatever wait remains after overlapped
+    /// host work. Sugar for [`CimDriver::sync`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CimDriver::sync`].
+    pub fn wait(
+        &self,
+        mach: &mut Machine,
+        drv: &mut CimDriver,
+        acc: &mut CimAccelerator,
+    ) -> Result<SimTime, CimError> {
+        drv.sync(mach, acc, self)
+    }
+}
+
+/// In-flight command bookkeeping: which tile regions are busy until
+/// when. A new submission targeting tiles that overlap an in-flight
+/// command starts only after that command's predicted completion —
+/// commands on disjoint regions overlap freely. Today every
+/// driver-level command occupies the full grid (intra-command
+/// parallelism lives in the engine's batched scheduler), so the queue
+/// degenerates to device-busy serialization, but the region interface
+/// is what a future per-region doorbell would need.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchQueue {
+    inflight: Vec<(CimFuture, GridRegion)>,
+}
+
+impl DispatchQueue {
+    /// Earliest time a command occupying `region` may start, given the
+    /// current host time and conflicting in-flight commands.
+    pub fn earliest_start(&self, region: GridRegion, now: SimTime) -> SimTime {
+        self.inflight
+            .iter()
+            .filter(|(_, r)| r.overlaps(&region))
+            .fold(now, |t, (f, _)| t.max(f.ready_at))
+    }
+
+    /// Records a submitted command.
+    pub fn push(&mut self, future: CimFuture, region: GridRegion) {
+        self.inflight.push((future, region));
+    }
+
+    /// Drops a completed command (and everything predicted done by
+    /// `now`, which can no longer constrain a future submission).
+    pub fn retire(&mut self, cmd_id: u64, now: SimTime) {
+        self.inflight.retain(|(f, _)| f.cmd_id != cmd_id && f.ready_at > now);
+    }
+
+    /// Commands currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
 }
 
 /// The kernel driver.
@@ -129,12 +265,26 @@ pub struct DriverStats {
 pub struct CimDriver {
     cfg: DriverConfig,
     stats: DriverStats,
+    queue: DispatchQueue,
 }
 
 impl CimDriver {
     /// Creates a driver with the given cost configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DriverConfig::validate`]
+    /// (e.g. a zero [`WaitPolicy::Poll`] interval).
     pub fn new(cfg: DriverConfig) -> Self {
-        CimDriver { cfg, stats: DriverStats::default() }
+        if let Err(e) = cfg.validate() {
+            panic!("invalid driver configuration: {e}");
+        }
+        CimDriver { cfg, stats: DriverStats::default(), queue: DispatchQueue::default() }
+    }
+
+    /// The dispatch queue (in-flight command inspection).
+    pub fn queue(&self) -> &DispatchQueue {
+        &self.queue
     }
 
     /// Driver configuration.
@@ -223,8 +373,86 @@ impl CimDriver {
         mach.core.retire(InstClass::Other, insts);
     }
 
+    /// Triggers the armed command without waiting for it: the command
+    /// executes (functionally) at submission, the dispatch queue records
+    /// when the modeled hardware will actually be done — after any
+    /// in-flight command whose tiles it needs — and the host is free to
+    /// "continue with other tasks" ([`Machine::advance_host`]) until it
+    /// pays the *remaining* wait in [`CimDriver::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CimError::Device`] if the engine flagged an error (the
+    /// command then never entered the queue).
+    pub fn submit(
+        &mut self,
+        mach: &mut Machine,
+        acc: &mut CimAccelerator,
+    ) -> Result<CimFuture, CimError> {
+        self.stats.invocations += 1;
+        let now = mach.now();
+        let region = GridRegion::full(acc.config().grid);
+        let start = self.queue.earliest_start(region, now);
+        let dur = acc.execute_at(mach, start);
+        if acc.regs().status() == Status::Error {
+            let e = acc.last_error().cloned().expect("error status implies last_error");
+            return Err(CimError::Device(e));
+        }
+        let future = CimFuture {
+            cmd_id: acc.last_cmd(),
+            submitted_at: now,
+            ready_at: start + dur,
+            busy: dur,
+        };
+        self.queue.push(future, region);
+        Ok(future)
+    }
+
+    /// Waits for a submitted command, applying the [`WaitPolicy`] only
+    /// to the time remaining after whatever host work overlapped the
+    /// accelerator run — zero when the host caught up late. Spun wait
+    /// time lands in [`DriverStats::busy_wait_time`], polled (idle) wait
+    /// in [`DriverStats::idle_wait_time`]. Returns the command's
+    /// accelerator busy time.
+    ///
+    /// # Errors
+    ///
+    /// Kept fallible for parity with [`CimDriver::invoke`]; the command
+    /// itself already succeeded at submission.
+    pub fn sync(
+        &mut self,
+        mach: &mut Machine,
+        acc: &mut CimAccelerator,
+        future: &CimFuture,
+    ) -> Result<SimTime, CimError> {
+        let now = mach.now();
+        if future.ready_at > now {
+            let remaining = future.ready_at - now;
+            match self.cfg.wait {
+                WaitPolicy::Spin => {
+                    mach.core.spin_wait(remaining);
+                    self.stats.busy_wait_time += remaining;
+                }
+                WaitPolicy::Poll { interval, insts_per_poll } => {
+                    // Clamped defensively: see `MIN_POLL_INTERVAL_NS`.
+                    let iv_ns = interval.as_ns().max(MIN_POLL_INTERVAL_NS);
+                    mach.core.idle_wait(remaining);
+                    let polls = (remaining.as_ns() / iv_ns).ceil().max(1.0) as u64;
+                    mach.core.retire(InstClass::Other, polls * insts_per_poll);
+                    self.stats.reg_accesses += polls;
+                    self.stats.idle_wait_time += remaining;
+                }
+            }
+        }
+        // Final status read confirming completion.
+        let _ = self.read_reg(mach, acc, Reg::Status);
+        self.queue.retire(future.cmd_id, mach.now());
+        Ok(future.busy)
+    }
+
     /// Triggers the armed command and waits for completion per the wait
-    /// policy. Returns the accelerator busy time.
+    /// policy — submit and sync back-to-back, the blocking path of
+    /// [`DispatchMode::Sync`]. Returns the accelerator busy time.
     ///
     /// # Errors
     ///
@@ -234,25 +462,8 @@ impl CimDriver {
         mach: &mut Machine,
         acc: &mut CimAccelerator,
     ) -> Result<SimTime, CimError> {
-        self.stats.invocations += 1;
-        let dur = acc.execute(mach);
-        if acc.regs().status() == Status::Error {
-            let e = acc.last_error().cloned().expect("error status implies last_error");
-            return Err(CimError::Device(e));
-        }
-        match self.cfg.wait {
-            WaitPolicy::Spin => mach.core.spin_wait(dur),
-            WaitPolicy::Poll { interval, insts_per_poll } => {
-                mach.core.idle_wait(dur);
-                let polls = (dur.as_ns() / interval.as_ns()).ceil().max(1.0) as u64;
-                mach.core.retire(InstClass::Other, polls * insts_per_poll);
-                self.stats.reg_accesses += polls;
-            }
-        }
-        // Final status read confirming completion.
-        let _ = self.read_reg(mach, acc, Reg::Status);
-        self.stats.wait_time += dur;
-        Ok(dur)
+        let future = self.submit(mach, acc)?;
+        self.sync(mach, acc, &future)
     }
 }
 
@@ -320,10 +531,14 @@ mod tests {
         let dur = drv.invoke(&mut mach, &mut acc).expect("gemv ok");
         assert!(dur.as_us() > 1.0); // at least one row-program + compute
 
-        // Spin burns about one instruction per cycle of the wait.
+        // Spin burns about one instruction per cycle of the wait, and the
+        // whole wait is accounted as busy (host-energy-relevant) time.
         let spin = mach.core.spin_instructions();
         assert!(spin as f64 >= dur.to_cycles(mach.cfg.freq_hz) as f64 * 0.9);
         assert!(mach.core.instructions() > insts_before + spin);
+        assert_eq!(drv.stats().busy_wait_time, dur);
+        assert_eq!(drv.stats().idle_wait_time, SimTime::ZERO);
+        assert_eq!(drv.stats().total_wait_time(), dur);
         assert_eq!(mach.mem.read_f32(y), 5.0);
     }
 
@@ -337,8 +552,96 @@ mod tests {
         let retired = mach.core.instructions() - before;
         assert!(retired < dur.to_cycles(mach.cfg.freq_hz) / 10);
         assert_eq!(mach.core.spin_instructions(), 0);
-        // But the clock still advanced by the accelerator time.
+        // But the clock still advanced by the accelerator time, and the
+        // wait is accounted as idle — the host was asleep, not burning
+        // instructions, so it must not be billed as spin energy.
         assert!(mach.now() >= dur);
+        assert_eq!(drv.stats().idle_wait_time, dur);
+        assert_eq!(drv.stats().busy_wait_time, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "poll interval")]
+    fn zero_poll_interval_rejected_at_construction() {
+        let cfg = DriverConfig {
+            wait: WaitPolicy::Poll { interval: SimTime::ZERO, insts_per_poll: 20 },
+            ..DriverConfig::default()
+        };
+        let _ = CimDriver::new(cfg);
+    }
+
+    #[test]
+    fn zero_poll_interval_clamped_in_wait_path() {
+        // A config mutated after construction bypasses `validate`; the
+        // wait path must still clamp rather than divide by zero.
+        let (mut mach, mut acc, mut drv) = setup();
+        drv.cfg.wait = WaitPolicy::Poll { interval: SimTime::ZERO, insts_per_poll: 2 };
+        arm_identity_gemv(&mut mach, &mut acc, &mut drv);
+        let accesses_before = drv.stats().reg_accesses;
+        let dur = drv.invoke(&mut mach, &mut acc).expect("gemv ok");
+        // One poll per clamped (1 ns) interval at most — finite and sane
+        // (+1 for the final status read).
+        let max_polls = dur.as_ns().ceil() as u64 + 1;
+        assert!(drv.stats().reg_accesses - accesses_before <= max_polls + 1);
+    }
+
+    #[test]
+    fn submit_then_sync_overlaps_host_work() {
+        // Reference: fully blocking invocation.
+        let (mut mach_ref, mut acc_ref, mut drv_ref) = setup();
+        arm_identity_gemv(&mut mach_ref, &mut acc_ref, &mut drv_ref);
+        let t_ref0 = mach_ref.now();
+        let dur = drv_ref.invoke(&mut mach_ref, &mut acc_ref).expect("gemv ok");
+        let blocked = mach_ref.now() - t_ref0;
+
+        // Async: submit, overlap half the accelerator time with useful
+        // host work, then sync for the remainder.
+        let (mut mach, mut acc, mut drv) = setup();
+        let y = arm_identity_gemv(&mut mach, &mut acc, &mut drv);
+        let t0 = mach.now();
+        let fut = drv.submit(&mut mach, &mut acc).expect("submit ok");
+        assert_eq!(drv.queue().in_flight(), 1);
+        assert_eq!(fut.busy, dur);
+        let overlapped = mach.advance_host(dur * 0.5);
+        assert!(overlapped > 0);
+        fut.wait(&mut mach, &mut drv, &mut acc).expect("sync ok");
+        assert_eq!(drv.queue().in_flight(), 0);
+        let total = mach.now() - t0;
+        // Same wall time as the blocking run (the accelerator bounds it)...
+        assert!((total.as_ns() - blocked.as_ns()).abs() < 1.0, "{total} vs {blocked}");
+        // ...but only the un-overlapped half was spent waiting.
+        let waited = drv.stats().busy_wait_time;
+        assert!(waited < dur * 0.6, "waited {waited} of {dur}");
+        assert!(mach.core.spin_instructions() < mach_ref.core.spin_instructions());
+        assert_eq!(mach.mem.read_f32(y), 5.0);
+    }
+
+    #[test]
+    fn sync_after_completion_charges_no_wait() {
+        let (mut mach, mut acc, mut drv) = setup();
+        arm_identity_gemv(&mut mach, &mut acc, &mut drv);
+        let fut = drv.submit(&mut mach, &mut acc).expect("submit ok");
+        // Host outruns the accelerator: overlap more than the busy time.
+        mach.advance_host(fut.busy * 2.0);
+        let spin_before = mach.core.spin_instructions();
+        drv.sync(&mut mach, &mut acc, &fut).expect("sync ok");
+        assert_eq!(mach.core.spin_instructions(), spin_before, "no residual wait");
+        assert_eq!(drv.stats().busy_wait_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn queue_serializes_overlapping_regions() {
+        let (mut mach, mut acc, mut drv) = setup();
+        arm_identity_gemv(&mut mach, &mut acc, &mut drv);
+        let f1 = drv.submit(&mut mach, &mut acc).expect("first");
+        // Second command on the same (full-grid) region: the queue holds
+        // it until the first command's predicted completion.
+        drv.write_regs(&mut mach, &mut acc, &[(Reg::Command, Command::Gemv as u64)]);
+        let f2 = drv.submit(&mut mach, &mut acc).expect("second");
+        assert!(f2.ready_at >= f1.ready_at + f2.busy);
+        drv.sync(&mut mach, &mut acc, &f1).expect("sync 1");
+        drv.sync(&mut mach, &mut acc, &f2).expect("sync 2");
+        assert!(mach.now() >= f2.ready_at);
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub mod stats;
 
 pub use api::{CimContext, DevPtr, Transpose};
 pub use cim_accel::DeviceKind;
-pub use driver::{CimDriver, DriverConfig, FlushMode, WaitPolicy};
+pub use driver::{
+    CimDriver, CimFuture, DispatchMode, DispatchQueue, DriverConfig, FlushMode, WaitPolicy,
+};
 pub use error::CimError;
 pub use stats::RuntimeStats;

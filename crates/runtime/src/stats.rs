@@ -27,6 +27,8 @@ pub struct RuntimeStats {
     pub gemm_batched_calls: u64,
     /// `cim_conv2d` calls.
     pub conv_calls: u64,
+    /// Commands dispatched asynchronously (submitted without blocking).
+    pub async_submits: u64,
 }
 
 impl RuntimeStats {
