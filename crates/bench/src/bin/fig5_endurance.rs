@@ -11,9 +11,14 @@
 use cim_accel::estimate::estimate_gemm;
 use cim_accel::AccelConfig;
 use cim_machine::bus::BusConfig;
-use tdo_bench::device_from_args;
+use tdo_bench::{device_flag_help, device_from_args, handle_help};
 
 fn main() {
+    handle_help(
+        "fig5_endurance",
+        "system lifetime vs PCM endurance, naive vs smart (fusion) mapping",
+        &[device_flag_help()],
+    );
     let n = 4096usize;
     let device = device_from_args();
     let model_src = device.model();

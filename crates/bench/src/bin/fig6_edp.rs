@@ -5,10 +5,19 @@
 //! Usage: `cargo run --release -p tdo_bench --bin fig6_edp --
 //!     [--dataset=small|medium|large] [--device pcm|reram] [--grid KxM]`
 
-use tdo_bench::{dataset_from_args, device_from_args, grid_from_args, run_fig6_with};
+use polybench::Dataset;
+use tdo_bench::{
+    dataset_flag_help, dataset_from_args, device_flag_help, device_from_args, grid_flag_help,
+    grid_from_args, handle_help, run_fig6_with,
+};
 use tdo_cim::{geomean, ExecOptions};
 
 fn main() {
+    handle_help(
+        "fig6_edp",
+        "EDP and runtime improvement per kernel (Fig. 6 right)",
+        &[dataset_flag_help(Dataset::Medium), device_flag_help(), grid_flag_help((1, 1))],
+    );
     let dataset = dataset_from_args();
     let device = device_from_args();
     let grid = grid_from_args();

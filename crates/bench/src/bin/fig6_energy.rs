@@ -4,9 +4,15 @@
 //!
 //! Usage: `cargo run --release -p tdo-bench --bin fig6_energy [--dataset=small|medium|large]`
 
-use tdo_bench::{dataset_from_args, fig6_geomeans, run_fig6};
+use polybench::Dataset;
+use tdo_bench::{dataset_flag_help, dataset_from_args, fig6_geomeans, handle_help, run_fig6};
 
 fn main() {
+    handle_help(
+        "fig6_energy",
+        "energy and compute intensity per kernel (Fig. 6 left)",
+        &[dataset_flag_help(Dataset::Medium)],
+    );
     let dataset = dataset_from_args();
     eprintln!("running fig6 energy study at {dataset:?} (this simulates every kernel twice) ...");
     let rows = run_fig6(dataset);

@@ -20,7 +20,10 @@ use cim_accel::AccelConfig;
 use cim_machine::units::SimTime;
 use cim_machine::{Machine, MachineConfig};
 use cim_runtime::{CimContext, DevPtr, DispatchMode, DriverConfig, Transpose};
-use tdo_bench::{batch_from_args_or, device_from_args, grid_from_args_or, size_from_args_or};
+use tdo_bench::{
+    batch_from_args_or, device_flag_help, device_from_args, grid_flag_help, grid_from_args_or,
+    handle_help, size_from_args_or,
+};
 
 struct RunOut {
     elapsed: SimTime,
@@ -139,6 +142,16 @@ fn run(
 }
 
 fn main() {
+    handle_help(
+        "fig7_overlap",
+        "host/accelerator overlap and batch speedup under async dispatch",
+        &[
+            grid_flag_help((2, 2)),
+            "--batch <N>                             independent GEMMs (default: 4)".into(),
+            "--size <N>                              per-GEMM dimension (default: 96)".into(),
+            device_flag_help(),
+        ],
+    );
     let grid = grid_from_args_or((2, 2));
     let batch = batch_from_args_or(4);
     let device = device_from_args();

@@ -1,0 +1,250 @@
+//! The workload axis beyond PolyBench (Fig. 8): the inference-style
+//! GEMM-chain suite and the streamed `Dataset::XLarge` GEMM.
+//!
+//! Section A compiles a batched MLP chain (`workloads::chain`) with
+//! Loop Tactics — the chain is *detected and offloaded transparently*,
+//! its per-layer GEMM batches fused into `polly_cimBlasGemmBatched`
+//! calls — and compares three schedules of the same program: fusion
+//! disabled (serial `sgemm` per micro-batch), fused under blocking
+//! dispatch (batch elements tile-partitioned), and fused under async
+//! dispatch. Results are bit-for-bit identical to the native reference
+//! in all three.
+//!
+//! Section B runs the PolyBench `gemm` kernel at a streaming scale
+//! (default XLarge, N=1024: a 4x4 grid of paper-sized crossbars) through
+//! `workloads::stream`: whole-operand residency vs tile-sized `A`
+//! panels double-buffered through bounded CMA staging, with async
+//! dispatch overlapping the staging copies against accelerator compute.
+//! The analytic estimator replays every shape in lockstep with the
+//! engine.
+//!
+//! Usage: `cargo run --release -p tdo_bench --bin fig8_workloads --
+//!     [--dataset D] [--stream-dataset D] [--device pcm|reram]
+//!     [--grid KxM] [--batch N] [--layers N]`
+
+use cim_accel::AccelConfig;
+use cim_machine::units::SimTime;
+use cim_runtime::DispatchMode;
+use polybench::Dataset;
+use tdo_bench::{
+    batch_from_args_or, dataset_flag_help, device_flag_help, device_from_args, grid_flag_help,
+    grid_from_args_or, handle_help, parse_dataset_flag, usize_flag_or,
+};
+use tdo_cim::{compile, execute, CompileOptions, ExecOptions, RunResult};
+use workloads::chain::init_fn;
+use workloads::{run_gemm, ChainSpec, StreamConfig};
+
+struct ChainRun {
+    label: &'static str,
+    run: RunResult,
+    batched_calls: u64,
+    fused_groups: usize,
+}
+
+fn run_chain(
+    spec: &ChainSpec,
+    base: &ExecOptions,
+    fusion: bool,
+    dispatch: DispatchMode,
+    label: &'static str,
+) -> ChainRun {
+    let mut copts = CompileOptions::with_tactics();
+    copts.tactics.fusion = fusion;
+    let compiled = compile(&spec.source(), &copts).expect("chain compiles");
+    let report = compiled.report.as_ref().expect("tactics ran");
+    assert!(report.any_offloaded(), "chain must offload transparently");
+    let fused_groups = report.fused_groups;
+    let run =
+        execute(&compiled, &base.clone().with_dispatch(dispatch), &init_fn()).expect("chain runs");
+    let batched_calls = run_stat(&run, |s| s.gemm_batched_calls);
+    ChainRun { label, run, batched_calls, fused_groups }
+}
+
+fn run_stat(run: &RunResult, f: impl Fn(&cim_runtime::RuntimeStats) -> u64) -> u64 {
+    run.runtime.as_ref().map_or(0, f)
+}
+
+fn chain_bits(spec: &ChainSpec, run: &RunResult) -> Vec<u32> {
+    spec.output_names()
+        .iter()
+        .flat_map(|n| run.array(n).expect("output present").iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+fn main() {
+    handle_help(
+        "fig8_workloads",
+        "workload axis: GEMM-chain suite + streamed XLarge GEMM",
+        &[
+            dataset_flag_help(Dataset::Small) + "  (chain suite)",
+            format!("--stream-dataset <{}>   streamed GEMM size (default: XLarge)", Dataset::NAMES),
+            device_flag_help(),
+            grid_flag_help((2, 2)),
+            "--batch <N>                             chain micro-batches (default: 4)".into(),
+            "--layers <N>                            chain layers (default: 3)".into(),
+        ],
+    );
+    let dataset = parse_dataset_flag("--dataset", Dataset::Small);
+    let stream_dataset = parse_dataset_flag("--stream-dataset", Dataset::XLarge);
+    let device = device_from_args();
+    let grid = grid_from_args_or((2, 2));
+    let batch = batch_from_args_or(4);
+    let layers = usize_flag_or("--layers", 3);
+
+    // ---------------- Section A: the GEMM-chain suite ----------------
+    let spec = ChainSpec { batch, layers, ..ChainSpec::for_dataset(dataset) };
+    eprintln!(
+        "running fig8 chain suite: {}x {} layers of {}x{} GEMMs on {device}, grid {}x{} ...",
+        spec.batch, spec.layers, spec.rows, spec.width, grid.0, grid.1
+    );
+    let working_set = 4
+        * (spec.batch * spec.rows * spec.width * (spec.layers + 1)
+            + spec.layers * spec.width * spec.width) as u64;
+    let mut base = ExecOptions::default().with_device(device).with_tile_grid(grid.0, grid.1);
+    if 2 * working_set > base.machine.cma_bytes {
+        base = base.with_cma_bytes(2 * working_set);
+    }
+    let serial = run_chain(&spec, &base, false, DispatchMode::Sync, "serial sgemm");
+    let batched = run_chain(&spec, &base, true, DispatchMode::Sync, "batched sync");
+    let asynch = run_chain(&spec, &base, true, DispatchMode::Async, "batched async");
+    let ref_bits: Vec<u32> = spec
+        .reference_outputs()
+        .into_iter()
+        .filter(|(n, _)| spec.output_names().contains(n))
+        .flat_map(|(_, d)| d.into_iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+        .collect();
+    for r in [&serial, &batched, &asynch] {
+        assert_eq!(chain_bits(&spec, &r.run), ref_bits, "{}: diverges from reference", r.label);
+    }
+    assert_eq!(batched.fused_groups, spec.layers, "one batched group per layer");
+
+    println!(
+        "FIG. 8A — GEMM-CHAIN SUITE ({dataset:?}: {} x {} layers of {}x{}x{} GEMMs, {device}, \
+         {}x{} tiles)",
+        spec.batch, spec.layers, spec.rows, spec.width, spec.width, grid.0, grid.1
+    );
+    println!("{}", "=".repeat(90));
+    println!(
+        "{:<14} {:>13} {:>13} {:>14} {:>10} {:>9} {:>9}",
+        "schedule", "total time", "host wait", "batched calls", "max tiles", "submits", "energy"
+    );
+    println!("{}", "-".repeat(90));
+    for r in [&serial, &batched, &asynch] {
+        let d = r.run.driver.as_ref().expect("driver stats");
+        println!(
+            "{:<14} {:>13} {:>13} {:>14} {:>10} {:>9} {:>8.2}mJ",
+            r.label,
+            format!("{}", r.run.wall_time()),
+            format!("{}", d.total_wait_time()),
+            r.batched_calls,
+            r.run.accel.expect("accel").max_tiles_active,
+            run_stat(&r.run, |s| s.async_submits),
+            r.run.total_energy().as_mj(),
+        );
+    }
+    println!("{}", "-".repeat(90));
+    println!(
+        "fusion speedup (tile-partitioned batch): {:>6.2}x  (serial / batched sync)",
+        serial.run.wall_time() / batched.run.wall_time()
+    );
+    println!(
+        "per-layer fusion: {} layers -> {} batched groups; results bit-for-bit equal to the \
+         native reference in all three schedules.",
+        spec.layers, batched.fused_groups
+    );
+    if grid.0 * grid.1 > 1 && spec.batch > 1 {
+        assert!(
+            batched.run.accel.expect("accel").max_tiles_active > 1,
+            "chain batches must span multiple tiles"
+        );
+        assert!(
+            batched.run.wall_time().as_ns() < serial.run.wall_time().as_ns(),
+            "fused batches must beat serial dispatch"
+        );
+    }
+
+    // ---------------- Section B: streamed XLarge GEMM ----------------
+    let accel = AccelConfig::for_device(device).with_grid(grid.0, grid.1);
+    let n = stream_dataset.base_size();
+    eprintln!(
+        "running fig8 streamed gemm: {n}x{n} on {device}, grid {}x{} (3 schedules) ...",
+        grid.0, grid.1
+    );
+    let base_cfg = StreamConfig::new(stream_dataset, accel);
+    let unstreamed = run_gemm(&base_cfg.clone().unstreamed());
+    let streamed = run_gemm(&base_cfg);
+    let streamed_async = run_gemm(&base_cfg.clone().with_dispatch(DispatchMode::Async));
+    assert_eq!(unstreamed.c_bits, streamed.c_bits, "streaming must not change results");
+    assert_eq!(streamed.c_bits, streamed_async.c_bits, "dispatch must not change results");
+    for (label, r) in
+        [("unstreamed", &unstreamed), ("streamed", &streamed), ("async", &streamed_async)]
+    {
+        assert!(
+            (r.accel_busy.as_ns() - r.predicted_busy.as_ns()).abs() < 1e-6,
+            "{label}: estimator diverged ({} vs {})",
+            r.accel_busy,
+            r.predicted_busy
+        );
+    }
+
+    println!();
+    println!(
+        "FIG. 8B — STREAMED GEMM ({stream_dataset:?}: C = beta*C + alpha*A*B at {n}x{n}, \
+         {device}, {}x{} tiles, {}-row panels)",
+        grid.0, grid.1, base_cfg.panel_rows
+    );
+    println!("{}", "=".repeat(90));
+    println!(
+        "{:<16} {:>13} {:>13} {:>13} {:>8} {:>10} {:>12}",
+        "schedule", "total time", "accel busy", "host wait", "panels", "max tiles", "CMA peak"
+    );
+    println!("{}", "-".repeat(90));
+    for (label, r) in [
+        ("unstreamed sync", &unstreamed),
+        ("streamed sync", &streamed),
+        ("streamed async", &streamed_async),
+    ] {
+        println!(
+            "{:<16} {:>13} {:>13} {:>13} {:>8} {:>10} {:>9} MiB",
+            label,
+            format!("{}", r.elapsed),
+            format!("{}", r.accel_busy),
+            format!("{}", r.busy_wait),
+            r.panels,
+            r.max_tiles,
+            r.cma_peak / (1024 * 1024),
+        );
+    }
+    println!("{}", "-".repeat(90));
+    let hidden =
+        SimTime::from_ns((streamed.elapsed.as_ns() - streamed_async.elapsed.as_ns()).max(0.0));
+    println!(
+        "async-over-sync speedup (streamed):      {:>6.3}x  ({} of staging copy time hidden)",
+        streamed.elapsed / streamed_async.elapsed,
+        hidden
+    );
+    println!(
+        "CMA footprint: streaming caps the staged operand at 2 panels ({} MiB vs {} MiB peak).",
+        streamed.cma_peak / (1024 * 1024),
+        unstreamed.cma_peak / (1024 * 1024)
+    );
+    println!(
+        "in-flight commands skipped by buffer-scoped observation points: {}",
+        streamed_async.sync_skips
+    );
+    println!("engine and estimator agree to < 1 ns on every shape (lockstep preserved).");
+    // The headline invariants hold whenever the problem actually streams:
+    // several panels, each spanning several crossbar blocks. Sub-tile
+    // sweep points (e.g. --stream-dataset mini) degenerate to one panel
+    // on one tile, where there is nothing to overlap.
+    if grid.0 * grid.1 > 1 && n > accel.rows {
+        assert!(streamed.max_tiles > 1, "streamed panels must span multiple tiles");
+    }
+    if streamed.panels > 1 {
+        assert!(
+            streamed_async.elapsed.as_ns() < streamed.elapsed.as_ns(),
+            "async streaming must beat blocking streaming"
+        );
+    }
+    println!("\nresults bit-for-bit identical across all schedules and dispatch modes.");
+}

@@ -5,8 +5,10 @@
 use cim_accel::AccelConfig;
 use cim_machine::MachineConfig;
 use cim_pcm::DeviceKind;
+use tdo_bench::handle_help;
 
 fn main() {
+    handle_help("table1", "CIM and host system configuration (Table I) + sweep matrix", &[]);
     let a = AccelConfig::default();
     let e = a.energy;
     let m = MachineConfig::default();

@@ -5,7 +5,13 @@
 //! * `table1` — the system configuration (Table I);
 //! * `fig5_endurance` — lifetime vs PCM endurance, naive vs smart mapping;
 //! * `fig6_energy` — energy + MACs-per-write for the seven kernels;
-//! * `fig6_edp` — EDP and runtime improvements.
+//! * `fig6_edp` — EDP and runtime improvements;
+//! * `fig7_overlap` — host/accelerator overlap under async dispatch;
+//! * `fig8_workloads` — the workload axis beyond PolyBench: the
+//!   inference-style GEMM-chain suite and the streamed XLarge GEMM
+//!   (see `docs/WORKLOADS.md`).
+//!
+//! Every binary accepts `--help` and lists its valid flag values.
 //!
 //! Criterion micro-benchmarks (crossbar, compiler, machine, pipeline,
 //! ablation) live under `benches/`.
@@ -92,10 +98,71 @@ pub fn fig6_geomeans(rows: &[Fig6Row]) -> (f64, f64) {
     (full, selective)
 }
 
-/// Parses `--dataset <size>` (or `--dataset=<size>`) from argv, defaulting
-/// to Medium, the figure default.
+/// Valid `--device` values, for help text.
+pub const DEVICE_NAMES: &str = "pcm|reram";
+
+/// Prints a usage message and exits when `--help` (or `-h`) is present
+/// in argv. `flags` holds one pre-formatted line per accepted flag; the
+/// figure binaries list every valid dataset/device/grid value here
+/// instead of silently defaulting on a typo.
+pub fn handle_help(binary: &str, about: &str, flags: &[String]) {
+    if !std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        return;
+    }
+    println!("{binary} — {about}");
+    println!("\nUsage: cargo run --release -p tdo_bench --bin {binary} -- [flags]\n");
+    if flags.is_empty() {
+        println!("  (no flags)");
+    }
+    for f in flags {
+        println!("  {f}");
+    }
+    std::process::exit(0);
+}
+
+/// Help line for the shared `--dataset` flag.
+pub fn dataset_flag_help(default: Dataset) -> String {
+    format!("--dataset <{}>   problem size (default: {default:?})", Dataset::NAMES)
+}
+
+/// Help line for the shared `--device` flag.
+pub fn device_flag_help() -> String {
+    format!("--device <{DEVICE_NAMES}>                    device model (default: pcm)")
+}
+
+/// Help line for the shared `--grid` flag.
+pub fn grid_flag_help(default: (usize, usize)) -> String {
+    format!(
+        "--grid <KxM>                            tile grid (default: {}x{})",
+        default.0, default.1
+    )
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(2)
+}
+
+/// Parses `--dataset <size>` (or `--dataset=<size>`) from argv,
+/// defaulting to Medium, the figure default. An unrecognized value is a
+/// fatal error listing the valid names — never a silent default.
 pub fn dataset_from_args() -> Dataset {
-    flag_value("--dataset").and_then(|v| Dataset::parse(&v)).unwrap_or(Dataset::Medium)
+    dataset_from_args_or(Dataset::Medium)
+}
+
+/// As [`dataset_from_args`], with an explicit default.
+pub fn dataset_from_args_or(default: Dataset) -> Dataset {
+    parse_dataset_flag("--dataset", default)
+}
+
+/// Parses an arbitrarily named dataset flag (e.g. `--stream-dataset`).
+pub fn parse_dataset_flag(flag: &str, default: Dataset) -> Dataset {
+    match flag_value(flag) {
+        None => default,
+        Some(v) => Dataset::parse(&v)
+            .unwrap_or_else(|| die(&format!("invalid {flag} '{v}' (valid: {})", Dataset::NAMES))),
+    }
 }
 
 fn flag_value(flag: &str) -> Option<String> {
@@ -112,10 +179,14 @@ fn flag_value(flag: &str) -> Option<String> {
     None
 }
 
-/// Parses `--device <pcm|reram>` (or `--device=...`) from argv, defaulting
-/// to the paper's PCM part.
+/// Parses `--device <pcm|reram>` (or `--device=...`) from argv,
+/// defaulting to the paper's PCM part; unknown device names are fatal.
 pub fn device_from_args() -> DeviceKind {
-    flag_value("--device").and_then(|v| DeviceKind::parse(&v)).unwrap_or(DeviceKind::Pcm)
+    match flag_value("--device") {
+        None => DeviceKind::Pcm,
+        Some(v) => DeviceKind::parse(&v)
+            .unwrap_or_else(|| die(&format!("invalid --device '{v}' (valid: {DEVICE_NAMES})"))),
+    }
 }
 
 /// Parses `--grid <KxM>` (or `--grid=KxM`, e.g. `--grid 2x2`) from argv,
@@ -126,24 +197,40 @@ pub fn grid_from_args() -> (usize, usize) {
 
 /// As [`grid_from_args`], with an explicit default — overlap studies
 /// default to a multi-tile grid, the figure binaries to the paper's
-/// single tile.
+/// single tile. Malformed or zero-axis grids are fatal.
 pub fn grid_from_args_or(default: (usize, usize)) -> (usize, usize) {
-    flag_value("--grid")
-        .and_then(|v| {
-            let (gk, gm) = v.split_once(['x', 'X'])?;
-            Some((gk.trim().parse().ok()?, gm.trim().parse().ok()?))
-        })
-        .filter(|&(gk, gm)| gk > 0 && gm > 0)
-        .unwrap_or(default)
+    match flag_value("--grid") {
+        None => default,
+        Some(v) => v
+            .split_once(['x', 'X'])
+            .and_then(|(gk, gm)| Some((gk.trim().parse().ok()?, gm.trim().parse().ok()?)))
+            .filter(|&(gk, gm): &(usize, usize)| gk > 0 && gm > 0)
+            .unwrap_or_else(|| {
+                die(&format!("invalid --grid '{v}' (expected KxM with K, M >= 1, e.g. 2x2)"))
+            }),
+    }
+}
+
+/// Parses a positive-integer flag (e.g. `--batch 4` or `--batch=4`);
+/// non-numeric or zero values are fatal.
+pub fn usize_flag_or(flag: &str, default: usize) -> usize {
+    match flag_value(flag) {
+        None => default,
+        Some(v) => {
+            v.trim().parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                die(&format!("invalid {flag} '{v}' (expected a positive integer)"))
+            })
+        }
+    }
 }
 
 /// Parses `--batch <N>` (or `--batch=N`) from argv.
 pub fn batch_from_args_or(default: usize) -> usize {
-    flag_value("--batch").and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+    usize_flag_or("--batch", default)
 }
 
 /// Parses `--size <N>` (or `--size=N`) from argv — per-kernel problem
 /// size for the overlap study.
 pub fn size_from_args_or(default: usize) -> usize {
-    flag_value("--size").and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+    usize_flag_or("--size", default)
 }

@@ -77,6 +77,35 @@ impl ExecOptions {
         self
     }
 
+    /// Resizes the CMA carve-out for workloads whose device-destined
+    /// working set exceeds the platform default — e.g. XLarge GEMM
+    /// chains, where `batch * layers` activation matrices plus weights
+    /// must all be physically contiguous and shared.
+    ///
+    /// ```
+    /// use tdo_cim::ExecOptions;
+    ///
+    /// let opts = ExecOptions::default().with_cma_bytes(512 * 1024 * 1024);
+    /// assert_eq!(opts.machine.cma_bytes, 512 * 1024 * 1024);
+    /// // The carve-out must stay inside physical memory.
+    /// opts.machine.validate();
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enlarged carve-out no longer fits below the top of
+    /// physical memory.
+    pub fn with_cma_bytes(mut self, bytes: u64) -> Self {
+        self.machine.cma_bytes = bytes;
+        let fits = self
+            .machine
+            .cma_base
+            .checked_add(bytes)
+            .is_some_and(|end| end <= self.machine.phys_mem_bytes);
+        assert!(fits, "CMA carve-out of {bytes} bytes exceeds physical memory");
+        self
+    }
+
     /// Selects how `polly_cim*` calls reach the accelerator:
     /// [`DispatchMode::Sync`] blocks the host per invocation (the paper's
     /// spinlock), [`DispatchMode::Async`] submits and lets the host
@@ -116,6 +145,19 @@ mod tests {
         assert_eq!(e.accel.device, cim_pcm::DeviceKind::Reram);
         assert_eq!(e.accel.grid, (2, 2));
         assert_eq!(e.accel.rows, 256);
+    }
+
+    #[test]
+    fn cma_builder_resizes_carveout() {
+        let e = ExecOptions::default().with_cma_bytes(512 * 1024 * 1024);
+        assert_eq!(e.machine.cma_bytes, 512 * 1024 * 1024);
+        e.machine.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds physical memory")]
+    fn cma_builder_rejects_oversized_carveout() {
+        let _ = ExecOptions::default().with_cma_bytes(4 * 1024 * 1024 * 1024);
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl MachineConfig {
         assert!(self.cores >= 1, "need at least one core");
         assert!(self.pj_per_inst >= 0.0, "energy per instruction must be non-negative");
         assert!(
-            self.cma_base + self.cma_bytes <= self.phys_mem_bytes,
+            self.cma_base.checked_add(self.cma_bytes).is_some_and(|e| e <= self.phys_mem_bytes),
             "CMA carve-out must fit in physical memory"
         );
         let _ = self.l1d.sets();

@@ -19,8 +19,8 @@ pub mod init;
 pub mod reference;
 pub mod sources;
 
-pub use init::{init_array, init_fn};
-pub use reference::reference_outputs;
+pub use init::{init_array, init_array_panel, init_fn, init_value};
+pub use reference::{gemm_panel_ref, reference_outputs};
 pub use sources::source;
 
 /// The evaluation kernels, in the order of Fig. 6.
@@ -128,13 +128,21 @@ pub enum Dataset {
     Small,
     /// 128 — figure regeneration default.
     Medium,
-    /// 256 — slower, closer to paper scale.
+    /// 256 — slower, closer to paper scale (exactly one 256x256 tile).
     Large,
+    /// 1024 — streaming scale: operands span a 4x4 block grid, so a
+    /// single kernel exceeds any one crossbar and must be wave-planned
+    /// (or streamed in tile-sized panels; see `docs/WORKLOADS.md`).
+    XLarge,
 }
 
 impl Dataset {
-    /// All datasets.
-    pub const ALL: [Dataset; 4] = [Dataset::Mini, Dataset::Small, Dataset::Medium, Dataset::Large];
+    /// All datasets, smallest first.
+    pub const ALL: [Dataset; 5] =
+        [Dataset::Mini, Dataset::Small, Dataset::Medium, Dataset::Large, Dataset::XLarge];
+
+    /// The names [`Dataset::parse`] accepts, for `--help` text.
+    pub const NAMES: &'static str = "mini|small|medium|large|xl(arge)";
 
     /// Square dimension of the operands.
     pub fn base_size(&self) -> usize {
@@ -143,16 +151,19 @@ impl Dataset {
             Dataset::Small => 64,
             Dataset::Medium => 128,
             Dataset::Large => 256,
+            Dataset::XLarge => 1024,
         }
     }
 
-    /// Parses a dataset name (`mini`/`small`/`medium`/`large`).
+    /// Parses a dataset name (`mini`/`small`/`medium`/`large`/`xl` or
+    /// `xlarge`).
     pub fn parse(s: &str) -> Option<Dataset> {
         match s.to_ascii_lowercase().as_str() {
             "mini" => Some(Dataset::Mini),
             "small" => Some(Dataset::Small),
             "medium" => Some(Dataset::Medium),
             "large" => Some(Dataset::Large),
+            "xl" | "xlarge" => Some(Dataset::XLarge),
             _ => None,
         }
     }
@@ -181,7 +192,24 @@ mod tests {
     #[test]
     fn dataset_parsing() {
         assert_eq!(Dataset::parse("MEDIUM"), Some(Dataset::Medium));
+        assert_eq!(Dataset::parse("xl"), Some(Dataset::XLarge));
+        assert_eq!(Dataset::parse("XLarge"), Some(Dataset::XLarge));
         assert_eq!(Dataset::parse("huge"), None);
         assert_eq!(Dataset::default().base_size(), 64);
+    }
+
+    #[test]
+    fn datasets_are_sorted_and_xlarge_exceeds_one_tile() {
+        let sizes: Vec<usize> = Dataset::ALL.iter().map(|d| d.base_size()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+        // The paper's crossbar is 256x256: Large fills exactly one tile,
+        // XLarge forces a multi-wave (or streamed) schedule.
+        assert_eq!(Dataset::Large.base_size(), 256);
+        assert!(Dataset::XLarge.base_size() >= 4 * 256);
+        for d in Dataset::ALL {
+            assert_eq!(Dataset::parse(&format!("{d:?}")), Some(d));
+        }
     }
 }

@@ -134,6 +134,37 @@ fn gemm_ref(a: &[f32], b: &[f32], c: &mut [f32], n: usize, alpha: f32, beta: f32
     }
 }
 
+/// Row-panel reference for the streamed GEMM path: computes only
+/// `C[row0 .. row0+panel_rows][*]` of the `gemm` kernel
+/// (`C = beta*C + alpha*A*B`), reading the matching `A` row panel.
+/// `a_panel` is `panel_rows x n` (the panel a streaming executor would
+/// stage), `b` is the full `n x n` operand, and `c_panel` holds the
+/// panel's rows of `C` on entry and exit.
+///
+/// Accumulation order per element is identical to [`reference_outputs`]'s
+/// whole-array `gemm`, so a streamed run that concatenates panel results
+/// is bit-for-bit equal to the unstreamed reference — the invariant the
+/// `Dataset::XLarge` streaming tests pin at Mini scale.
+pub fn gemm_panel_ref(
+    a_panel: &[f32],
+    b: &[f32],
+    c_panel: &mut [f32],
+    n: usize,
+    alpha: f32,
+    beta: f32,
+) {
+    let rows = c_panel.len() / n;
+    assert_eq!(a_panel.len(), rows * n, "A panel must match the C panel's rows");
+    for i in 0..rows {
+        for j in 0..n {
+            c_panel[i * n + j] *= beta;
+            for k in 0..n {
+                c_panel[i * n + j] += alpha * a_panel[i * n + k] * b[k * n + j];
+            }
+        }
+    }
+}
+
 /// `y += op(A) * x` with `y` pre-zeroed by the caller, source order.
 fn gemv_ref(a: &[f32], x: &[f32], y: &mut [f32], n: usize, trans: bool) {
     if trans {
@@ -176,6 +207,32 @@ mod tests {
         let mut c = vec![1.0, 1.0, 1.0, 1.0];
         gemm_ref(&a, &b, &mut c, 2, 2.0, 3.0);
         assert_eq!(c, vec![2.0 + 3.0, 4.0 + 3.0, 6.0 + 3.0, 8.0 + 3.0]);
+    }
+
+    #[test]
+    fn panel_reference_streams_bit_for_bit() {
+        use crate::init::init_array_panel;
+        // Unstreamed reference at Mini...
+        let outs = reference_outputs(Kernel::Gemm, Dataset::Mini);
+        let (_, whole) = &outs[0];
+        // ...vs panel-by-panel streaming with a ragged panel height.
+        let n = Dataset::Mini.base_size();
+        let b = mat(Kernel::Gemm, "B", n, n);
+        let mut streamed = vec![0f32; n * n];
+        let panel_rows = 5; // does not divide 16: exercises the tail panel
+        let mut row0 = 0;
+        while row0 < n {
+            let pr = panel_rows.min(n - row0);
+            let mut a_panel = vec![0f32; pr * n];
+            init_array_panel(Kernel::Gemm, "A", n, n, row0, 0, pr, n, &mut a_panel);
+            let c_panel = &mut streamed[row0 * n..(row0 + pr) * n];
+            init_array_panel(Kernel::Gemm, "C", n, n, row0, 0, pr, n, c_panel);
+            gemm_panel_ref(&a_panel, &b, c_panel, n, 2.0, 3.0);
+            row0 += pr;
+        }
+        let whole_bits: Vec<u32> = whole.iter().map(|v| v.to_bits()).collect();
+        let streamed_bits: Vec<u32> = streamed.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(whole_bits, streamed_bits);
     }
 
     #[test]

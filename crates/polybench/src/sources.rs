@@ -184,7 +184,20 @@ mod tests {
     fn sources_scale_with_dataset() {
         let mini = source(Kernel::Gemm, Dataset::Mini);
         let large = source(Kernel::Gemm, Dataset::Large);
+        let xl = source(Kernel::Gemm, Dataset::XLarge);
         assert!(mini.contains("const int N = 16;"));
         assert!(large.contains("const int N = 256;"));
+        assert!(xl.contains("const int N = 1024;"));
+    }
+
+    #[test]
+    fn xlarge_sources_compile() {
+        // The front end must handle streaming-scale dimensions; functional
+        // execution at this size goes through the accelerator paths.
+        for k in [Kernel::Gemm, Kernel::Mvt] {
+            let src = source(k, Dataset::XLarge);
+            tdo_lang::compile(&src)
+                .unwrap_or_else(|e| panic!("{} does not compile at XL: {e}", k.name()));
+        }
     }
 }

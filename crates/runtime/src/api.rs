@@ -56,11 +56,21 @@ impl Transpose {
 
 /// A command submitted under [`DispatchMode::Async`] that the context
 /// has not yet synchronized, plus the scratch buffers (batched
-/// descriptor tables) that must stay live until it completes.
+/// descriptor tables) that must stay live until it completes and the
+/// physical ranges of every operand it reads or writes (the granularity
+/// at which observation points decide whether they must wait for it).
 #[derive(Debug)]
 struct PendingCmd {
     future: CimFuture,
     scratch: Vec<DevPtr>,
+    ranges: Vec<(u64, u64)>,
+}
+
+impl PendingCmd {
+    /// Whether any operand of the command overlaps `[pa, pa + len)`.
+    fn touches(&self, pa: u64, len: u64) -> bool {
+        self.ranges.iter().any(|&(p, l)| pa < p + l && p < pa + len)
+    }
 }
 
 /// The per-device runtime context (device handle + driver session).
@@ -131,71 +141,114 @@ impl CimContext {
     /// [`DispatchMode::Sync`] or with nothing in flight. Returns the
     /// summed accelerator busy time of the synchronized commands.
     ///
-    /// Called implicitly by every entry point that observes or
-    /// invalidates device results (`cim_dev_to_host`, the sync calls,
-    /// host-to-device copies, `cim_free`), so results can never be read
-    /// before the modeled hardware produced them.
+    /// Only explicit synchronization (this call, e.g. at end of run)
+    /// drains the whole queue; every buffer-observing entry point —
+    /// data movement, coherence syncs *and* `cim_free` — uses the
+    /// buffer-scoped [`CimContext::cim_sync_range`] instead, so
+    /// streaming pipelines only wait for the commands whose operands
+    /// they actually observe.
     ///
     /// # Errors
     ///
     /// Propagates driver or free errors; unprocessed commands (and any
     /// scratch still unfreed) stay pending, so nothing leaks.
     pub fn cim_sync(&mut self, mach: &mut Machine) -> Result<SimTime, CimError> {
+        self.sync_where(mach, |_| true)
+    }
+
+    /// Synchronizes only the pending commands whose operands overlap the
+    /// physical range `[pa, pa + len)` — the buffer-granular doorbell
+    /// behind every observation point (`cim_dev_to_host`, the coherence
+    /// syncs, host-to-device copies, `cim_free`): a result can never be read, nor an
+    /// operand overwritten, before the modeled hardware is done with it,
+    /// while in-flight commands on *disjoint* buffers keep running. The
+    /// commands an observation leaves in flight are counted in
+    /// [`RuntimeStats::selective_sync_skips`]. Returns the summed busy
+    /// time of the commands synchronized.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CimContext::cim_sync`].
+    pub fn cim_sync_range(
+        &mut self,
+        mach: &mut Machine,
+        pa: u64,
+        len: u64,
+    ) -> Result<SimTime, CimError> {
+        let total = self.sync_where(mach, |cmd| cmd.touches(pa, len))?;
+        self.stats.selective_sync_skips += self.pending.len() as u64;
+        Ok(total)
+    }
+
+    fn sync_where(
+        &mut self,
+        mach: &mut Machine,
+        must_sync: impl Fn(&PendingCmd) -> bool,
+    ) -> Result<SimTime, CimError> {
         let mut total = SimTime::ZERO;
-        // Take the whole queue up front: `cim_free` below re-enters this
-        // method, and the nested call must see an empty queue rather
-        // than sync commands behind the outer loop's back (which would
-        // silently drop their busy time from `total`).
         let mut pending: VecDeque<PendingCmd> = std::mem::take(&mut self.pending).into();
+        let mut kept: Vec<PendingCmd> = Vec::new();
         while let Some(cmd) = pending.pop_front() {
+            if !must_sync(&cmd) {
+                kept.push(cmd);
+                continue;
+            }
             if let Err(e) = self.driver.sync(mach, &mut self.accel, &cmd.future) {
                 pending.push_front(cmd);
-                self.pending = pending.into();
+                kept.extend(pending);
+                self.pending = kept;
                 return Err(e);
             }
             total += cmd.future.busy;
             for (i, p) in cmd.scratch.iter().enumerate() {
-                if let Err(e) = self.cim_free(mach, *p) {
+                if let Err(e) = self.release(mach, *p) {
                     // The command itself completed; park its unfreed
                     // scratch on a re-queued entry (the future is already
                     // past `ready_at`, so a later sync retries the frees
                     // without waiting again).
                     let scratch = cmd.scratch[i..].to_vec();
-                    pending.push_front(PendingCmd { future: cmd.future, scratch });
-                    self.pending = pending.into();
+                    let ranges = scratch.iter().map(|s| (s.pa, s.len)).collect();
+                    pending.push_front(PendingCmd { future: cmd.future, scratch, ranges });
+                    kept.extend(pending);
+                    self.pending = kept;
                     return Err(e);
                 }
             }
         }
+        self.pending = kept;
         Ok(total)
     }
 
     /// Dispatches the armed command per the configured [`DispatchMode`],
     /// taking ownership of `scratch` buffers that must be freed once the
     /// command is done (on every path, including errors — the descriptor
-    /// table must never leak).
+    /// table must never leak). `ranges` lists the physical extents of
+    /// every operand the command touches; an asynchronous dispatch
+    /// records them so later observation points know whether they must
+    /// wait for this command.
     fn dispatch_armed(
         &mut self,
         mach: &mut Machine,
         scratch: Vec<DevPtr>,
+        ranges: Vec<(u64, u64)>,
     ) -> Result<SimTime, CimError> {
         match self.driver.config().dispatch {
             DispatchMode::Sync => {
                 let result = self.driver.invoke(mach, &mut self.accel);
                 for p in scratch {
-                    self.cim_free(mach, p)?;
+                    self.release(mach, p)?;
                 }
                 result
             }
             DispatchMode::Async => match self.driver.submit(mach, &mut self.accel) {
                 Ok(future) => {
                     self.stats.async_submits += 1;
-                    self.pending.push(PendingCmd { future, scratch });
+                    self.pending.push(PendingCmd { future, scratch, ranges });
                     Ok(future.busy)
                 }
                 Err(e) => {
                     for p in scratch {
-                        self.cim_free(mach, p)?;
+                        self.release(mach, p)?;
                     }
                     Err(e)
                 }
@@ -244,8 +297,15 @@ impl CimContext {
     /// [`CimError::InvalidPointer`] if `ptr` is not live.
     pub fn cim_free(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
         self.ensure_init()?;
-        // The buffer may back an in-flight command: complete them first.
-        self.cim_sync(mach)?;
+        // The buffer may back an in-flight command: complete those first.
+        self.cim_sync_range(mach, ptr.pa, ptr.len)?;
+        self.release(mach, ptr)
+    }
+
+    /// Releases a live allocation without synchronizing — the internal
+    /// path for runtime-owned scratch, whose commands are known complete
+    /// by the time it is called.
+    fn release(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
         let Some(at) = self.allocations.iter().position(|p| p == &ptr) else {
             return Err(CimError::InvalidPointer(ptr.va));
         };
@@ -301,7 +361,7 @@ impl CimContext {
     /// [`CimError::InvalidPointer`] for unregistered buffers.
     pub fn cim_sync_to_dev(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
         self.ensure_init()?;
-        self.cim_sync(mach)?;
+        self.cim_sync_range(mach, ptr.pa, ptr.len)?;
         self.check_live(&ptr)?;
         self.driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
         self.accel.invalidate_range(ptr.pa, ptr.len);
@@ -318,7 +378,7 @@ impl CimContext {
     /// [`CimError::InvalidPointer`] for unregistered buffers.
     pub fn cim_sync_to_host(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
         self.ensure_init()?;
-        self.cim_sync(mach)?;
+        self.cim_sync_range(mach, ptr.pa, ptr.len)?;
         self.check_live(&ptr)?;
         self.driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
         self.stats.d2h_calls += 1;
@@ -340,7 +400,7 @@ impl CimContext {
         len: u64,
     ) -> Result<(), CimError> {
         self.ensure_init()?;
-        self.cim_sync(mach)?;
+        self.cim_sync_range(mach, dst.pa, dst.len)?;
         self.check_live(&dst)?;
         if len > dst.len {
             return Err(CimError::InvalidArg(format!(
@@ -370,7 +430,7 @@ impl CimContext {
         len: u64,
     ) -> Result<(), CimError> {
         self.ensure_init()?;
-        self.cim_sync(mach)?;
+        self.cim_sync_range(mach, src.pa, src.len)?;
         self.check_live(&src)?;
         if len > src.len {
             return Err(CimError::InvalidArg(format!(
@@ -434,7 +494,7 @@ impl CimContext {
             (Reg::Command, Command::Gemm as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
-        self.dispatch_armed(mach, Vec::new())
+        self.dispatch_armed(mach, Vec::new(), vec![(a.pa, a.len), (b.pa, b.len), (c.pa, c.len)])
     }
 
     /// `polly_cimBlasSGemv`: `y = alpha*op(A)*x + beta*y`.
@@ -477,7 +537,7 @@ impl CimContext {
             (Reg::Command, Command::Gemv as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
-        self.dispatch_armed(mach, Vec::new())
+        self.dispatch_armed(mach, Vec::new(), vec![(a.pa, a.len), (x.pa, x.len), (y.pa, y.len)])
     }
 
     /// `polly_cimBlasGemmBatched`: a batch of same-shape GEMMs issued in
@@ -562,8 +622,10 @@ impl CimContext {
         self.driver.write_regs(mach, &mut self.accel, &regs);
         // The scratch table travels with the dispatch: freed after a
         // synchronous invocation (success *or* device error) or when the
-        // asynchronous command is synchronized — never leaked.
-        self.dispatch_armed(mach, vec![table])
+        // asynchronous command is synchronized — never leaked. `flush`
+        // already lists every operand plus the table itself, which is
+        // exactly the observation footprint of the command.
+        self.dispatch_armed(mach, vec![table], flush)
     }
 
     /// `polly_cimConv2d`: single-channel 2-D convolution (valid padding).
@@ -602,7 +664,11 @@ impl CimContext {
             (Reg::Command, Command::Conv2d as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
-        self.dispatch_armed(mach, Vec::new())
+        self.dispatch_armed(
+            mach,
+            Vec::new(),
+            vec![(img.pa, img.len), (filt.pa, filt.len), (out.pa, out.len)],
+        )
     }
 }
 
@@ -813,6 +879,73 @@ mod tests {
         let mut out = [0f32; 4];
         mach.peek_f32_slice(host, &mut out);
         assert_eq!(out, [10.0, 12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn observation_of_disjoint_buffer_leaves_commands_in_flight() {
+        // The buffer-scoped doorbell: while an async GEMM is in flight,
+        // data movement on buffers the command does not touch must not
+        // pay its wait — only observing an actual operand does.
+        let mut mach = Machine::new(cim_machine::MachineConfig::test_small());
+        let drv_cfg = DriverConfig { dispatch: DispatchMode::Async, ..DriverConfig::default() };
+        let mut ctx = CimContext::new(AccelConfig::test_small(), drv_cfg, &mach);
+        ctx.cim_init(&mut mach, 0).expect("init");
+        let a = dev_mat(&mut ctx, &mut mach, &[1.0, 0.0, 0.0, 1.0]);
+        let b = dev_mat(&mut ctx, &mut mach, &[1.0, 2.0, 3.0, 4.0]);
+        let c = dev_mat(&mut ctx, &mut mach, &[0.0; 4]);
+        let other = dev_mat(&mut ctx, &mut mach, &[9.0; 4]);
+        ctx.cim_blas_sgemm(
+            &mut mach,
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            1.0,
+            a,
+            2,
+            b,
+            2,
+            0.0,
+            c,
+            2,
+        )
+        .expect("submits");
+        assert_eq!(ctx.pending_commands(), 1);
+        // Unrelated staging traffic: command stays in flight, skip counted.
+        let host = mach.alloc_host(16);
+        ctx.cim_host_to_dev(&mut mach, other, host, 16).expect("h2d");
+        ctx.cim_dev_to_host(&mut mach, host, other, 16).expect("d2h");
+        assert_eq!(ctx.pending_commands(), 1, "disjoint observation must not sync");
+        assert_eq!(ctx.stats().selective_sync_skips, 2);
+        // Observing an operand of the command pays the residual wait.
+        ctx.cim_dev_to_host(&mut mach, host, c, 16).expect("d2h c");
+        assert_eq!(ctx.pending_commands(), 0);
+        let mut out = [0f32; 4];
+        mach.peek_f32_slice(host, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+        // Overwriting an *input* of a (new) in-flight command also waits:
+        // the hardware may still be reading it.
+        ctx.cim_blas_sgemm(
+            &mut mach,
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            1.0,
+            a,
+            2,
+            b,
+            2,
+            0.0,
+            c,
+            2,
+        )
+        .expect("submits");
+        assert_eq!(ctx.pending_commands(), 1);
+        ctx.cim_host_to_dev(&mut mach, b, host, 16).expect("h2d into operand");
+        assert_eq!(ctx.pending_commands(), 0, "operand overwrite must sync first");
     }
 
     #[test]

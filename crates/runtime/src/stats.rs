@@ -29,6 +29,10 @@ pub struct RuntimeStats {
     pub conv_calls: u64,
     /// Commands dispatched asynchronously (submitted without blocking).
     pub async_submits: u64,
+    /// In-flight commands an observation point (h2d/d2h/coherence sync)
+    /// left running because their operands did not overlap the observed
+    /// buffer — each one is a wait the buffer-scoped doorbell avoided.
+    pub selective_sync_skips: u64,
 }
 
 impl RuntimeStats {

@@ -440,6 +440,66 @@ mod tests {
     }
 
     #[test]
+    fn inference_chain_fuses_per_layer_with_host_activations_between() {
+        // The workloads crate's GEMM-chain shape in miniature: two
+        // layers of two micro-batches each, separated by pointwise
+        // activation nests. Each layer's batch must fuse into one
+        // batched call; the activations must stay host loops and fence
+        // fusion across the layer boundary.
+        let src = r#"
+            const int R = 4; const int D = 4;
+            float X0[R][D]; float X1[R][D];
+            float W1[D][D]; float W2[D][D];
+            float H1_0[R][D]; float H1_1[R][D]; float H2_0[R][D]; float H2_1[R][D];
+            void kernel() {
+              for (int i = 0; i < R; i++)
+                for (int j = 0; j < D; j++) {
+                  H1_0[i][j] = 0.0;
+                  for (int k = 0; k < D; k++)
+                    H1_0[i][j] += X0[i][k] * W1[k][j];
+                }
+              for (int i = 0; i < R; i++)
+                for (int j = 0; j < D; j++) {
+                  H1_1[i][j] = 0.0;
+                  for (int k = 0; k < D; k++)
+                    H1_1[i][j] += X1[i][k] * W1[k][j];
+                }
+              for (int i = 0; i < R; i++)
+                for (int j = 0; j < D; j++)
+                  H1_0[i][j] = H1_0[i][j] * 0.0625;
+              for (int i = 0; i < R; i++)
+                for (int j = 0; j < D; j++)
+                  H1_1[i][j] = H1_1[i][j] * 0.0625;
+              for (int i = 0; i < R; i++)
+                for (int j = 0; j < D; j++) {
+                  H2_0[i][j] = 0.0;
+                  for (int k = 0; k < D; k++)
+                    H2_0[i][j] += H1_0[i][k] * W2[k][j];
+                }
+              for (int i = 0; i < R; i++)
+                for (int j = 0; j < D; j++) {
+                  H2_1[i][j] = 0.0;
+                  for (int k = 0; k < D; k++)
+                    H2_1[i][j] += H1_1[i][k] * W2[k][j];
+                }
+            }
+        "#;
+        let (_, report, new_prog) = offload(src, TacticsConfig::default());
+        assert_eq!(report.fused_groups, 2, "{report}");
+        assert_eq!(report.kernels.len(), 4);
+        assert!(report.kernels.iter().all(|k| k.offloaded && k.fused), "{report}");
+        let text = print_program(&new_prog);
+        assert_eq!(text.matches("polly_cimBlasGemmBatched").count(), 2, "{text}");
+        assert!(!text.contains("polly_cimBlasSGemm("), "{text}");
+        // Activations survive as host loops between the two batched calls.
+        assert!(text.contains("H1_0[i][j] * 0.0625"), "{text}");
+        let first_batched = text.find("polly_cimBlasGemmBatched").expect("layer 1");
+        let act = text.find("* 0.0625").expect("activation");
+        let last_batched = text.rfind("polly_cimBlasGemmBatched").expect("layer 2");
+        assert!(first_batched < act && act < last_batched, "{text}");
+    }
+
+    #[test]
     fn fusion_respects_dependences() {
         let src =
             LISTING2_SRC.replace("D[i][j] += A[i][k] * E[k][j];", "D[i][j] += C[i][k] * E[k][j];");

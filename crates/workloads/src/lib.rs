@@ -1,0 +1,33 @@
+//! # workloads — the non-PolyBench workload suite
+//!
+//! TDO-CIM's evaluation (Fig. 6) stops at seven fixed-size PolyBench
+//! kernels; this crate grows the workload axis beyond it, per the
+//! roadmap's "scale the workload axis" item:
+//!
+//! * [`chain`] — inference-style GEMM chains: batched MLP forward
+//!   passes whose per-layer GEMMs Loop Tactics fuses into
+//!   `polly_cimBlasGemmBatched` calls, exercising tile-partitioned
+//!   concurrent dispatch end to end (emitted as plain mini-C and
+//!   offloaded *transparently*, never hand-dispatched);
+//! * [`stream`] — the `Dataset::XLarge` streamed GEMM: operands larger
+//!   than any crossbar staged through tile-sized CMA panels, with an
+//!   async schedule that overlaps staging copies against accelerator
+//!   compute.
+//!
+//! The `fig8_workloads` binary in `tdo_bench` sweeps both; see
+//! `docs/WORKLOADS.md` for the workload ladder and how to add more.
+//!
+//! ```
+//! use polybench::Dataset;
+//! use workloads::ChainSpec;
+//!
+//! let spec = ChainSpec::for_dataset(Dataset::Mini);
+//! assert_eq!((spec.rows, spec.width, spec.batch, spec.layers), (16, 16, 4, 3));
+//! assert!(spec.source().contains("H1_0[i][j] += X0[i][k] * W1[k][j];"));
+//! ```
+
+pub mod chain;
+pub mod stream;
+
+pub use chain::ChainSpec;
+pub use stream::{run_gemm, StreamConfig, StreamRun};

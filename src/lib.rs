@@ -10,7 +10,9 @@
 //! * [`cim_machine`] / [`cim_pcm`] / [`cim_accel`] / [`cim_runtime`] —
 //!   the simulated platform (host, PCM crossbar, accelerator, runtime
 //!   library + driver);
-//! * [`polybench`] — the evaluation kernels.
+//! * [`polybench`] — the evaluation kernels;
+//! * [`workloads`] — the non-PolyBench workload suite (GEMM chains,
+//!   streamed XLarge GEMM; see `docs/WORKLOADS.md`).
 //!
 //! See `examples/quickstart.rs` for the fastest tour.
 
@@ -24,3 +26,4 @@ pub use tdo_ir;
 pub use tdo_lang;
 pub use tdo_poly;
 pub use tdo_tactics;
+pub use workloads;
