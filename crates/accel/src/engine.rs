@@ -206,6 +206,7 @@ impl CimAccelerator {
                 let lane = (region.origin.0 + ks.lane, region.origin.1 + ms.lane);
                 let idx = self.tile_index(lane);
                 if self.tiles[idx].resident() == Some(&key) {
+                    self.stats.install_skips += 1;
                     continue;
                 }
                 // Gather op(A)[m0..m0+mt][k0..k0+kt] transposed into G.
@@ -250,16 +251,18 @@ impl CimAccelerator {
         clock.finish()
     }
 
-    /// Executes a GEMM on the full tile grid, returning the busy
-    /// duration (the historical serial entry point).
+    /// Executes a GEMM confined to `region` (the full grid for commands
+    /// whose [`crate::regs::Reg::Region`] register is zero), returning
+    /// the busy duration. The historical serial entry point with the
+    /// region made explicit.
     pub(crate) fn run_gemm(
         &mut self,
         mach: &mut Machine,
         p: &GemmParams,
+        region: GridRegion,
         t0: SimTime,
     ) -> Result<SimTime, EngineError> {
         let cmd = self.next_cmd();
-        let region = GridRegion::full(self.cfg.grid);
         let (dur, tiles) = self.run_gemm_region(mach, p, region, Some(cmd), t0)?;
         self.stats.max_tiles_active = self.stats.max_tiles_active.max(tiles);
         Ok(dur)
@@ -508,7 +511,9 @@ impl CimAccelerator {
             generation: self.generation,
         };
         self.stats.max_tiles_active = self.stats.max_tiles_active.max(1);
-        if self.tiles[0].resident() != Some(&key) {
+        if self.tiles[0].resident() == Some(&key) {
+            self.stats.install_skips += 1;
+        } else {
             let receipt = self.tiles[0].install(key, &g, in_dim, seg_out);
             let install_t = self.cfg.energy.write_time(receipt.rows_programmed);
             self.stats.cell_writes += receipt.cells_written;

@@ -23,6 +23,8 @@ pub struct OpEstimate {
     pub cell_writes: u64,
     /// Crossbar rows programmed.
     pub rows_programmed: u64,
+    /// Stationary-operand block installs skipped by residency.
+    pub install_skips: u64,
     /// GEMV operations.
     pub gemvs: u64,
     /// Useful MACs.
@@ -40,6 +42,7 @@ impl OpEstimate {
         self.energy += o.energy;
         self.cell_writes += o.cell_writes;
         self.rows_programmed += o.rows_programmed;
+        self.install_skips += o.install_skips;
         self.gemvs += o.gemvs;
         self.macs += o.macs;
         self.dma_bytes += o.dma_bytes;
@@ -118,6 +121,7 @@ fn estimate_gemm_on(
         for ms in &wave.m_spans {
             for ks in &wave.k_spans {
                 if a_resident {
+                    est.install_skips += 1;
                     continue;
                 }
                 let (kt, mt) = (ks.len, ms.len);
@@ -216,6 +220,7 @@ pub fn estimate_gemm_batched(
         est.energy += g.energy;
         est.cell_writes += g.cell_writes;
         est.rows_programmed += g.rows_programmed;
+        est.install_skips += g.install_skips;
         est.gemvs += g.gemvs;
         est.macs += g.macs;
         est.dma_bytes += g.dma_bytes;

@@ -184,17 +184,29 @@ impl CimAccelerator {
     }
 
     /// Range-precise residency invalidation: drops installed operands
-    /// only if their source buffer lies inside `[pa, pa+len)`. Used by the
-    /// zero-copy sync path so refreshing one buffer does not evict an
-    /// unrelated resident operand.
+    /// whose source bytes overlap `[pa, pa+len)` (conservatively, via
+    /// [`TileKey::pa_span`]). Used by the zero-copy sync path so
+    /// refreshing one buffer does not evict an unrelated resident
+    /// operand.
     pub fn invalidate_range(&mut self, pa: u64, len: u64) {
         for tile in &mut self.tiles {
             if let Some(key) = tile.resident() {
-                if key.base_pa >= pa && key.base_pa < pa + len {
+                let (s, l) = key.pa_span();
+                let base_inside = key.base_pa >= pa && key.base_pa < pa + len;
+                let span_overlaps = s < pa + len && pa < s + l;
+                if base_inside || span_overlaps {
                     tile.invalidate();
                 }
             }
         }
+    }
+
+    /// Records that `tiles` physical tiles were concurrently busy at some
+    /// instant — the driver's view when separate in-flight commands
+    /// overlap on disjoint regions, which the engine cannot see from
+    /// inside any single command.
+    pub fn note_tiles_active(&mut self, tiles: u64) {
+        self.stats.max_tiles_active = self.stats.max_tiles_active.max(tiles);
     }
 
     /// Accumulated statistics.
@@ -295,14 +307,15 @@ impl CimAccelerator {
             t0,
             format!("{cmd:?} armed"),
         );
+        let region = GridRegion::decode(self.regs.read(Reg::Region), self.cfg.grid);
         let result = match cmd {
             Command::Gemm => {
                 let p = self.decode_gemm();
-                self.run_gemm(mach, &p, t0)
+                self.run_gemm(mach, &p, region, t0)
             }
             Command::Gemv => {
                 let p = GemmParams { n: 1, ldb: 1, ldc: 1, ..self.decode_gemm() };
-                self.run_gemm(mach, &p, t0)
+                self.run_gemm(mach, &p, region, t0)
             }
             Command::GemmBatched => {
                 let template = self.decode_gemm();

@@ -52,6 +52,11 @@ pub enum Reg {
     FiltH = 19,
     /// Filter width (conv2d).
     FiltW = 20,
+    /// Target tile region of the command, packed by
+    /// [`crate::shard::GridRegion::encode`] (`0` = the full grid). Lets
+    /// the driver confine a command to a sub-array of tiles so separate
+    /// commands on disjoint regions can overlap.
+    Region = 21,
 }
 
 /// Number of registers in the file.

@@ -69,6 +69,37 @@ impl GridRegion {
         self.shape.0 * self.shape.1
     }
 
+    /// Packs the region into a context-register word: four 16-bit lanes
+    /// `(origin_k, origin_m, shape_k, shape_m)`. The all-zero word (a
+    /// freshly reset register file) decodes back to the full grid, so
+    /// hosts that never write [`crate::regs::Reg::Region`] keep the
+    /// historical whole-grid behavior.
+    pub fn encode(&self) -> u64 {
+        ((self.origin.0 as u64) << 48)
+            | ((self.origin.1 as u64) << 32)
+            | ((self.shape.0 as u64) << 16)
+            | self.shape.1 as u64
+    }
+
+    /// Decodes a [`GridRegion::encode`] word against the physical `grid`,
+    /// clamping out-of-range values so a malformed register can never
+    /// address tiles that do not exist. A zero shape decodes to the full
+    /// grid.
+    pub fn decode(word: u64, grid: (usize, usize)) -> GridRegion {
+        let shape = (((word >> 16) & 0xffff) as usize, (word & 0xffff) as usize);
+        if shape.0 == 0 || shape.1 == 0 {
+            return GridRegion::full(grid);
+        }
+        let origin = (
+            (word >> 48) as usize % grid.0.max(1),
+            ((word >> 32) & 0xffff) as usize % grid.1.max(1),
+        );
+        GridRegion {
+            origin,
+            shape: (shape.0.min(grid.0 - origin.0), shape.1.min(grid.1 - origin.1)),
+        }
+    }
+
     /// Whether two regions share any physical tile.
     pub fn overlaps(&self, other: &GridRegion) -> bool {
         let disjoint_k = self.origin.0 + self.shape.0 <= other.origin.0

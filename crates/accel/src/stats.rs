@@ -14,6 +14,11 @@ pub struct AccelStats {
     pub cell_writes: u64,
     /// Crossbar rows programmed (latency-relevant).
     pub rows_programmed: u64,
+    /// Stationary-operand block installs skipped because the block was
+    /// already resident on its tile (fused batches sharing `A`, pinned
+    /// operands reused across kernels) — each one is a saved install DMA
+    /// plus programming phase.
+    pub install_skips: u64,
     /// Useful multiply-accumulates performed on the crossbar.
     pub macs: u64,
     /// Most physical tiles concurrently active in any sharding wave (1
@@ -67,6 +72,7 @@ impl AccelStats {
         self.gemv_count += o.gemv_count;
         self.cell_writes += o.cell_writes;
         self.rows_programmed += o.rows_programmed;
+        self.install_skips += o.install_skips;
         self.macs += o.macs;
         self.max_tiles_active = self.max_tiles_active.max(o.max_tiles_active);
         self.crossbar_compute += o.crossbar_compute;
@@ -88,6 +94,7 @@ impl fmt::Display for AccelStats {
         writeln!(f, "  gemvs            {:>12}", self.gemv_count)?;
         writeln!(f, "  cell writes      {:>12}", self.cell_writes)?;
         writeln!(f, "  rows programmed  {:>12}", self.rows_programmed)?;
+        writeln!(f, "  installs skipped {:>12}", self.install_skips)?;
         writeln!(f, "  macs             {:>12}", self.macs)?;
         writeln!(f, "  macs/write       {:>12.2}", self.macs_per_write())?;
         writeln!(f, "  max tiles active {:>12}", self.max_tiles_active)?;

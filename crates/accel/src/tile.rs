@@ -39,6 +39,28 @@ pub struct TileKey {
     pub generation: u64,
 }
 
+impl TileKey {
+    /// Conservative physical byte span `(start, len)` of the source data
+    /// this tile was installed from: the contiguous range from the first
+    /// to the last element the install read, over-approximated to whole
+    /// leading-dimension rows in between. Lets invalidation match
+    /// sub-buffer host writes that overlap the operand without containing
+    /// its base address.
+    pub fn pa_span(&self) -> (u64, u64) {
+        let (m0, k0) = self.origin;
+        let (kt, mt) = self.extent;
+        // The install reads rows k0..k0+kt (transposed) or m0..m0+mt
+        // (direct) of the ld-strided source matrix.
+        let (first, last) = if self.transposed {
+            (k0 * self.ld + m0, (k0 + kt.max(1) - 1) * self.ld + m0 + mt.max(1) - 1)
+        } else {
+            (m0 * self.ld + k0, (m0 + mt.max(1) - 1) * self.ld + k0 + kt.max(1) - 1)
+        };
+        let start = self.base_pa + 4 * first as u64;
+        (start, 4 * (last - first + 1) as u64)
+    }
+}
+
 /// Receipt describing the cost of an install.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InstallReceipt {

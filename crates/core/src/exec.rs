@@ -380,6 +380,16 @@ impl<'p> Backend for MachineBackend<'p> {
                 self.mach.core.retire(InstClass::Other, 1500);
                 Ok(())
             }
+            CimCall::Pin(a) => {
+                let ptr = self.dev(a)?;
+                let mach = &mut self.mach;
+                self.ctx
+                    .as_mut()
+                    .ok_or_else(|| InterpError::Backend("pin before init".into()))?
+                    .cim_pin(mach, ptr)
+                    .map_err(cim_err)?;
+                Ok(())
+            }
             CimCall::Gemm(g) => {
                 self.ctx_mut()?;
                 self.run_gemm(&g)
@@ -598,6 +608,125 @@ mod tests {
         // the same wait — it must never be slower than blocking.
         let (t_async, t_sync) = (async_run.host.time.as_ns(), sync_run.host.time.as_ns());
         assert!(t_async <= t_sync * 1.001, "{t_async} vs {t_sync}");
+    }
+
+    #[test]
+    fn dataflow_schedule_is_bit_identical_and_skips_installs() {
+        // Two kernels sharing the stationary operand, followed by host
+        // code independent of the first result: the offload dataflow
+        // graph elides the redundant h2d syncs, pins A, and sinks the
+        // d2h of C past the second kernel. Results must match the
+        // conservative schedule bit for bit in both dispatch modes,
+        // while the pinned operand installs once instead of twice.
+        use cim_runtime::DispatchMode;
+        let src = r#"
+            const int N = 8;
+            float A[N][N]; float B[N][N]; float C[N][N]; float D[N][N]; float s[N];
+            void kernel() {
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    C[i][j] += A[i][k] * B[k][j];
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    D[i][j] += A[i][k] * B[k][j];
+              for (int i = 0; i < N; i++)
+                s[i] = s[i] + 1.0;
+            }
+        "#;
+        let mut base_copts = CompileOptions::with_tactics();
+        base_copts.tactics.fusion = false;
+        let mut df_copts = CompileOptions::with_dataflow();
+        df_copts.tactics.fusion = false;
+        let baseline = compile(src, &base_copts).expect("compiles");
+        let optimized = compile(src, &df_copts).expect("compiles");
+        assert!(baseline.dataflow.is_none());
+        let report = optimized.dataflow.expect("dataflow ran");
+        assert!(report.hoisted_syncs >= 1, "{report}");
+        assert!(report.elided_syncs >= 1, "{report}");
+        assert_eq!(report.pins, 1, "{report}");
+        let base_run = execute(&baseline, &small_opts(), &det_init).expect("baseline runs");
+        for dispatch in [DispatchMode::Sync, DispatchMode::Async] {
+            let opts = small_opts().with_dispatch(dispatch);
+            let run = execute(&optimized, &opts, &det_init).expect("optimized runs");
+            for name in ["C", "D", "s"] {
+                assert_eq!(
+                    base_run.array(name).unwrap(),
+                    run.array(name).unwrap(),
+                    "{name} diverged under {dispatch:?}"
+                );
+            }
+            let acc = run.accel.expect("accel");
+            let base_acc = base_run.accel.expect("accel");
+            // The pinned A installs once (8 rows); the conservative
+            // schedule re-installs it for the second kernel.
+            assert_eq!(base_acc.rows_programmed, 16);
+            assert_eq!(acc.rows_programmed, 8, "{dispatch:?}");
+            assert!(acc.install_skips >= 1, "{dispatch:?}");
+            let rt = run.runtime.expect("runtime stats");
+            assert_eq!(rt.pin_calls, 1);
+            assert!(rt.pin_hits >= 1);
+        }
+    }
+
+    #[test]
+    fn kernel_overwritten_operand_is_not_served_from_stale_residency() {
+        // Regression: A is the pinned stationary operand of two kernels,
+        // then a *device kernel* overwrites A, then a fourth kernel uses
+        // A again. The dataflow pass must not let that last kernel hit a
+        // pre-overwrite crossbar install — the kernel write ends A's
+        // clean window (graph side) and the runtime invalidates
+        // residency over every dispatched command's write ranges
+        // (runtime side), so results stay bit-for-bit identical to the
+        // conservative schedule.
+        use cim_runtime::DispatchMode;
+        let src = r#"
+            const int N = 8;
+            float A[N][N]; float B[N][N]; float X[N][N]; float W[N][N];
+            float Y[N][N]; float Z[N][N]; float U[N][N];
+            void kernel() {
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    Y[i][j] += A[i][k] * B[k][j];
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    Z[i][j] += A[i][k] * B[k][j];
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    A[i][j] += X[i][k] * W[k][j];
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    U[i][j] += A[i][k] * B[k][j];
+            }
+        "#;
+        let mut base_copts = CompileOptions::with_tactics();
+        base_copts.tactics.fusion = false;
+        let mut df_copts = CompileOptions::with_dataflow();
+        df_copts.tactics.fusion = false;
+        let baseline = compile(src, &base_copts).expect("compiles");
+        let optimized = compile(src, &df_copts).expect("compiles");
+        // A's reuse window ends at the overwriting kernel: exactly one
+        // pin, covering the first two kernels only.
+        let report = optimized.dataflow.expect("dataflow ran");
+        assert_eq!(report.pins, 1, "{report}");
+        let opts_grid = ExecOptions { ..small_opts() }.with_tile_grid(2, 2);
+        let base_run = execute(&baseline, &opts_grid, &det_init).expect("baseline runs");
+        for dispatch in [DispatchMode::Sync, DispatchMode::Async] {
+            let run = execute(&optimized, &opts_grid.clone().with_dispatch(dispatch), &det_init)
+                .expect("optimized runs");
+            for name in ["Y", "Z", "A", "U"] {
+                assert_eq!(
+                    base_run.array(name).unwrap(),
+                    run.array(name).unwrap(),
+                    "{name} diverged under {dispatch:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,13 @@ pub struct CompileOptions {
     pub enable_loop_tactics: bool,
     /// Loop Tactics configuration (policy, fusion, cost model).
     pub tactics: TacticsConfig,
+    /// Run the offload dataflow graph passes over the emitted runtime
+    /// calls: sink `polly_cimDevToHost` past independent host code,
+    /// elide provably redundant `polly_cimHostToDev` syncs, and pin
+    /// stationary operands reused across consecutive kernels
+    /// (`tdo_tactics::graph`). Off by default — the conservative
+    /// point-wise schedule is the paper's baseline.
+    pub dataflow: bool,
 }
 
 impl CompileOptions {
@@ -26,6 +33,12 @@ impl CompileOptions {
     /// Transparent CIM offloading (`-enable-loop-tactics`).
     pub fn with_tactics() -> Self {
         CompileOptions { enable_loop_tactics: true, ..CompileOptions::default() }
+    }
+
+    /// Offloading plus the offload dataflow graph passes
+    /// (`-enable-loop-tactics -cim-dataflow`).
+    pub fn with_dataflow() -> Self {
+        CompileOptions { enable_loop_tactics: true, dataflow: true, ..CompileOptions::default() }
     }
 }
 

@@ -14,7 +14,7 @@ use tdo_ir::Program;
 use tdo_lang::FrontendError;
 use tdo_poly::codegen::rebuild_program;
 use tdo_poly::scop::{extract, ScopError};
-use tdo_tactics::{LoopTactics, OffloadReport};
+use tdo_tactics::{optimize_offload_schedule, DataflowReport, LoopTactics, OffloadReport};
 
 /// A compiled program ready for execution.
 #[derive(Debug, Clone)]
@@ -25,6 +25,8 @@ pub struct CompiledProgram {
     pub source_ir: Program,
     /// Loop Tactics report (when tactics ran).
     pub report: Option<OffloadReport>,
+    /// Offload dataflow graph report (when the graph passes ran).
+    pub dataflow: Option<DataflowReport>,
     /// Why the polyhedral step was skipped, if it was.
     pub scop_skipped: Option<ScopError>,
 }
@@ -74,6 +76,7 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<CompiledProgram, Comp
             prog: source_ir.clone(),
             source_ir,
             report: None,
+            dataflow: None,
             scop_skipped: None,
         });
     }
@@ -81,14 +84,28 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<CompiledProgram, Comp
         Ok(scop) => {
             let pass = LoopTactics::new(opts.tactics.clone());
             let (tree, report) = pass.run(&source_ir, &scop);
-            let prog = rebuild_program(&source_ir, &scop, &tree);
+            let mut prog = rebuild_program(&source_ir, &scop, &tree);
+            let dataflow = if opts.dataflow && report.any_offloaded() {
+                let (optimized, dataflow_report) = optimize_offload_schedule(&prog);
+                prog = optimized;
+                Some(dataflow_report)
+            } else {
+                None
+            };
             tdo_ir::verify::verify(&prog).expect("tactics emit well-formed IR");
-            Ok(CompiledProgram { prog, source_ir, report: Some(report), scop_skipped: None })
+            Ok(CompiledProgram {
+                prog,
+                source_ir,
+                report: Some(report),
+                dataflow,
+                scop_skipped: None,
+            })
         }
         Err(e) => Ok(CompiledProgram {
             prog: source_ir.clone(),
             source_ir,
             report: None,
+            dataflow: None,
             scop_skipped: Some(e),
         }),
     }

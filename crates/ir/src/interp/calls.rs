@@ -112,6 +112,10 @@ pub enum CimCall {
     DevToHost(ArrayId),
     /// `polly_cimFree(array)`.
     Free(ArrayId),
+    /// `polly_cimPin(array)`: residency-placement hint — the array's
+    /// contents are stable across the upcoming kernels, so the runtime
+    /// may keep it installed on its tiles between calls.
+    Pin(ArrayId),
     /// `polly_cimBlasSGemm(...)`.
     Gemm(GemmCall),
     /// `polly_cimBlasSGemv(...)`.
@@ -201,6 +205,7 @@ pub fn parse(callee: &str, args: &[ResolvedArg]) -> Result<CimCall, InterpError>
         "polly_cimHostToDev" => CimCall::HostToDev(a.array()?),
         "polly_cimDevToHost" => CimCall::DevToHost(a.array()?),
         "polly_cimFree" => CimCall::Free(a.array()?),
+        "polly_cimPin" => CimCall::Pin(a.array()?),
         "polly_cimBlasSGemm" => CimCall::Gemm(parse_gemm(&mut a)?),
         "polly_cimBlasSGemmView" => CimCall::Gemm(parse_gemm_view(&mut a)?),
         "polly_cimBlasSGemv" => CimCall::Gemv(GemvCall {

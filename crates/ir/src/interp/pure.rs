@@ -143,7 +143,8 @@ impl Backend for PureBackend {
             | CimCall::Malloc(_)
             | CimCall::HostToDev(_)
             | CimCall::DevToHost(_)
-            | CimCall::Free(_) => Ok(()), // single storage: data movement is a no-op
+            | CimCall::Free(_)
+            | CimCall::Pin(_) => Ok(()), // single storage: data movement is a no-op
             CimCall::Gemm(g) => self.gemm(&g),
             CimCall::Gemv(g) => self.gemv(&g),
             CimCall::Batched(BatchedCall { template, problems }) => {

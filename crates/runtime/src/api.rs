@@ -14,7 +14,7 @@
 //! for Nvidia GPU and Intel CPU, respectively" (Section III).
 
 use cim_accel::regs::{Command, Reg};
-use cim_accel::{AccelConfig, CimAccelerator};
+use cim_accel::{partition_grid, AccelConfig, CimAccelerator, GridRegion};
 use cim_machine::cpu::InstClass;
 use cim_machine::units::SimTime;
 use cim_machine::Machine;
@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 
 use crate::driver::{CimDriver, CimFuture, DispatchMode, DriverConfig};
 use crate::error::CimError;
+use crate::residency::ResidencyTable;
 use crate::stats::RuntimeStats;
 
 /// A live device allocation in the shared CMA region.
@@ -68,8 +69,11 @@ struct PendingCmd {
 
 impl PendingCmd {
     /// Whether any operand of the command overlaps `[pa, pa + len)`.
+    /// Empty ranges observe no bytes and overlap nothing
+    /// ([`crate::ranges::overlaps`]) — a zero-length query at an
+    /// interior point of an operand must not sync the command.
     fn touches(&self, pa: u64, len: u64) -> bool {
-        self.ranges.iter().any(|&(p, l)| pa < p + l && p < pa + len)
+        self.ranges.iter().any(|&r| crate::ranges::overlaps((pa, len), r))
     }
 }
 
@@ -81,6 +85,11 @@ pub struct CimContext {
     device_id: Option<u32>,
     allocations: Vec<DevPtr>,
     pending: Vec<PendingCmd>,
+    residency: ResidencyTable,
+    /// The finest disjoint partition of the tile grid, computed once —
+    /// the round-robin pool [`CimContext::next_subregion`] draws from.
+    subregions: Vec<GridRegion>,
+    region_cursor: usize,
     stats: RuntimeStats,
 }
 
@@ -93,12 +102,16 @@ impl CimContext {
     /// configuration by hand.
     pub fn new(accel_cfg: AccelConfig, driver_cfg: DriverConfig, mach: &Machine) -> Self {
         let accel_cfg = driver_cfg.apply_overrides(accel_cfg);
+        let grid = accel_cfg.grid;
         CimContext {
             accel: CimAccelerator::new(accel_cfg, mach.cfg.bus),
             driver: CimDriver::new(driver_cfg),
             device_id: None,
             allocations: Vec::new(),
             pending: Vec::new(),
+            residency: ResidencyTable::default(),
+            subregions: partition_grid(grid, grid.0 * grid.1),
+            region_cursor: 0,
             stats: RuntimeStats::default(),
         }
     }
@@ -222,37 +235,135 @@ impl CimContext {
     /// Dispatches the armed command per the configured [`DispatchMode`],
     /// taking ownership of `scratch` buffers that must be freed once the
     /// command is done (on every path, including errors — the descriptor
-    /// table must never leak). `ranges` lists the physical extents of
-    /// every operand the command touches; an asynchronous dispatch
-    /// records them so later observation points know whether they must
-    /// wait for this command.
+    /// table must never leak). `region` is the tile sub-array the command
+    /// was armed for (the caller also wrote it into
+    /// [`Reg::Region`]); `reads`/`writes` are the physical extents of
+    /// its operands, which key both the driver's per-region doorbell and
+    /// — unioned — the observation ranges later sync points check.
     fn dispatch_armed(
         &mut self,
         mach: &mut Machine,
         scratch: Vec<DevPtr>,
-        ranges: Vec<(u64, u64)>,
+        region: GridRegion,
+        reads: Vec<(u64, u64)>,
+        writes: Vec<(u64, u64)>,
     ) -> Result<SimTime, CimError> {
         match self.driver.config().dispatch {
             DispatchMode::Sync => {
-                let result = self.driver.invoke(mach, &mut self.accel);
+                let result =
+                    self.driver.invoke_region(mach, &mut self.accel, region, &reads, &writes);
+                if result.is_ok() {
+                    self.invalidate_written(&writes);
+                }
                 for p in scratch {
                     self.release(mach, p)?;
                 }
                 result
             }
-            DispatchMode::Async => match self.driver.submit(mach, &mut self.accel) {
-                Ok(future) => {
-                    self.stats.async_submits += 1;
-                    self.pending.push(PendingCmd { future, scratch, ranges });
-                    Ok(future.busy)
-                }
-                Err(e) => {
-                    for p in scratch {
-                        self.release(mach, p)?;
+            DispatchMode::Async => {
+                match self.driver.submit_region(mach, &mut self.accel, region, &reads, &writes) {
+                    Ok(future) => {
+                        self.stats.async_submits += 1;
+                        self.invalidate_written(&writes);
+                        let mut ranges = reads;
+                        ranges.extend(writes);
+                        self.pending.push(PendingCmd { future, scratch, ranges });
+                        Ok(future.busy)
                     }
-                    Err(e)
+                    Err(e) => {
+                        for p in scratch {
+                            self.release(mach, p)?;
+                        }
+                        Err(e)
+                    }
                 }
-            },
+            }
+        }
+    }
+
+    /// The device just (functionally) wrote these ranges: any resident
+    /// crossbar operand or pin sourced from them is stale. Without this,
+    /// a kernel whose output later serves as another kernel's stationary
+    /// operand could hit residency on a pre-overwrite install — the
+    /// coherence syncs alone cannot catch it once the compiler's
+    /// dataflow pass elides the (host-cache-wise redundant) h2d.
+    fn invalidate_written(&mut self, writes: &[(u64, u64)]) {
+        for &(pa, len) in writes {
+            self.invalidate_residency(pa, len);
+        }
+    }
+
+    /// `polly_cimPin(ptr)`: declares that the buffer's contents are
+    /// stable across the upcoming kernels — the compiler's residency
+    /// placement emits this when a stationary operand is reused by
+    /// consecutive kernels with no intervening host write. The first
+    /// kernel using the operand places it on a tile region and installs
+    /// it; later kernels are routed to the same region and skip both the
+    /// pre-invocation flush of the operand and (via tile residency) the
+    /// install itself. Any host write reaching the range through the
+    /// runtime (`cim_host_to_dev`, `cim_sync_to_dev`, `cim_free`) — or a
+    /// device kernel writing into it — invalidates the pin.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidPointer`] for unregistered buffers.
+    pub fn cim_pin(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
+        self.ensure_init()?;
+        self.check_live(&ptr)?;
+        self.driver.ioctl(mach);
+        self.residency.pin(ptr.pa, ptr.len);
+        self.stats.pin_calls += 1;
+        Ok(())
+    }
+
+    /// The pinned-operand residency table (inspection).
+    pub fn residency(&self) -> &ResidencyTable {
+        &self.residency
+    }
+
+    /// Next sub-region in the round-robin over the finest disjoint
+    /// partition of the tile grid — deterministic, so identical runs
+    /// replay identical placements.
+    fn next_subregion(&mut self) -> GridRegion {
+        let r = self.subregions[self.region_cursor % self.subregions.len()];
+        self.region_cursor += 1;
+        r
+    }
+
+    /// Chooses the tile region for a kernel whose stationary operand
+    /// `op(A)` lives at `a` with logical extent `m x k`, and reports
+    /// whether the operand is pinned and already installed (in which
+    /// case its pre-invocation flush is skipped).
+    ///
+    /// Placement policy: a pinned operand keeps the region its first
+    /// kernel chose, so reuse hits tile residency; otherwise
+    /// single-block operands dispatched asynchronously get round-robin
+    /// sub-regions (they use one tile regardless, and disjoint regions
+    /// let separate calls overlap), and everything else takes the full
+    /// grid (maximal wave parallelism within the command).
+    fn place_stationary(&mut self, a: &DevPtr, m: usize, k: usize) -> (GridRegion, bool) {
+        let cfg = self.accel.config();
+        let grid = cfg.grid;
+        let single_block = k <= cfg.rows && m <= cfg.cols;
+        if let Some(idx) = self.residency.find(a.pa, a.len) {
+            let region = match self.residency.entry(idx).region {
+                Some(r) => r,
+                None if single_block => self.next_subregion(),
+                None => GridRegion::full(grid),
+            };
+            let hit = self.residency.place(idx, region);
+            if hit {
+                self.stats.pin_hits += 1;
+            }
+            return (region, hit);
+        }
+        let overlap_eligible = self.driver.config().dispatch == DispatchMode::Async
+            && single_block
+            && grid.0 * grid.1 > 1;
+        if overlap_eligible {
+            (self.next_subregion(), false)
+        } else {
+            (GridRegion::full(grid), false)
         }
     }
 
@@ -312,6 +423,9 @@ impl CimContext {
         self.driver.ioctl(mach);
         mach.free_cma(ptr.va, ptr.pa)?;
         self.allocations.swap_remove(at);
+        // A freed range may be recycled by the next allocation: any pin
+        // over it is dead.
+        self.stats.pin_invalidations += self.residency.invalidate_overlap(ptr.pa, ptr.len) as u64;
         Ok(())
     }
 
@@ -364,9 +478,19 @@ impl CimContext {
         self.cim_sync_range(mach, ptr.pa, ptr.len)?;
         self.check_live(&ptr)?;
         self.driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
-        self.accel.invalidate_range(ptr.pa, ptr.len);
+        self.invalidate_residency(ptr.pa, ptr.len);
         self.stats.h2d_calls += 1;
         Ok(())
+    }
+
+    /// Drops crossbar residency and pins over `[pa, pa+len)` — the host
+    /// (or a device kernel) (re)wrote the range, so installed operands
+    /// and pinned entries backed by it are stale. Range-precise on both
+    /// sides: refreshing one buffer never evicts an unrelated resident
+    /// operand.
+    fn invalidate_residency(&mut self, pa: u64, len: u64) {
+        self.accel.invalidate_range(pa, len);
+        self.stats.pin_invalidations += self.residency.invalidate_overlap(pa, len) as u64;
     }
 
     /// Zero-copy device-to-host synchronization: invalidates the host's
@@ -409,7 +533,7 @@ impl CimContext {
             )));
         }
         copy_words(mach, src_va, dst.va, len);
-        self.accel.bump_generation();
+        self.invalidate_residency(dst.pa, dst.len);
         self.stats.h2d_bytes += len;
         self.stats.h2d_calls += 1;
         Ok(())
@@ -476,7 +600,14 @@ impl CimContext {
         }
         self.stats.gemm_calls += 1;
         self.driver.ioctl(mach);
-        self.driver.flush_shared(mach, &[(a.pa, a.len), (b.pa, b.len), (c.pa, c.len)]);
+        let (region, a_resident) = self.place_stationary(&a, m, k);
+        if a_resident {
+            // Pinned and installed: nothing host-side touched A since,
+            // so its flush would walk clean lines for nothing.
+            self.driver.flush_shared(mach, &[(b.pa, b.len), (c.pa, c.len)]);
+        } else {
+            self.driver.flush_shared(mach, &[(a.pa, a.len), (b.pa, b.len), (c.pa, c.len)]);
+        }
         let regs = [
             (Reg::M, m as u64),
             (Reg::N, n as u64),
@@ -491,10 +622,17 @@ impl CimContext {
             (Reg::Beta, beta.to_bits() as u64),
             (Reg::TransA, trans_a.as_reg()),
             (Reg::TransB, trans_b.as_reg()),
+            (Reg::Region, region.encode()),
             (Reg::Command, Command::Gemm as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
-        self.dispatch_armed(mach, Vec::new(), vec![(a.pa, a.len), (b.pa, b.len), (c.pa, c.len)])
+        self.dispatch_armed(
+            mach,
+            Vec::new(),
+            region,
+            vec![(a.pa, a.len), (b.pa, b.len)],
+            vec![(c.pa, c.len)],
+        )
     }
 
     /// `polly_cimBlasSGemv`: `y = alpha*op(A)*x + beta*y`.
@@ -522,7 +660,12 @@ impl CimContext {
         }
         self.stats.gemv_calls += 1;
         self.driver.ioctl(mach);
-        self.driver.flush_shared(mach, &[(a.pa, a.len), (x.pa, x.len), (y.pa, y.len)]);
+        let (region, a_resident) = self.place_stationary(&a, m, k);
+        if a_resident {
+            self.driver.flush_shared(mach, &[(x.pa, x.len), (y.pa, y.len)]);
+        } else {
+            self.driver.flush_shared(mach, &[(a.pa, a.len), (x.pa, x.len), (y.pa, y.len)]);
+        }
         let regs = [
             (Reg::M, m as u64),
             (Reg::K, k as u64),
@@ -534,10 +677,17 @@ impl CimContext {
             (Reg::Beta, beta.to_bits() as u64),
             (Reg::TransA, trans_a.as_reg()),
             (Reg::TransB, 0),
+            (Reg::Region, region.encode()),
             (Reg::Command, Command::Gemv as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
-        self.dispatch_armed(mach, Vec::new(), vec![(a.pa, a.len), (x.pa, x.len), (y.pa, y.len)])
+        self.dispatch_armed(
+            mach,
+            Vec::new(),
+            region,
+            vec![(a.pa, a.len), (x.pa, x.len)],
+            vec![(y.pa, y.len)],
+        )
     }
 
     /// `polly_cimBlasGemmBatched`: a batch of same-shape GEMMs issued in
@@ -578,9 +728,17 @@ impl CimContext {
             )));
         }
         let mut flush = Vec::new();
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
         for p in a_list.iter().chain(b_list).chain(c_list) {
             self.check_live(p)?;
             flush.push((p.pa, p.len));
+        }
+        for p in a_list.iter().chain(b_list) {
+            reads.push((p.pa, p.len));
+        }
+        for p in c_list {
+            writes.push((p.pa, p.len));
         }
         self.stats.gemm_batched_calls += 1;
         self.driver.ioctl(mach);
@@ -603,7 +761,11 @@ impl CimContext {
             mach.mem.write(pa, &word);
         }
         flush.push((table.pa, table.len));
+        reads.push((table.pa, table.len));
         self.driver.flush_shared(mach, &flush);
+        // The batch schedules its own elements across sub-grids inside
+        // the engine; the command as a whole occupies the full grid.
+        let region = GridRegion::full(self.accel.config().grid);
         let regs = [
             (Reg::M, m as u64),
             (Reg::N, n as u64),
@@ -617,15 +779,17 @@ impl CimContext {
             (Reg::TransB, trans_b.as_reg()),
             (Reg::BatchCount, count as u64),
             (Reg::AddrBatch, table.pa),
+            (Reg::Region, region.encode()),
             (Reg::Command, Command::GemmBatched as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
         // The scratch table travels with the dispatch: freed after a
         // synchronous invocation (success *or* device error) or when the
-        // asynchronous command is synchronized — never leaked. `flush`
-        // already lists every operand plus the table itself, which is
-        // exactly the observation footprint of the command.
-        self.dispatch_armed(mach, vec![table], flush)
+        // asynchronous command is synchronized — never leaked. The reads
+        // list every input operand plus the table itself, the writes
+        // every output, which together are exactly the observation
+        // footprint of the command.
+        self.dispatch_armed(mach, vec![table], region, reads, writes)
     }
 
     /// `polly_cimConv2d`: single-channel 2-D convolution (valid padding).
@@ -653,6 +817,9 @@ impl CimContext {
         self.driver.ioctl(mach);
         self.driver
             .flush_shared(mach, &[(img.pa, img.len), (filt.pa, filt.len), (out.pa, out.len)]);
+        // Convolution always runs on tile (0, 0); arm the full grid so
+        // the doorbell serializes it against anything touching that tile.
+        let region = GridRegion::full(self.accel.config().grid);
         let regs = [
             (Reg::AddrA, img.pa),
             (Reg::AddrB, filt.pa),
@@ -661,13 +828,18 @@ impl CimContext {
             (Reg::ImgW, w as u64),
             (Reg::FiltH, fh as u64),
             (Reg::FiltW, fw as u64),
+            (Reg::Region, region.encode()),
             (Reg::Command, Command::Conv2d as u64),
         ];
         self.driver.write_regs(mach, &mut self.accel, &regs);
+        // The conv kernel accumulates into its output: `out` is both
+        // read and written.
         self.dispatch_armed(
             mach,
             Vec::new(),
-            vec![(img.pa, img.len), (filt.pa, filt.len), (out.pa, out.len)],
+            region,
+            vec![(img.pa, img.len), (filt.pa, filt.len)],
+            vec![(out.pa, out.len)],
         )
     }
 }

@@ -220,38 +220,83 @@ impl CimFuture {
     }
 }
 
+/// One in-flight command as the dispatch queue sees it: its completion
+/// handle, the tile region it occupies, and the physical ranges it reads
+/// and writes — the node of the runtime-side offload dataflow graph.
+#[derive(Debug, Clone)]
+struct InflightCmd {
+    future: CimFuture,
+    region: GridRegion,
+    reads: Vec<(u64, u64)>,
+    writes: Vec<(u64, u64)>,
+}
+
+fn ranges_overlap(xs: &[(u64, u64)], ys: &[(u64, u64)]) -> bool {
+    xs.iter().any(|&x| ys.iter().any(|&y| crate::ranges::overlaps(x, y)))
+}
+
 /// In-flight command bookkeeping: which tile regions are busy until
-/// when. A new submission targeting tiles that overlap an in-flight
-/// command starts only after that command's predicted completion —
-/// commands on disjoint regions overlap freely. Today every
-/// driver-level command occupies the full grid (intra-command
-/// parallelism lives in the engine's batched scheduler), so the queue
-/// degenerates to device-busy serialization, but the region interface
-/// is what a future per-region doorbell would need.
+/// when, and which physical ranges each command touches. A new
+/// submission starts only after every in-flight command it conflicts
+/// with — commands whose tiles overlap (they share physical crossbars),
+/// or commands with a PA-range data dependence (the newcomer writes
+/// something they touch, or reads something they write). Independent
+/// commands on disjoint regions overlap freely: this per-region doorbell
+/// is what lets *separate* runtime calls (not just elements of one
+/// batched call) run concurrently.
 #[derive(Debug, Clone, Default)]
 pub struct DispatchQueue {
-    inflight: Vec<(CimFuture, GridRegion)>,
+    inflight: Vec<InflightCmd>,
 }
 
 impl DispatchQueue {
-    /// Earliest time a command occupying `region` may start, given the
-    /// current host time and conflicting in-flight commands.
-    pub fn earliest_start(&self, region: GridRegion, now: SimTime) -> SimTime {
+    /// Earliest time a command occupying `region` and touching
+    /// `reads`/`writes` may start, given the current host time and
+    /// conflicting in-flight commands.
+    pub fn earliest_start(
+        &self,
+        region: GridRegion,
+        reads: &[(u64, u64)],
+        writes: &[(u64, u64)],
+        now: SimTime,
+    ) -> SimTime {
         self.inflight
             .iter()
-            .filter(|(_, r)| r.overlaps(&region))
-            .fold(now, |t, (f, _)| t.max(f.ready_at))
+            .filter(|c| {
+                c.region.overlaps(&region)
+                    || ranges_overlap(writes, &c.writes)
+                    || ranges_overlap(writes, &c.reads)
+                    || ranges_overlap(reads, &c.writes)
+            })
+            .fold(now, |t, c| t.max(c.future.ready_at))
     }
 
     /// Records a submitted command.
-    pub fn push(&mut self, future: CimFuture, region: GridRegion) {
-        self.inflight.push((future, region));
+    pub fn push(
+        &mut self,
+        future: CimFuture,
+        region: GridRegion,
+        reads: Vec<(u64, u64)>,
+        writes: Vec<(u64, u64)>,
+    ) {
+        self.inflight.push(InflightCmd { future, region, reads, writes });
+    }
+
+    /// Sum of region tiles of the commands *running* at `when` — already
+    /// started, not yet done. Commands merely queued behind their
+    /// region's chain do not occupy tiles yet.
+    pub fn tiles_busy_at(&self, when: SimTime) -> u64 {
+        self.inflight
+            .iter()
+            .filter(|c| c.future.ready_at > when && c.future.ready_at - c.future.busy <= when)
+            .map(|c| c.region.tiles() as u64)
+            .sum()
     }
 
     /// Drops a completed command (and everything predicted done by
     /// `now`, which can no longer constrain a future submission).
     pub fn retire(&mut self, cmd_id: u64, now: SimTime) {
-        self.inflight.retain(|(f, _)| f.cmd_id != cmd_id && f.ready_at > now);
+        self.inflight.retain(|c| c.future.cmd_id != cmd_id && c.future.ready_at > now);
     }
 
     /// Commands currently in flight.
@@ -378,7 +423,9 @@ impl CimDriver {
     /// when the modeled hardware will actually be done — after any
     /// in-flight command whose tiles it needs — and the host is free to
     /// "continue with other tasks" ([`Machine::advance_host`]) until it
-    /// pays the *remaining* wait in [`CimDriver::sync`].
+    /// pays the *remaining* wait in [`CimDriver::sync`]. Occupies the
+    /// full tile grid; [`CimDriver::submit_region`] is the per-region
+    /// doorbell variant.
     ///
     /// # Errors
     ///
@@ -389,14 +436,44 @@ impl CimDriver {
         mach: &mut Machine,
         acc: &mut CimAccelerator,
     ) -> Result<CimFuture, CimError> {
+        let region = GridRegion::full(acc.config().grid);
+        self.submit_region(mach, acc, region, &[], &[])
+    }
+
+    /// As [`CimDriver::submit`], but the command occupies only `region`
+    /// (which the caller must also have armed via
+    /// [`cim_accel::regs::Reg::Region`]) and declares the physical
+    /// ranges it reads and writes. The dispatch queue holds the command
+    /// behind in-flight work it conflicts with — shared tiles or a
+    /// PA-range data dependence — and lets it overlap everything else,
+    /// so separate runtime calls on disjoint regions run concurrently.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CimDriver::submit`].
+    pub fn submit_region(
+        &mut self,
+        mach: &mut Machine,
+        acc: &mut CimAccelerator,
+        region: GridRegion,
+        reads: &[(u64, u64)],
+        writes: &[(u64, u64)],
+    ) -> Result<CimFuture, CimError> {
         self.stats.invocations += 1;
         let now = mach.now();
-        let region = GridRegion::full(acc.config().grid);
-        let start = self.queue.earliest_start(region, now);
+        let start = self.queue.earliest_start(region, reads, writes, now);
         let dur = acc.execute_at(mach, start);
         if acc.regs().status() == Status::Error {
             let e = acc.last_error().cloned().expect("error status implies last_error");
             return Err(CimError::Device(e));
+        }
+        // Commands still running at our start instant are, by
+        // construction, conflict-free with us — disjoint sub-regions
+        // whose tile counts are exact. Account the cross-command
+        // concurrency (the engine only sees inside a single command).
+        let busy = self.queue.tiles_busy_at(start);
+        if busy > 0 {
+            acc.note_tiles_active(busy + region.tiles() as u64);
         }
         let future = CimFuture {
             cmd_id: acc.last_cmd(),
@@ -404,7 +481,7 @@ impl CimDriver {
             ready_at: start + dur,
             busy: dur,
         };
-        self.queue.push(future, region);
+        self.queue.push(future, region, reads.to_vec(), writes.to_vec());
         Ok(future)
     }
 
@@ -463,6 +540,24 @@ impl CimDriver {
         acc: &mut CimAccelerator,
     ) -> Result<SimTime, CimError> {
         let future = self.submit(mach, acc)?;
+        self.sync(mach, acc, &future)
+    }
+
+    /// [`CimDriver::invoke`] confined to `region` with declared operand
+    /// ranges — the blocking counterpart of [`CimDriver::submit_region`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CimError::Device`] if the engine flagged an error.
+    pub fn invoke_region(
+        &mut self,
+        mach: &mut Machine,
+        acc: &mut CimAccelerator,
+        region: GridRegion,
+        reads: &[(u64, u64)],
+        writes: &[(u64, u64)],
+    ) -> Result<SimTime, CimError> {
+        let future = self.submit_region(mach, acc, region, reads, writes)?;
         self.sync(mach, acc, &future)
     }
 }

@@ -32,6 +32,8 @@
 pub mod api;
 pub mod driver;
 pub mod error;
+pub(crate) mod ranges;
+pub mod residency;
 pub mod stats;
 
 pub use api::{CimContext, DevPtr, Transpose};
@@ -40,4 +42,5 @@ pub use driver::{
     CimDriver, CimFuture, DispatchMode, DispatchQueue, DriverConfig, FlushMode, WaitPolicy,
 };
 pub use error::CimError;
+pub use residency::{ResidencyEntry, ResidencyTable};
 pub use stats::RuntimeStats;

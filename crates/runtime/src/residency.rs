@@ -1,0 +1,143 @@
+//! Pinned-operand residency tracking — the runtime half of the
+//! compiler's residency-placement pass.
+//!
+//! `polly_cimPin` (emitted by the offload dataflow graph when a
+//! stationary operand is reused across consecutive kernels with no
+//! intervening host write) registers a physical range here. The first
+//! kernel that uses a pinned operand places it on a tile region and
+//! installs it; later kernels reusing the same operand are routed to the
+//! *same* region, where the engine's tile residency skips the install
+//! DMA and row programming entirely. Host writes reaching the range
+//! through any runtime entry point (`cim_host_to_dev`,
+//! `cim_sync_to_dev`, `cim_free`) invalidate the entry via the existing
+//! PA-range machinery — pinning is a contract that the host does not
+//! scribble on the buffer *behind* the runtime's back, not a lock.
+
+use cim_accel::GridRegion;
+
+/// One pinned operand range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidencyEntry {
+    /// Physical base address of the pinned buffer.
+    pub pa: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Tile region the operand was placed on by its first kernel
+    /// (`None` until a kernel uses it).
+    pub region: Option<GridRegion>,
+    /// Whether a kernel has installed the operand since the pin — the
+    /// condition under which the pre-invocation flush of the operand
+    /// can be skipped (nothing host-side has touched it since).
+    pub installed: bool,
+}
+
+impl ResidencyEntry {
+    fn covers(&self, pa: u64, len: u64) -> bool {
+        pa >= self.pa && pa + len <= self.pa + self.len
+    }
+
+    fn overlaps(&self, pa: u64, len: u64) -> bool {
+        crate::ranges::overlaps((self.pa, self.len), (pa, len))
+    }
+}
+
+/// The per-context table of pinned operands.
+#[derive(Debug, Clone, Default)]
+pub struct ResidencyTable {
+    entries: Vec<ResidencyEntry>,
+}
+
+impl ResidencyTable {
+    /// Pins `[pa, pa+len)`. Re-pinning an overlapping range replaces the
+    /// old entry (its placement is stale by definition).
+    pub fn pin(&mut self, pa: u64, len: u64) {
+        self.entries.retain(|e| !e.overlaps(pa, len));
+        self.entries.push(ResidencyEntry { pa, len, region: None, installed: false });
+    }
+
+    /// Index of the entry covering `[pa, pa+len)`, if any.
+    pub fn find(&self, pa: u64, len: u64) -> Option<usize> {
+        self.entries.iter().position(|e| e.covers(pa, len))
+    }
+
+    /// The entry at `idx`.
+    pub fn entry(&self, idx: usize) -> &ResidencyEntry {
+        &self.entries[idx]
+    }
+
+    /// Records the region the entry's operand was placed on and marks it
+    /// installed. Returns whether it was *already* installed — a
+    /// residency hit for the caller's statistics.
+    pub fn place(&mut self, idx: usize, region: GridRegion) -> bool {
+        let e = &mut self.entries[idx];
+        let hit = e.installed;
+        e.region = Some(region);
+        e.installed = true;
+        hit
+    }
+
+    /// Drops every entry overlapping `[pa, pa+len)` (host write or
+    /// free reached the range). Returns how many were invalidated.
+    pub fn invalidate_overlap(&mut self, pa: u64, len: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !e.overlaps(pa, len));
+        before - self.entries.len()
+    }
+
+    /// Number of live pins.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_place_and_hit() {
+        let mut t = ResidencyTable::default();
+        t.pin(0x1000, 256);
+        let idx = t.find(0x1000, 256).expect("covered");
+        let region = GridRegion { origin: (0, 0), shape: (1, 1) };
+        assert!(!t.place(idx, region), "first placement is a miss");
+        assert!(t.place(idx, region), "second placement hits");
+        assert_eq!(t.entry(idx).region, Some(region));
+    }
+
+    #[test]
+    fn find_requires_containment() {
+        let mut t = ResidencyTable::default();
+        t.pin(0x1000, 256);
+        assert!(t.find(0x1040, 64).is_some(), "sub-range is covered");
+        assert!(t.find(0x0fff, 2).is_none(), "straddling the base is not");
+        assert!(t.find(0x1000, 512).is_none(), "longer than the pin is not");
+    }
+
+    #[test]
+    fn invalidation_is_overlap_based() {
+        let mut t = ResidencyTable::default();
+        t.pin(0x1000, 256);
+        t.pin(0x2000, 256);
+        assert_eq!(t.invalidate_overlap(0x10f0, 16), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.invalidate_overlap(0, 0x10000), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn repin_replaces_overlapping_entry() {
+        let mut t = ResidencyTable::default();
+        t.pin(0x1000, 256);
+        let idx = t.find(0x1000, 256).expect("covered");
+        t.place(idx, GridRegion { origin: (0, 0), shape: (1, 1) });
+        t.pin(0x1000, 256);
+        let idx = t.find(0x1000, 256).expect("still covered");
+        assert!(!t.entry(idx).installed, "re-pin resets placement");
+    }
+}

@@ -33,6 +33,15 @@ pub struct RuntimeStats {
     /// left running because their operands did not overlap the observed
     /// buffer — each one is a wait the buffer-scoped doorbell avoided.
     pub selective_sync_skips: u64,
+    /// `cim_pin` calls (compiler residency placement).
+    pub pin_calls: u64,
+    /// Kernels whose stationary operand was pinned and already installed
+    /// — the pre-invocation flush of that operand was skipped and the
+    /// engine reused the resident tiles.
+    pub pin_hits: u64,
+    /// Pinned ranges invalidated because a host write or free reached
+    /// them through a runtime entry point.
+    pub pin_invalidations: u64,
 }
 
 impl RuntimeStats {

@@ -1,0 +1,544 @@
+//! The offload dataflow graph: post-codegen scheduling of runtime calls.
+//!
+//! [`crate::codegen`] emits a maximally conservative schedule: every
+//! kernel is bracketed by coherence transfers for all of its operands,
+//! and every `polly_cimDevToHost` sits at the point of production. This
+//! module rebuilds the translation unit's top-level statement sequence
+//! as a dependency graph — nodes are runtime calls and host statements,
+//! edges are array read/write dependences — and runs two passes over it:
+//!
+//! 1. **Sync hoisting** ([`OffloadGraph::hoist_syncs`]): each
+//!    `polly_cimDevToHost` is *sunk* past subsequent statements that do
+//!    not touch the produced array. Under asynchronous dispatch the
+//!    d2h call is the observation point that pays the residual wait, so
+//!    moving it later widens the window in which independent host code
+//!    (and further kernel submissions) overlap the accelerator — for
+//!    *chains* of kernels, not just streams.
+//! 2. **Residency placement** ([`OffloadGraph::place_residency`]):
+//!    redundant `polly_cimHostToDev` syncs — those whose array the host
+//!    provably has not written since its previous sync — are elided, and
+//!    stationary operands reused by consecutive kernels inside such a
+//!    clean window get a `polly_cimPin` call before their first use. The
+//!    runtime routes pinned kernels to a stable tile region where the
+//!    engine's residency skips the install DMA and row programming.
+//!
+//! Both passes are value-preserving by construction: the coherence calls
+//! move or disappear only where the cache traffic they model is
+//! provably redundant, and kernel order never changes — so every
+//! schedule stays bit-for-bit identical to the conservative one, which
+//! the equivalence tests pin.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use tdo_ir::{ArrayId, CallArg, CallStmt, Program, Stmt};
+
+/// What the pass did to a translation unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataflowReport {
+    /// Top-level nodes in the graph.
+    pub nodes: usize,
+    /// `polly_cimDevToHost` calls sunk past at least one independent
+    /// statement.
+    pub hoisted_syncs: usize,
+    /// Total statements crossed by the sunk syncs.
+    pub hoist_distance: usize,
+    /// Redundant `polly_cimHostToDev` calls removed.
+    pub elided_syncs: usize,
+    /// `polly_cimPin` calls inserted for reused stationary operands.
+    pub pins: usize,
+}
+
+impl fmt::Display for DataflowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "offload dataflow: {} nodes, {} d2h sync(s) hoisted (distance {}), \
+             {} redundant h2d sync(s) elided, {} operand(s) pinned",
+            self.nodes, self.hoisted_syncs, self.hoist_distance, self.elided_syncs, self.pins
+        )
+    }
+}
+
+/// Node classification, as far as the passes care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NodeOp {
+    /// A sinkable `polly_cimDevToHost(arr)` observation point.
+    DevToHost(ArrayId),
+    /// An elidable `polly_cimHostToDev(arr)` coherence sync.
+    HostToDev(ArrayId),
+    /// An offloaded kernel; `stationary` is the operand the engine
+    /// installs on its tiles (GEMM/GEMV `A`), when there is one.
+    Kernel { stationary: Option<ArrayId> },
+    /// Anything else: host statements, prologue calls, unknown callees.
+    Other,
+}
+
+/// One top-level statement with its dependence footprint.
+#[derive(Debug, Clone)]
+struct Node {
+    stmt: Stmt,
+    op: NodeOp,
+    reads: BTreeSet<ArrayId>,
+    writes: BTreeSet<ArrayId>,
+}
+
+impl Node {
+    fn touches(&self, a: ArrayId) -> bool {
+        self.reads.contains(&a) || self.writes.contains(&a)
+    }
+}
+
+/// The dependence graph over a translation unit's top-level statements.
+#[derive(Debug, Clone)]
+pub struct OffloadGraph {
+    nodes: Vec<Node>,
+    report: DataflowReport,
+}
+
+fn host_accesses(stmt: &Stmt, reads: &mut BTreeSet<ArrayId>, writes: &mut BTreeSet<ArrayId>) {
+    stmt.visit(&mut |s| match s {
+        Stmt::Assign(a) => {
+            writes.insert(a.target.array);
+            for idx in &a.target.idx {
+                idx.visit_accesses(&mut |acc| {
+                    reads.insert(acc.array);
+                });
+            }
+            a.value.visit_accesses(&mut |acc| {
+                reads.insert(acc.array);
+            });
+        }
+        Stmt::For(l) => {
+            for e in [&l.lo, &l.hi] {
+                e.visit_accesses(&mut |acc| {
+                    reads.insert(acc.array);
+                });
+            }
+        }
+        Stmt::If(i) => {
+            for e in [&i.cond.lhs, &i.cond.rhs] {
+                e.visit_accesses(&mut |acc| {
+                    reads.insert(acc.array);
+                });
+            }
+        }
+        Stmt::Call(c) => {
+            // Nested runtime calls (inside compiler-tiled loops) are
+            // barriers on everything they mention.
+            for arg in &c.args {
+                match arg {
+                    CallArg::Array(a) => {
+                        reads.insert(*a);
+                        writes.insert(*a);
+                    }
+                    CallArg::Value(e) => e.visit_accesses(&mut |acc| {
+                        reads.insert(acc.array);
+                    }),
+                }
+            }
+        }
+    });
+}
+
+fn call_arrays(c: &CallStmt) -> Vec<ArrayId> {
+    c.args
+        .iter()
+        .filter_map(|a| match a {
+            CallArg::Array(id) => Some(*id),
+            CallArg::Value(_) => None,
+        })
+        .collect()
+}
+
+fn scalar_reads(c: &CallStmt, reads: &mut BTreeSet<ArrayId>) {
+    for arg in &c.args {
+        if let CallArg::Value(e) = arg {
+            e.visit_accesses(&mut |acc| {
+                reads.insert(acc.array);
+            });
+        }
+    }
+}
+
+fn classify(stmt: &Stmt) -> Node {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    let op = match stmt {
+        Stmt::Call(c) => {
+            let arrays = call_arrays(c);
+            scalar_reads(c, &mut reads);
+            match c.callee.as_str() {
+                "polly_cimDevToHost" => {
+                    reads.insert(arrays[0]);
+                    writes.insert(arrays[0]);
+                    NodeOp::DevToHost(arrays[0])
+                }
+                "polly_cimHostToDev" => {
+                    reads.insert(arrays[0]);
+                    writes.insert(arrays[0]);
+                    NodeOp::HostToDev(arrays[0])
+                }
+                "polly_cimBlasSGemm" | "polly_cimBlasSGemmView" | "polly_cimBlasSGemv" => {
+                    // Arrays in ABI order: [a, b, c] / [a, x, y]. The
+                    // output may also be read (beta, accumulation), so it
+                    // lands in both sets.
+                    reads.extend(arrays.iter().copied());
+                    writes.insert(*arrays.last().expect("kernel has operands"));
+                    NodeOp::Kernel { stationary: Some(arrays[0]) }
+                }
+                "polly_cimBlasGemmBatched" => {
+                    reads.extend(arrays.iter().copied());
+                    for c_arr in arrays.chunks(3).filter_map(|t| t.get(2)) {
+                        writes.insert(*c_arr);
+                    }
+                    NodeOp::Kernel { stationary: None }
+                }
+                "polly_cimConv2d" => {
+                    reads.extend(arrays.iter().copied());
+                    writes.insert(*arrays.last().expect("conv has operands"));
+                    NodeOp::Kernel { stationary: None }
+                }
+                _ => {
+                    // Prologue and memory management: a barrier on every
+                    // array it names.
+                    reads.extend(arrays.iter().copied());
+                    writes.extend(arrays.iter().copied());
+                    NodeOp::Other
+                }
+            }
+        }
+        other => {
+            host_accesses(other, &mut reads, &mut writes);
+            NodeOp::Other
+        }
+    };
+    Node { stmt: stmt.clone(), op, reads, writes }
+}
+
+impl OffloadGraph {
+    /// Builds the graph over a program's top-level statement sequence.
+    pub fn build(prog: &Program) -> OffloadGraph {
+        let nodes: Vec<Node> = prog.body.iter().map(classify).collect();
+        let report = DataflowReport { nodes: nodes.len(), ..DataflowReport::default() };
+        OffloadGraph { nodes, report }
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> DataflowReport {
+        self.report
+    }
+
+    /// Sinks every `polly_cimDevToHost` past subsequent statements that
+    /// do not touch its array — widening the async overlap window — and
+    /// returns how many moved.
+    pub fn hoist_syncs(&mut self) -> usize {
+        let mut moved = 0;
+        // Back to front, so sinking one sync cannot starve an earlier
+        // one of its own sink window.
+        for i in (0..self.nodes.len()).rev() {
+            let NodeOp::DevToHost(arr) = self.nodes[i].op else { continue };
+            let mut dist = 0;
+            while i + dist + 1 < self.nodes.len() && !self.nodes[i + dist + 1].touches(arr) {
+                dist += 1;
+            }
+            if dist > 0 {
+                let node = self.nodes.remove(i);
+                self.nodes.insert(i + dist, node);
+                moved += 1;
+                self.report.hoist_distance += dist;
+            }
+        }
+        self.report.hoisted_syncs += moved;
+        moved
+    }
+
+    /// Elides coherence syncs for arrays the host has not written since
+    /// their previous sync, and pins stationary operands reused by
+    /// consecutive kernels inside such a clean window. Returns
+    /// `(elided, pins)`.
+    pub fn place_residency(&mut self) -> (usize, usize) {
+        // Walk once, tracking which arrays are "clean" (device-synced,
+        // not host-written since).
+        let mut clean: BTreeSet<ArrayId> = BTreeSet::new();
+        let mut elided = 0;
+        let mut kept: Vec<Node> = Vec::with_capacity(self.nodes.len());
+        for node in self.nodes.drain(..) {
+            match node.op {
+                NodeOp::HostToDev(a) => {
+                    if clean.contains(&a) {
+                        elided += 1;
+                        continue;
+                    }
+                    clean.insert(a);
+                    kept.push(node);
+                }
+                NodeOp::DevToHost(a) => {
+                    // The flush leaves the host's lines for the range
+                    // clean; it dirties nothing.
+                    clean.insert(a);
+                    kept.push(node);
+                }
+                NodeOp::Kernel { .. } => {
+                    // The device writes through uncacheable accesses, so
+                    // the host cache stays clean — but the conservative
+                    // runtime relies on the next h2d of a written array
+                    // to invalidate crossbar residency sourced from it,
+                    // so a kernel write must end the array's clean
+                    // window (keeping that h2d) all the same.
+                    for w in &node.writes {
+                        clean.remove(w);
+                    }
+                    kept.push(node);
+                }
+                NodeOp::Other => {
+                    for w in &node.writes {
+                        clean.remove(w);
+                    }
+                    kept.push(node);
+                }
+            }
+        }
+
+        // Pin stationary operands reused across kernels with no
+        // intervening write to them (host write, kept h2d, or a kernel
+        // producing into the operand).
+        let mut window: BTreeMap<ArrayId, usize> = BTreeMap::new();
+        let mut next_window = 0usize;
+        // (array, window) -> (first kernel index, kernel count)
+        let mut runs: BTreeMap<(ArrayId, usize), (usize, usize)> = BTreeMap::new();
+        for (i, node) in kept.iter().enumerate() {
+            if let NodeOp::Kernel { stationary: Some(a) } = node.op {
+                let w = *window.entry(a).or_insert_with(|| {
+                    next_window += 1;
+                    next_window
+                });
+                let entry = runs.entry((a, w)).or_insert((i, 0));
+                entry.1 += 1;
+            }
+            if matches!(node.op, NodeOp::DevToHost(_)) {
+                continue; // a pure flush changes no contents
+            }
+            for w in &node.writes {
+                // Writing an array (including a kernel writing its own
+                // output) starts a new reuse window for it.
+                if matches!(node.op, NodeOp::Kernel { stationary: Some(a) } if a == *w) {
+                    continue; // a kernel does not clobber its stationary operand
+                }
+                next_window += 1;
+                window.insert(*w, next_window);
+            }
+        }
+        let mut pin_at: Vec<(usize, ArrayId)> = runs
+            .into_iter()
+            .filter(|&(_, (_, count))| count >= 2)
+            .map(|((a, _), (first, _))| (first, a))
+            .collect();
+        pin_at.sort_unstable();
+        for (offset, (idx, a)) in pin_at.iter().enumerate() {
+            let stmt = Stmt::Call(CallStmt {
+                callee: "polly_cimPin".into(),
+                args: vec![CallArg::Array(*a)],
+            });
+            kept.insert(idx + offset, classify(&stmt));
+        }
+        let pins = pin_at.len();
+        self.nodes = kept;
+        self.report.elided_syncs += elided;
+        self.report.pins += pins;
+        (elided, pins)
+    }
+
+    /// The optimized statement sequence.
+    pub fn into_body(self) -> Vec<Stmt> {
+        self.nodes.into_iter().map(|n| n.stmt).collect()
+    }
+}
+
+/// Runs both graph passes over a compiled program's top-level schedule,
+/// returning the optimized program and a report. Nested runtime calls
+/// (inside compiler-tiled loops) are left untouched — the graph is
+/// conservative about anything it cannot order statically.
+pub fn optimize_offload_schedule(prog: &Program) -> (Program, DataflowReport) {
+    let mut graph = OffloadGraph::build(prog);
+    graph.hoist_syncs();
+    graph.place_residency();
+    let report = graph.report();
+    let mut out = prog.clone();
+    out.body = graph.into_body();
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::{LoopTactics, TacticsConfig};
+    use tdo_ir::interp::{run, PureBackend};
+    use tdo_ir::printer::print_program;
+    use tdo_lang::compile;
+    use tdo_poly::codegen::rebuild_program;
+    use tdo_poly::scop::extract;
+
+    fn offload(src: &str, cfg: TacticsConfig) -> Program {
+        let prog = compile(src).expect("compiles");
+        let scop = extract(&prog).expect("affine");
+        let (tree, _) = LoopTactics::new(cfg).run(&prog, &scop);
+        rebuild_program(&prog, &scop, &tree)
+    }
+
+    /// Two GEMMs sharing A and B, with unrelated host code after each
+    /// d2h: the canonical hoist + residency shape.
+    const SHARED_A: &str = r#"
+        const int N = 8;
+        float A[N][N]; float B[N][N]; float C[N][N]; float D[N][N]; float s[N];
+        void kernel() {
+          for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++)
+              for (int k = 0; k < N; k++)
+                C[i][j] += A[i][k] * B[k][j];
+          for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++)
+              for (int k = 0; k < N; k++)
+                D[i][j] += A[i][k] * B[k][j];
+          for (int i = 0; i < N; i++)
+            s[i] = s[i] + 1.0;
+        }
+    "#;
+
+    fn unfused() -> TacticsConfig {
+        TacticsConfig { fusion: false, ..TacticsConfig::default() }
+    }
+
+    #[test]
+    fn redundant_h2d_elided_and_shared_a_pinned() {
+        let prog = offload(SHARED_A, unfused());
+        let before = print_program(&prog);
+        assert_eq!(before.matches("polly_cimHostToDev(cim_A)").count(), 2);
+        let (opt, report) = optimize_offload_schedule(&prog);
+        let text = print_program(&opt);
+        // Second h2d of A and B (and the never-host-written C/D reloads)
+        // are gone; A — reused as the stationary operand — is pinned.
+        assert_eq!(text.matches("polly_cimHostToDev(cim_A)").count(), 1, "{text}");
+        assert_eq!(text.matches("polly_cimHostToDev(cim_B)").count(), 1, "{text}");
+        assert_eq!(text.matches("polly_cimPin(cim_A)").count(), 1, "{text}");
+        assert!(report.elided_syncs >= 2, "{report}");
+        assert_eq!(report.pins, 1, "{report}");
+        // The pin precedes the first kernel.
+        let pin = text.find("polly_cimPin(cim_A)").expect("pin");
+        let first_gemm = text.find("polly_cimBlasSGemm").expect("gemm");
+        assert!(pin < first_gemm, "{text}");
+    }
+
+    #[test]
+    fn d2h_sinks_past_independent_statements_only() {
+        let prog = offload(SHARED_A, unfused());
+        let (opt, report) = optimize_offload_schedule(&prog);
+        assert!(report.hoisted_syncs >= 1, "{report}");
+        let text = print_program(&opt);
+        // d2h(C) sank past the D kernel (independent of C) — the D
+        // kernel call now precedes it.
+        let d2h_c = text.find("polly_cimDevToHost(cim_C)").expect("d2h C");
+        let gemm_d = text.rfind("polly_cimBlasSGemm").expect("second gemm");
+        assert!(gemm_d < d2h_c, "d2h(C) did not sink past the D kernel: {text}");
+    }
+
+    #[test]
+    fn optimized_schedule_is_semantically_identical() {
+        for cfg in [TacticsConfig::default(), unfused()] {
+            let prog = offload(SHARED_A, cfg);
+            let (opt, _) = optimize_offload_schedule(&prog);
+            let init = |p: &Program, be: &mut PureBackend| {
+                for (i, d) in p.arrays.iter().enumerate() {
+                    let data: Vec<f32> =
+                        (0..d.elem_count()).map(|j| ((i * 13 + j * 5) % 11) as f32 - 5.0).collect();
+                    be.set_array(ArrayId(i), &data);
+                }
+            };
+            let mut b1 = PureBackend::for_program(&prog);
+            init(&prog, &mut b1);
+            run(&prog, &mut b1).expect("baseline runs");
+            let mut b2 = PureBackend::for_program(&opt);
+            init(&opt, &mut b2);
+            run(&opt, &mut b2).expect("optimized runs");
+            for (i, decl) in prog.arrays.iter().enumerate() {
+                assert_eq!(b1.array(ArrayId(i)), b2.array(ArrayId(i)), "{} diverged", decl.name);
+            }
+        }
+    }
+
+    #[test]
+    fn host_consumer_blocks_sinking() {
+        // The host reads C right after the d2h: nothing to sink past.
+        let src = r#"
+            const int N = 8;
+            float A[N][N]; float B[N][N]; float C[N][N];
+            void kernel() {
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    C[i][j] += A[i][k] * B[k][j];
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  C[i][j] = C[i][j] * 2.0;
+            }
+        "#;
+        let prog = offload(src, TacticsConfig::default());
+        let (opt, report) = optimize_offload_schedule(&prog);
+        assert_eq!(report.hoisted_syncs, 0, "{report}");
+        let text = print_program(&opt);
+        let d2h = text.find("polly_cimDevToHost(cim_C)").expect("d2h");
+        let host = text.find("* 2.0").expect("host consumer");
+        assert!(d2h < host, "{text}");
+    }
+
+    #[test]
+    fn host_write_fences_elision_and_pinning() {
+        // The host writes A between the kernels: the second h2d(A) must
+        // stay and A must not be pinned.
+        let src = r#"
+            const int N = 8;
+            float A[N][N]; float B[N][N]; float C[N][N]; float D[N][N];
+            void kernel() {
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    C[i][j] += A[i][k] * B[k][j];
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  A[i][j] = A[i][j] + 1.0;
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    D[i][j] += A[i][k] * B[k][j];
+            }
+        "#;
+        let prog = offload(src, unfused());
+        let (opt, report) = optimize_offload_schedule(&prog);
+        let text = print_program(&opt);
+        assert_eq!(text.matches("polly_cimHostToDev(cim_A)").count(), 2, "{text}");
+        assert!(!text.contains("polly_cimPin(cim_A)"), "{text}");
+        assert_eq!(report.pins, 0);
+    }
+
+    #[test]
+    fn chain_outputs_are_not_pinned_across_layers() {
+        // H is written by layer 1 and consumed as layer 2's stationary
+        // operand: one use per content version, so no pin.
+        let src = r#"
+            const int N = 8;
+            float X[N][N]; float W1[N][N]; float W2[N][N]; float H[N][N]; float Y[N][N];
+            void kernel() {
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    H[i][j] += X[i][k] * W1[k][j];
+              for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                  for (int k = 0; k < N; k++)
+                    Y[i][j] += H[i][k] * W2[k][j];
+            }
+        "#;
+        let prog = offload(src, unfused());
+        let (_, report) = optimize_offload_schedule(&prog);
+        assert_eq!(report.pins, 0, "{report}");
+    }
+}

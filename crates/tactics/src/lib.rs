@@ -11,7 +11,9 @@
 //! * [`policy`] — Always vs Selective (cost-model) offload decisions;
 //! * [`codegen`] — `polly_cim*` call emission (Listing 1);
 //! * [`pass`] — the driver pass with fusion (Listing 2) and compiler
-//!   tiling of oversized GEMMs (Listing 3).
+//!   tiling of oversized GEMMs (Listing 3);
+//! * [`graph`] — the offload dataflow graph: post-codegen sync hoisting
+//!   and residency placement over the emitted runtime calls.
 //!
 //! ```
 //! use tdo_tactics::pass::{LoopTactics, TacticsConfig};
@@ -37,10 +39,12 @@
 pub mod access;
 pub mod codegen;
 pub mod detect;
+pub mod graph;
 pub mod kernels;
 pub mod pass;
 pub mod policy;
 
+pub use graph::{optimize_offload_schedule, DataflowReport, OffloadGraph};
 pub use kernels::{ConvDesc, GemmDesc, GemvDesc, MatchedKernel};
 pub use pass::{KernelReport, LoopTactics, OffloadReport, TacticsConfig};
 pub use policy::{CostModel, Decision, OffloadPolicy};

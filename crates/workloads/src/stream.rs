@@ -9,26 +9,29 @@
 //!
 //! * **unstreamed** — every operand resident in CMA, one
 //!   `cim_blas_sgemm` call; the engine wave-plans the whole block grid;
-//! * **streamed** — only `B` and `C` stay resident; `A` is staged
-//!   through two tile-sized panel buffers (double-buffered), one
-//!   `cim_blas_sgemm` per row panel of `C`. The CMA footprint of the
-//!   streamed operand is bounded by the panel size instead of `N^2`.
+//! * **streamed** — only `B` stays resident; `A` *and the `C`
+//!   accumulator* are staged through two tile-sized panel buffers each
+//!   (double-buffered), one `cim_blas_sgemm` per row panel of `C`, with
+//!   the result panel read back just before its staging buffer is
+//!   reused. The CMA footprint of both streamed operands is bounded by
+//!   the panel size instead of `N^2`.
 //!
 //! Under [`DispatchMode::Async`] the streamed schedule pipelines: while
-//! panel `p` computes, the host copies panel `p+1` into the other
-//! staging buffer. The copy is an observation of *that staging buffer
-//! only*, so the runtime's buffer-scoped doorbell
+//! panel `p` computes, the host reads back panel `p-2`'s results and
+//! copies panel `p+1`'s inputs into the other staging pair. Every copy
+//! is an observation of *that staging buffer only*, so the runtime's
+//! buffer-scoped doorbell
 //! ([`cim_runtime::CimContext::cim_sync_range`]) lets it proceed while
 //! the accelerator is busy — the host pays only the wait left over when
-//! it finally observes `C`. Results are bit-for-bit identical across
-//! every schedule and dispatch mode, which the Mini-scale tests pin
-//! against `polybench::reference_outputs`.
+//! it finally observes a result panel. Results are bit-for-bit
+//! identical across every schedule and dispatch mode, which the
+//! Mini-scale tests pin against `polybench::reference_outputs`.
 
 use cim_accel::estimate::estimate_gemm;
 use cim_accel::AccelConfig;
 use cim_machine::units::SimTime;
 use cim_machine::{Machine, MachineConfig};
-use cim_runtime::{CimContext, DevPtr, DispatchMode, DriverConfig, Transpose};
+use cim_runtime::{CimContext, DispatchMode, DriverConfig, Transpose};
 use polybench::{init_array, Dataset, Kernel};
 
 const ALPHA: f32 = 2.0;
@@ -139,31 +142,44 @@ pub fn run_gemm(cfg: &StreamConfig) -> StreamRun {
     let c_host = host_mat(&mut mach, "C", n * n);
 
     let b_dev = ctx.cim_malloc(&mut mach, bytes).expect("malloc B");
-    let c_dev = ctx.cim_malloc(&mut mach, bytes).expect("malloc C");
 
     let t0 = mach.now();
     ctx.cim_host_to_dev(&mut mach, b_dev, b_host, bytes).expect("h2d B");
-    ctx.cim_host_to_dev(&mut mach, c_dev, c_host, bytes).expect("h2d C");
     let mut accel_busy = SimTime::ZERO;
     let mut predicted_busy = SimTime::ZERO;
     let mut panels = 0usize;
     if cfg.streamed {
         let panel_bytes = (cfg.panel_rows * n * 4) as u64;
-        let staging = [
-            ctx.cim_malloc(&mut mach, panel_bytes).expect("malloc staging 0"),
-            ctx.cim_malloc(&mut mach, panel_bytes).expect("malloc staging 1"),
-        ];
+        let stage = |ctx: &mut CimContext, mach: &mut Machine, what: &str| {
+            ctx.cim_malloc(mach, panel_bytes).unwrap_or_else(|e| panic!("malloc {what}: {e}"))
+        };
+        let staging_a =
+            [stage(&mut ctx, &mut mach, "staging A0"), stage(&mut ctx, &mut mach, "staging A1")];
+        let staging_c =
+            [stage(&mut ctx, &mut mach, "staging C0"), stage(&mut ctx, &mut mach, "staging C1")];
+        // Result rows each C staging buffer still holds: the readback is
+        // deferred until just before the buffer is reused, so under
+        // async dispatch it overlaps the in-flight panels.
+        let mut held: [Option<(u64, u64)>; 2] = [None, None];
         let mut row0 = 0usize;
         while row0 < n {
             let pr = cfg.panel_rows.min(n - row0);
             let len = (pr * n * 4) as u64;
             let off = (row0 * n * 4) as u64;
-            let stg = staging[panels % 2];
-            // Stage the next A panel. Under async dispatch this copy is
-            // the overlapped host work: it only waits for the command
-            // (two panels back) that last read this staging buffer.
-            ctx.cim_host_to_dev(&mut mach, stg, a_host + off, len).expect("h2d panel");
-            let c_view = DevPtr { va: c_dev.va + off, pa: c_dev.pa + off, len };
+            let slot = panels % 2;
+            // Drain the results this staging pair computed two panels
+            // ago — an observation of that C panel only.
+            if let Some((prev_off, prev_len)) = held[slot].take() {
+                ctx.cim_dev_to_host(&mut mach, c_host + prev_off, staging_c[slot], prev_len)
+                    .expect("d2h C panel");
+            }
+            // Stage the next A and C panels. Under async dispatch these
+            // copies are the overlapped host work: each only waits for
+            // the command (two panels back) that last used its buffer.
+            ctx.cim_host_to_dev(&mut mach, staging_a[slot], a_host + off, len)
+                .expect("h2d A panel");
+            ctx.cim_host_to_dev(&mut mach, staging_c[slot], c_host + off, len)
+                .expect("h2d C panel");
             accel_busy += ctx
                 .cim_blas_sgemm(
                     &mut mach,
@@ -173,20 +189,31 @@ pub fn run_gemm(cfg: &StreamConfig) -> StreamRun {
                     n,
                     n,
                     ALPHA,
-                    stg,
+                    staging_a[slot],
                     n,
                     b_dev,
                     n,
                     BETA,
-                    c_view,
+                    staging_c[slot],
                     n,
                 )
                 .expect("panel gemm");
             predicted_busy += estimate_gemm(&acfg, &bus, pr, n, n, false, false).time;
+            held[slot] = Some((off, len));
             row0 += pr;
             panels += 1;
         }
+        // Drain the last (up to) two panels, oldest first.
+        for i in 0..2 {
+            let slot = (panels + i) % 2;
+            if let Some((prev_off, prev_len)) = held[slot].take() {
+                ctx.cim_dev_to_host(&mut mach, c_host + prev_off, staging_c[slot], prev_len)
+                    .expect("d2h C tail");
+            }
+        }
     } else {
+        let c_dev = ctx.cim_malloc(&mut mach, bytes).expect("malloc C");
+        ctx.cim_host_to_dev(&mut mach, c_dev, c_host, bytes).expect("h2d C");
         let a_dev = ctx.cim_malloc(&mut mach, bytes).expect("malloc A");
         ctx.cim_host_to_dev(&mut mach, a_dev, a_host, bytes).expect("h2d A");
         accel_busy += ctx
@@ -209,9 +236,9 @@ pub fn run_gemm(cfg: &StreamConfig) -> StreamRun {
             .expect("gemm");
         predicted_busy += estimate_gemm(&acfg, &bus, n, n, n, false, false).time;
         panels = 1;
+        // Observe the result: pays whatever wait is still outstanding.
+        ctx.cim_dev_to_host(&mut mach, c_host, c_dev, bytes).expect("d2h C");
     }
-    // Observe the result: pays whatever wait is still outstanding.
-    ctx.cim_dev_to_host(&mut mach, c_host, c_dev, bytes).expect("d2h C");
     let elapsed = mach.now() - t0;
 
     let mut c = vec![0f32; n * n];
@@ -255,9 +282,12 @@ mod tests {
         let (_, c_ref) = &outs[0];
         let ref_bits: Vec<u32> = c_ref.iter().map(|v| v.to_bits()).collect();
         assert_eq!(streamed.c_bits, ref_bits);
-        // Streaming bounds the CMA footprint: B + C + two panels is less
-        // than three whole operands.
+        // Streaming bounds the CMA footprint: B plus two panel pairs is
+        // less than three whole operands.
         assert!(streamed.cma_peak < unstreamed.cma_peak);
+        let n = Dataset::Mini.base_size() as u64;
+        let panel_pairs = 4 * (4 * n * 4); // 2 A + 2 C panels of 4 rows
+        assert_eq!(streamed.cma_peak, n * n * 4 + panel_pairs, "only B is whole-operand");
     }
 
     /// Async dispatch is pure schedule: identical bits, never slower,

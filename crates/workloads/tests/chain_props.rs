@@ -24,7 +24,7 @@ fn run_chain(spec: &ChainSpec, dispatch: DispatchMode) -> (RunResult, tdo_cim::C
 
 #[test]
 fn chain_is_fused_per_layer_and_matches_reference() {
-    let spec = ChainSpec { rows: 6, width: 8, batch: 3, layers: 2 };
+    let spec = ChainSpec { rows: 6, width: 8, batch: 3, layers: 2, heads: 1 };
     let (run, compiled) = run_chain(&spec, DispatchMode::Sync);
     // Transparent offload: one batched call per layer, no serial GEMMs.
     let report = compiled.report.as_ref().expect("tactics ran");
@@ -59,7 +59,7 @@ proptest! {
         batch in 1usize..4,
         layers in 1usize..4,
     ) {
-        let spec = ChainSpec { rows, width, batch, layers };
+        let spec = ChainSpec { rows, width, batch, layers, heads: 1 };
         let (sync_run, _) = run_chain(&spec, DispatchMode::Sync);
         let (async_run, _) = run_chain(&spec, DispatchMode::Async);
         for (name, _) in spec.reference_outputs() {
