@@ -96,6 +96,14 @@ pub struct AccelConfig {
     pub double_buffering: bool,
     /// Maximum number of timeline events retained.
     pub timeline_capacity: usize,
+    /// Host threads used to simulate independent tiles of one wave.
+    /// `0` = auto (use the host's available parallelism when the wave is
+    /// wide enough to pay for thread spawns), `1` = always serial, `n > 1`
+    /// = force exactly `n` workers whenever a wave has more than one
+    /// independent tile (used by the determinism tests). This is a
+    /// *simulator throughput* knob only: results, `AccelStats` and wear
+    /// counters are bit-for-bit identical for every setting.
+    pub sim_threads: usize,
 }
 
 impl Default for AccelConfig {
@@ -112,6 +120,7 @@ impl Default for AccelConfig {
             fidelity: Fidelity::Exact,
             double_buffering: true,
             timeline_capacity: 4096,
+            sim_threads: 0,
         }
     }
 }
@@ -145,6 +154,13 @@ impl AccelConfig {
     /// Sets the tile-grid shape `(k_tiles, m_tiles)`.
     pub fn with_grid(self, k_tiles: usize, m_tiles: usize) -> Self {
         AccelConfig { grid: (k_tiles, m_tiles), ..self }
+    }
+
+    /// Sets the host-side tile-simulation worker count (`0` = auto,
+    /// `1` = serial, `n > 1` = force `n` workers). Purely a simulator
+    /// throughput knob — modeled results never depend on it.
+    pub fn with_sim_threads(self, threads: usize) -> Self {
+        AccelConfig { sim_threads: threads, ..self }
     }
 
     /// Number of physical tiles in the grid.

@@ -25,9 +25,27 @@ use cim_machine::Machine;
 
 use crate::buffers::BufferKind;
 use crate::shard::{partition_grid, plan_waves, GridRegion, InstallClock, Wave};
-use crate::tile::TileKey;
+use crate::tile::{GemvReceipt, InstallReceipt, TileKey};
 use crate::timeline::EventKind;
 use crate::CimAccelerator;
+
+/// One pending tile install of a wave: the gathered operand plus every
+/// datum phase 3 needs to account for it. Produced serially (DMA order),
+/// consumed by the (possibly parallel) programming phase.
+struct InstallJob {
+    key: TileKey,
+    idx: usize,
+    lane: (usize, usize),
+    g: Vec<f32>,
+    kt: usize,
+    mt: usize,
+    m0: usize,
+    k0: usize,
+    dma_t: SimTime,
+}
+
+/// One tile GEMV of a wave step: `(tile index, x offset, x length)`.
+type GemvUnit = (usize, usize, usize);
 
 /// Errors detected by the micro-engine while decoding a command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,11 +191,115 @@ impl CimAccelerator {
         }
     }
 
+    /// How many host worker threads to simulate `units` independent tiles
+    /// of one wave with. `sim_threads = 0` engages the host's parallelism
+    /// only for paper-geometry tiles (small test crossbars would pay more
+    /// in thread spawns than they save); an explicit `n > 1` always
+    /// forces `n` workers so the determinism tests can exercise the
+    /// parallel path on any shape.
+    fn tile_workers(&self, units: usize) -> usize {
+        if units <= 1 {
+            return 1;
+        }
+        match self.cfg.sim_threads {
+            0 => {
+                let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                if hw <= 1 || self.cfg.rows * self.cfg.cols < 64 * 64 {
+                    1
+                } else {
+                    hw.min(units)
+                }
+            }
+            n => n.min(units),
+        }
+    }
+
+    /// Programs the jobs' operands into their (pairwise distinct) target
+    /// tiles, serially or on scoped worker threads, returning one receipt
+    /// per job in job order. Tile programming is pure host-side work —
+    /// it never touches the machine or the stats — so the execution order
+    /// is unobservable and the receipts are bit-for-bit identical for any
+    /// worker count.
+    fn install_jobs(&mut self, jobs: &[InstallJob]) -> Vec<InstallReceipt> {
+        let workers = self.tile_workers(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .map(|j| self.tiles[j.idx].install(j.key, &j.g, j.kt, j.mt))
+                .collect();
+        }
+        let mut jpos_of_tile: Vec<Option<usize>> = vec![None; self.tiles.len()];
+        for (jpos, job) in jobs.iter().enumerate() {
+            debug_assert!(jpos_of_tile[job.idx].is_none(), "a wave installs one block per tile");
+            jpos_of_tile[job.idx] = Some(jpos);
+        }
+        // `iter_mut` hands out provably disjoint `&mut` tiles to pair
+        // with their jobs; chunks then split both sides identically.
+        let mut paired: Vec<(usize, &mut crate::tile::CimTile)> = self
+            .tiles
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, t)| jpos_of_tile[i].map(|jpos| (jpos, t)))
+            .collect();
+        let mut done: Vec<Option<(usize, InstallReceipt)>> = Vec::new();
+        done.resize_with(paired.len(), || None);
+        let chunk = paired.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for (pc, dc) in paired.chunks_mut(chunk).zip(done.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for ((jpos, tile), slot) in pc.iter_mut().zip(dc.iter_mut()) {
+                        let job = &jobs[*jpos];
+                        *slot = Some((*jpos, tile.install(job.key, &job.g, job.kt, job.mt)));
+                    }
+                });
+            }
+        });
+        let zero = InstallReceipt { rows_programmed: 0, cells_written: 0, resident_hit: false };
+        let mut receipts = vec![zero; jobs.len()];
+        for (jpos, receipt) in done.into_iter().flatten() {
+            receipts[jpos] = receipt;
+        }
+        receipts
+    }
+
+    /// Computes one wave step's tile GEMVs ahead of the accounting loop,
+    /// in parallel, returning results in unit order. `None` means "stay
+    /// serial": the caller computes each GEMV inline at its original
+    /// program point. GEMV reads tiles immutably and never touches the
+    /// machine, so hoisting it off the accounting loop changes nothing
+    /// observable.
+    fn gemv_units(&self, units: &[GemvUnit], x: &[f32]) -> Option<Vec<(Vec<f32>, GemvReceipt)>> {
+        let workers = self.tile_workers(units.len());
+        if workers <= 1 {
+            return None;
+        }
+        let mut out: Vec<Option<(Vec<f32>, GemvReceipt)>> = Vec::new();
+        out.resize_with(units.len(), || None);
+        let chunk = units.len().div_ceil(workers);
+        let tiles = &self.tiles;
+        std::thread::scope(|s| {
+            for (uc, oc) in units.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (&(idx, s0, len), slot) in uc.iter().zip(oc.iter_mut()) {
+                        *slot = Some(tiles[idx].gemv(&x[s0..s0 + len]));
+                    }
+                });
+            }
+        });
+        Some(out.into_iter().map(|o| o.expect("worker filled every slot")).collect())
+    }
+
     /// Installs one wave's missing blocks on the [`InstallClock`]
     /// schedule (serial DMA, parallel row programming). Returns the
     /// phase duration (zero when everything was resident). Lanes are
     /// relative to `region`, which pins the wave to a sub-array of the
     /// physical grid.
+    ///
+    /// Three phases: (1) serial residency checks + DMA gathers in block
+    /// order — DMA mutates the machine, so its issue order is part of the
+    /// model; (2) pure tile programming, parallelizable across the wave's
+    /// distinct tiles; (3) serial accounting in block order, so stats,
+    /// timeline and the install clock are identical for any worker count.
     #[allow(clippy::too_many_arguments)]
     fn install_wave(
         &mut self,
@@ -186,11 +308,11 @@ impl CimAccelerator {
         region: GridRegion,
         cmd: Option<u64>,
         wave: &Wave,
-        g: &mut [f32],
         t0: SimTime,
         t: SimTime,
     ) -> SimTime {
         let mut clock = InstallClock::default();
+        let mut jobs: Vec<InstallJob> = Vec::new();
         for ms in &wave.m_spans {
             for ks in &wave.k_spans {
                 let (k0, kt) = (ks.start, ks.len);
@@ -210,43 +332,49 @@ impl CimAccelerator {
                     continue;
                 }
                 // Gather op(A)[m0..m0+mt][k0..k0+kt] transposed into G.
+                let mut g = vec![0f32; kt * mt];
                 for r in 0..kt {
                     if p.trans_a {
                         // op(A)[m][k] = A[k][m]: row k0+r of A, cols m0..
                         let base = p.a + 4 * ((k0 + r) * p.lda + m0) as u64;
-                        let mut row = vec![0f32; mt];
-                        self.dma.read_f32s(mach, base, &mut row);
-                        g[r * mt..(r + 1) * mt].copy_from_slice(&row);
+                        self.dma.read_f32s(mach, base, &mut g[r * mt..(r + 1) * mt]);
                     } else {
                         // op(A)[m][k] = A[m][k]: column k0+r of A, rows m0..
                         let base = p.a + 4 * (m0 * p.lda + k0 + r) as u64;
-                        let mut col = vec![0f32; mt];
-                        self.dma.read_f32s_strided(mach, base, mt, p.lda, &mut col);
-                        g[r * mt..(r + 1) * mt].copy_from_slice(&col);
+                        self.dma.read_f32s_strided(
+                            mach,
+                            base,
+                            mt,
+                            p.lda,
+                            &mut g[r * mt..(r + 1) * mt],
+                        );
                     }
                 }
                 let tile_bytes = (kt * mt * 4) as u64;
                 let dma_t = self.bus_cfg.dma_time(tile_bytes);
                 self.buffers.stage(BufferKind::Column, kt * mt);
                 self.stats.buffers += self.cfg.energy.buffer_energy(2 * (kt * mt) as u64);
-                let receipt = self.tiles[idx].install(key, &g[..kt * mt], kt, mt);
-                debug_assert!(!receipt.resident_hit);
-                let install_t = self.cfg.energy.write_time(receipt.rows_programmed);
-                self.stats.cell_writes += receipt.cells_written;
-                self.stats.rows_programmed += receipt.rows_programmed;
-                self.stats.crossbar_write += self.cfg.energy.write_energy(receipt.cells_written);
-                self.stats.install_time += install_t;
-                self.stats.dma_exposed_time += dma_t;
-                let program_start = clock.add(dma_t, install_t);
-                self.timeline.push_on(
-                    EventKind::WriteCrossbar,
-                    Some(lane),
-                    cmd,
-                    t0 + t + program_start,
-                    t0 + t + program_start + install_t,
-                    format!("install A tile m0={m0} k0={k0} ({kt}x{mt})"),
-                );
+                jobs.push(InstallJob { key, idx, lane, g, kt, mt, m0, k0, dma_t });
             }
+        }
+        let receipts = self.install_jobs(&jobs);
+        for (job, receipt) in jobs.iter().zip(&receipts) {
+            debug_assert!(!receipt.resident_hit);
+            let install_t = self.cfg.energy.write_time(receipt.rows_programmed);
+            self.stats.cell_writes += receipt.cells_written;
+            self.stats.rows_programmed += receipt.rows_programmed;
+            self.stats.crossbar_write += self.cfg.energy.write_energy(receipt.cells_written);
+            self.stats.install_time += install_t;
+            self.stats.dma_exposed_time += job.dma_t;
+            let program_start = clock.add(job.dma_t, install_t);
+            self.timeline.push_on(
+                EventKind::WriteCrossbar,
+                Some(job.lane),
+                cmd,
+                t0 + t + program_start,
+                t0 + t + program_start + install_t,
+                format!("install A tile m0={} k0={} ({}x{})", job.m0, job.k0, job.kt, job.mt),
+            );
         }
         clock.finish()
     }
@@ -290,13 +418,24 @@ impl CimAccelerator {
         let waves = plan_waves(tr, tc, region.shape, p.m, p.k);
         let mut t = SimTime::ZERO;
         let mut tiles_peak = 0u64;
-        let mut g = vec![0f32; tr * tc];
         let mut x = vec![0f32; region.shape.0 * tr];
         let mut cseg = vec![0f32; tc];
 
         for wave in &waves {
             tiles_peak = tiles_peak.max(wave.tiles_active() as u64);
-            t += self.install_wave(mach, p, region, cmd, wave, &mut g, t0, t);
+            t += self.install_wave(mach, p, region, cmd, wave, t0, t);
+
+            // The wave's tile GEMVs in accounting order — used to compute
+            // each step's results ahead of the serial loop when worker
+            // threads are engaged.
+            let mut units: Vec<GemvUnit> = Vec::with_capacity(wave.tiles_active());
+            for ms in &wave.m_spans {
+                for ks in &wave.k_spans {
+                    let idx =
+                        self.tile_index((region.origin.0 + ks.lane, region.origin.1 + ms.lane));
+                    units.push((idx, ks.lane * tr, ks.len));
+                }
+            }
 
             let reads_c = !(wave.first_k && p.beta == 0.0);
             for j in 0..p.n {
@@ -309,6 +448,7 @@ impl CimAccelerator {
                     self.dma.read_f32s_strided(mach, bbase, ks.len, p.ldb, seg);
                     in_bytes += (ks.len * 4) as u64;
                 }
+                let mut precomputed = self.gemv_units(&units, &x).map(Vec::into_iter);
                 let mut out_bytes = 0u64;
                 for ms in &wave.m_spans {
                     let (m0, mt) = (ms.start, ms.len);
@@ -328,7 +468,10 @@ impl CimAccelerator {
                         let idx =
                             self.tile_index((region.origin.0 + ks.lane, region.origin.1 + ms.lane));
                         let seg = &x[ks.lane * tr..ks.lane * tr + ks.len];
-                        let (y, receipt) = self.tiles[idx].gemv(seg);
+                        let (y, receipt) = match precomputed.as_mut() {
+                            Some(it) => it.next().expect("one result per unit"),
+                            None => self.tiles[idx].gemv(seg),
+                        };
                         // Accumulate the partial column; lanes beyond the
                         // first cost one extra adder pass in the digital
                         // block.

@@ -239,16 +239,24 @@ impl CimTile {
     }
 
     fn gemv_int8(&self, input: &[f32], in_dim: usize, out_dim: usize) -> Vec<f32> {
-        let (x_params, xq) = quantize_tensor(input);
+        // Fused quantize: one pass for the scale, one pass filling the
+        // padded row buffer and the offset-term input sum — no
+        // intermediate `Vec<i8>`. The arithmetic (and therefore every
+        // quantized value) is identical to `quantize_tensor`.
+        let max_abs = input.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let x_params = QuantParams::from_max_abs(max_abs);
         // Row buffer latches the inputs; pad to the full word-line count.
         let mut x = vec![0i32; self.rows];
         let mut x_sum: i64 = 0;
-        for (i, q) in xq.iter().enumerate() {
-            x[i] = *q as i32;
-            x_sum += *q as i64;
+        for (i, v) in input.iter().enumerate() {
+            let q = x_params.quantize(*v);
+            x[i] = q as i32;
+            x_sum += q as i64;
         }
-        let msb_dots = self.msb.dot_levels(&x);
-        let lsb_dots = self.lsb.dot_levels(&x);
+        let mut msb_dots = vec![0i64; self.msb.cols()];
+        let mut lsb_dots = vec![0i64; self.lsb.cols()];
+        self.msb.dot_levels_into(&x, &mut msb_dots);
+        self.lsb.dot_levels_into(&x, &mut lsb_dots);
         let fs = full_scale_for(in_dim);
         let mut out = vec![0f32; out_dim];
         for c in 0..out_dim {

@@ -1,0 +1,201 @@
+//! Lockstep sweep: the functional engine and the analytic estimator
+//! must never diverge — on busy time, total energy, or any counter —
+//! anywhere in the sweep space the figure binaries expose: device model
+//! x tile grid x problem shape x fidelity x dispatch (single GEMM,
+//! batched with distinct operands, batched with a shared stationary
+//! operand). The estimator feeds the Selective offload policy and the
+//! Fig. 5 endurance study, so a silent divergence would skew published
+//! numbers without failing any functional test.
+
+use cim_accel::estimate::{estimate_gemm, estimate_gemm_batched, OpEstimate};
+use cim_accel::regs::{Command, Reg, Status};
+use cim_accel::{AccelConfig, AccelStats, CimAccelerator};
+use cim_machine::units::SimTime;
+use cim_machine::{Machine, MachineConfig};
+use cim_pcm::{DeviceKind, Fidelity};
+use proptest::prelude::*;
+
+fn fill(len: usize, seed: usize) -> Vec<f32> {
+    (0..len).map(|i| ((seed + i * 7) % 13) as f32 * 0.25 - 1.5).collect()
+}
+
+fn alloc_mat(mach: &mut Machine, data: &[f32]) -> u64 {
+    let (_va, pa) = mach.alloc_cma((data.len() * 4) as u64).expect("cma");
+    mach.mem.write_f32_slice(pa, data);
+    pa
+}
+
+/// 8x8 tiles of the selected device technology: small enough that the
+/// shape axis exercises multi-wave sharding, with the device's real
+/// energy/latency constants.
+fn sweep_config(device: DeviceKind, grid: (usize, usize), fidelity: Fidelity) -> AccelConfig {
+    let base =
+        AccelConfig { rows: 8, cols: 8, buffer_bytes: 64, ..AccelConfig::for_device(device) };
+    AccelConfig { fidelity, ..base }.with_grid(grid.0, grid.1)
+}
+
+fn arm_gemm(
+    acc: &mut CimAccelerator,
+    (m, n, k): (usize, usize, usize),
+    (a, b, c): (u64, u64, u64),
+    beta: f32,
+) {
+    for (r, v) in [
+        (Reg::M, m as u64),
+        (Reg::N, n as u64),
+        (Reg::K, k as u64),
+        (Reg::Lda, k as u64),
+        (Reg::Ldb, n as u64),
+        (Reg::Ldc, n as u64),
+        (Reg::AddrA, a),
+        (Reg::AddrB, b),
+        (Reg::AddrC, c),
+        (Reg::Alpha, 1.0f32.to_bits() as u64),
+        (Reg::Beta, beta.to_bits() as u64),
+        (Reg::TransA, 0),
+        (Reg::TransB, 0),
+    ] {
+        acc.pmio_write(r, v);
+    }
+}
+
+/// One engine run: a single GEMM, or a batch sharing the template shape.
+fn run_engine(
+    cfg: AccelConfig,
+    (m, n, k): (usize, usize, usize),
+    beta: f32,
+    batch: Option<(usize, bool)>,
+) -> (AccelStats, SimTime) {
+    let mut mach = Machine::new(MachineConfig::test_small());
+    let mut acc = CimAccelerator::new(cfg, mach.cfg.bus);
+    let mk_elem = |mach: &mut Machine, i: usize| {
+        (
+            alloc_mat(mach, &fill(m * k, 3 + 31 * i)),
+            alloc_mat(mach, &fill(k * n, 11 + 17 * i)),
+            alloc_mat(mach, &fill(m * n, 7 + 5 * i)),
+        )
+    };
+    match batch {
+        None => {
+            let ptrs = mk_elem(&mut mach, 0);
+            arm_gemm(&mut acc, (m, n, k), ptrs, beta);
+            acc.pmio_write(Reg::Command, Command::Gemm as u64);
+        }
+        Some((count, share_a)) => {
+            let shared_a = alloc_mat(&mut mach, &fill(m * k, 3));
+            let mut raw = Vec::new();
+            let mut first = None;
+            for i in 0..count {
+                let (a, b, c) = mk_elem(&mut mach, i);
+                let a = if share_a { shared_a } else { a };
+                first.get_or_insert((a, b, c));
+                for v in [a, b, c] {
+                    raw.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            let (_va, table) = mach.alloc_cma(raw.len() as u64).expect("cma");
+            mach.uncached_write(table, &raw);
+            arm_gemm(&mut acc, (m, n, k), first.expect("count >= 1"), beta);
+            acc.pmio_write(Reg::BatchCount, count as u64);
+            acc.pmio_write(Reg::AddrBatch, table);
+            acc.pmio_write(Reg::Command, Command::GemmBatched as u64);
+        }
+    }
+    let dur = acc.execute(&mut mach);
+    assert_eq!(acc.regs().status(), Status::Done, "{:?}", acc.last_error());
+    (*acc.stats(), dur)
+}
+
+/// Asserts every observable the estimator predicts against the engine.
+fn assert_lockstep(
+    stats: &AccelStats,
+    dur: SimTime,
+    est: &OpEstimate,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    for (field, engine, estimator) in [
+        ("gemvs", stats.gemv_count, est.gemvs),
+        ("cell_writes", stats.cell_writes, est.cell_writes),
+        ("rows_programmed", stats.rows_programmed, est.rows_programmed),
+        ("install_skips", stats.install_skips, est.install_skips),
+        ("macs", stats.macs, est.macs),
+        ("max_tiles_active", stats.max_tiles_active, est.parallel_tiles),
+    ] {
+        prop_assert!(
+            engine == estimator,
+            "{}: {} diverged — engine {} vs estimator {}",
+            label,
+            field,
+            engine,
+            estimator
+        );
+    }
+    prop_assert!(
+        (dur.as_ns() - est.time.as_ns()).abs() < 1e-6,
+        "{}: time {} vs estimated {}",
+        label,
+        dur,
+        est.time
+    );
+    let (measured, predicted) = (stats.total_energy().as_pj(), est.energy.as_pj());
+    prop_assert!(
+        (measured - predicted).abs() <= 1e-9 * predicted.abs().max(1.0),
+        "{}: energy {} pJ vs estimated {} pJ",
+        label,
+        measured,
+        predicted
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Single-GEMM dispatch: engine == estimator over device x grid x
+    /// shape x fidelity x beta.
+    #[test]
+    fn single_gemm_engine_matches_estimator(
+        device_ix in 0usize..DeviceKind::ALL.len(),
+        gk in 1usize..4,
+        gm in 1usize..4,
+        m in 1usize..20,
+        n in 1usize..6,
+        k in 1usize..20,
+        int8 in proptest::bool::ANY,
+        beta_zero in proptest::bool::ANY,
+    ) {
+        let device = DeviceKind::ALL[device_ix];
+        let fidelity = if int8 { Fidelity::Int8 } else { Fidelity::Exact };
+        let cfg = sweep_config(device, (gk, gm), fidelity);
+        let beta = if beta_zero { 0.0 } else { 0.5 };
+        let (stats, dur) = run_engine(cfg, (m, n, k), beta, None);
+        let bus = MachineConfig::test_small().bus;
+        let est = estimate_gemm(&cfg, &bus, m, n, k, beta_zero, false);
+        let label = format!("{device:?} grid={gk}x{gm} m={m} n={n} k={k} {fidelity:?}");
+        assert_lockstep(&stats, dur, &est, &label)?;
+    }
+
+    /// Batched dispatch (the fused-kernel path): engine == estimator,
+    /// with and without a shared stationary operand.
+    #[test]
+    fn batched_gemm_engine_matches_estimator(
+        device_ix in 0usize..DeviceKind::ALL.len(),
+        gk in 1usize..4,
+        gm in 1usize..4,
+        m in 1usize..12,
+        n in 1usize..5,
+        k in 1usize..12,
+        count in 1usize..5,
+        share_a in proptest::bool::ANY,
+    ) {
+        let device = DeviceKind::ALL[device_ix];
+        let cfg = sweep_config(device, (gk, gm), Fidelity::Exact);
+        let (stats, dur) = run_engine(cfg, (m, n, k), 0.0, Some((count, share_a)));
+        let bus = MachineConfig::test_small().bus;
+        let est = estimate_gemm_batched(&cfg, &bus, m, n, k, true, count, share_a);
+        let label = format!(
+            "{device:?} grid={gk}x{gm} m={m} n={n} k={k} count={count} share_a={share_a}"
+        );
+        assert_lockstep(&stats, dur, &est, &label)?;
+    }
+}

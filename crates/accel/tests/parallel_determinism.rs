@@ -1,0 +1,143 @@
+//! Determinism regression: host-parallel tile simulation is pure
+//! implementation — forcing any `sim_threads` level must reproduce the
+//! serial engine bit-for-bit, with identical [`AccelStats`] (including
+//! `max_tiles_active` and the timing/energy breakdown) and identical
+//! per-tile wear. Proptested over grid shapes, problem shapes, fidelity
+//! and dispatch so a scheduling change that reorders accumulation or
+//! accounting cannot land silently.
+
+use cim_accel::regs::{Command, Reg, Status};
+use cim_accel::{AccelConfig, AccelStats, CimAccelerator, TileWear};
+use cim_machine::{Machine, MachineConfig};
+use cim_pcm::Fidelity;
+use proptest::prelude::*;
+
+fn fill(len: usize, seed: usize) -> Vec<f32> {
+    (0..len).map(|i| ((seed + i * 7) % 13) as f32 * 0.25 - 1.5).collect()
+}
+
+fn alloc_mat(mach: &mut Machine, data: &[f32]) -> u64 {
+    let (_va, pa) = mach.alloc_cma((data.len() * 4) as u64).expect("cma");
+    mach.mem.write_f32_slice(pa, data);
+    pa
+}
+
+struct Observed {
+    c_bits: Vec<u32>,
+    stats: AccelStats,
+    wear: Vec<TileWear>,
+}
+
+/// One full run at a forced thread level; everything else fixed.
+fn run_at(
+    threads: usize,
+    grid: (usize, usize),
+    (m, n, k): (usize, usize, usize),
+    fidelity: Fidelity,
+    batch: usize,
+) -> Observed {
+    let cfg = AccelConfig { fidelity, ..AccelConfig::test_small() }
+        .with_grid(grid.0, grid.1)
+        .with_sim_threads(threads);
+    let mut mach = Machine::new(MachineConfig::test_small());
+    let mut acc = CimAccelerator::new(cfg, mach.cfg.bus);
+    let mut c_pas = Vec::new();
+    let mut descr = Vec::new();
+    for i in 0..batch {
+        let a = alloc_mat(&mut mach, &fill(m * k, 3 + 31 * i));
+        let b = alloc_mat(&mut mach, &fill(k * n, 11 + 17 * i));
+        let c = alloc_mat(&mut mach, &fill(m * n, 7 + 5 * i));
+        descr.extend_from_slice(&[a, b, c]);
+        c_pas.push(c);
+    }
+    for (r, v) in [
+        (Reg::M, m as u64),
+        (Reg::N, n as u64),
+        (Reg::K, k as u64),
+        (Reg::Lda, k as u64),
+        (Reg::Ldb, n as u64),
+        (Reg::Ldc, n as u64),
+        (Reg::AddrA, descr[0]),
+        (Reg::AddrB, descr[1]),
+        (Reg::AddrC, descr[2]),
+        (Reg::Alpha, 1.0f32.to_bits() as u64),
+        (Reg::Beta, 0.5f32.to_bits() as u64),
+        (Reg::TransA, 0),
+        (Reg::TransB, 0),
+    ] {
+        acc.pmio_write(r, v);
+    }
+    if batch > 1 {
+        let mut raw = Vec::new();
+        for v in &descr {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        let (_va, table) = mach.alloc_cma(raw.len() as u64).expect("cma");
+        mach.uncached_write(table, &raw);
+        acc.pmio_write(Reg::BatchCount, batch as u64);
+        acc.pmio_write(Reg::AddrBatch, table);
+        acc.pmio_write(Reg::Command, Command::GemmBatched as u64);
+    } else {
+        acc.pmio_write(Reg::Command, Command::Gemm as u64);
+    }
+    acc.execute(&mut mach);
+    assert_eq!(acc.regs().status(), Status::Done, "{:?}", acc.last_error());
+    let mut c_bits = Vec::new();
+    for c in c_pas {
+        let mut out = vec![0f32; m * n];
+        mach.mem.read_f32_slice(c, &mut out);
+        c_bits.extend(out.iter().map(|v| v.to_bits()));
+    }
+    Observed { c_bits, stats: *acc.stats(), wear: acc.tile_wear() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Forced 2- and 4-thread tile simulation reproduces the serial
+    /// engine exactly: result bits, complete stats, per-tile wear.
+    #[test]
+    fn forced_thread_levels_are_bit_identical(
+        gk in 1usize..4,
+        gm in 1usize..4,
+        m in 1usize..24,
+        n in 1usize..6,
+        k in 1usize..24,
+        int8 in proptest::bool::ANY,
+        batch in 1usize..4,
+    ) {
+        let fidelity = if int8 { Fidelity::Int8 } else { Fidelity::Exact };
+        let serial = run_at(1, (gk, gm), (m, n, k), fidelity, batch);
+        for threads in [2usize, 4] {
+            let parallel = run_at(threads, (gk, gm), (m, n, k), fidelity, batch);
+            prop_assert!(
+                parallel.c_bits == serial.c_bits,
+                "threads={}: result bits diverged from serial",
+                threads
+            );
+            prop_assert!(
+                parallel.stats == serial.stats,
+                "threads={}: stats diverged — parallel {:?} vs serial {:?}",
+                threads,
+                parallel.stats,
+                serial.stats
+            );
+            prop_assert!(
+                parallel.wear == serial.wear,
+                "threads={}: tile wear diverged",
+                threads
+            );
+        }
+    }
+}
+
+/// The auto level (`sim_threads: 0`) resolves to whatever the host
+/// offers and must also match the forced-serial run.
+#[test]
+fn auto_thread_level_matches_serial() {
+    let serial = run_at(1, (2, 2), (16, 4, 16), Fidelity::Exact, 2);
+    let auto = run_at(0, (2, 2), (16, 4, 16), Fidelity::Exact, 2);
+    assert_eq!(auto.c_bits, serial.c_bits);
+    assert_eq!(auto.stats, serial.stats);
+    assert_eq!(auto.wear, serial.wear);
+}

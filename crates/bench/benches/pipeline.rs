@@ -13,7 +13,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     let init = init_fn(Kernel::Gemm);
     let opts = ExecOptions::default();
     let mut group = c.benchmark_group("end_to_end_gemm_mini");
-    group.sample_size(20);
+    // Each iteration is ~1 ms and the shared container is noisy; a
+    // larger sample count keeps the median stable for the perf gate.
+    group.sample_size(60);
     group.bench_function("host_only", |b| {
         b.iter(|| black_box(execute(&host, &opts, &init).expect("runs")))
     });

@@ -1,0 +1,130 @@
+//! The perf gate: diffs a fresh set of `BENCH_*.json` reports against a
+//! committed baseline directory and exits nonzero on any regression.
+//!
+//! Deterministic fields (modeled time, install/skip/hoist/tile counters,
+//! derived metrics) are held to tight tolerances; host wall-clock — the
+//! only nondeterministic field — gets a loose ratio gate that still
+//! catches order-of-magnitude regressions (a lost fast path) without
+//! flapping on machine noise. See `docs/BENCHMARKS.md`.
+//!
+//! Usage: `cargo run --release -p tdo_bench --bin bench_compare --
+//!     --baseline <dir> --fresh <dir> [--wall-factor F] [--suite NAME ...]`
+
+use cim_report::{compare_reports, BenchReport, Tolerances};
+use std::path::{Path, PathBuf};
+use tdo_bench::handle_help;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn dir_flag(args: &[String], flag: &str) -> Option<PathBuf> {
+    let prefix = format!("{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(PathBuf::from(v));
+        }
+        if a == flag {
+            return args.get(i + 1).map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// `BENCH_*.json` files in `dir`, sorted by file name for stable output.
+fn bench_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", dir.display())))
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(path)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn main() {
+    handle_help(
+        "bench_compare",
+        "diff fresh BENCH_*.json reports against a committed baseline",
+        &[
+            "--baseline <dir>                        directory holding baseline BENCH_*.json"
+                .into(),
+            "--fresh <dir>                           directory holding freshly generated reports"
+                .into(),
+            "--wall-factor <F>                       wall-clock regression ratio (default: 3.0)"
+                .into(),
+            "--suite <NAME>                          only compare the named suite (repeatable)"
+                .into(),
+        ],
+    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_dir =
+        dir_flag(&args, "--baseline").unwrap_or_else(|| die("--baseline <dir> is required"));
+    let fresh_dir = dir_flag(&args, "--fresh").unwrap_or_else(|| die("--fresh <dir> is required"));
+    let mut tol = Tolerances::default();
+    if let Some(f) = dir_flag(&args, "--wall-factor") {
+        let v = f.to_string_lossy().parse::<f64>().ok().filter(|v| *v >= 1.0);
+        tol.wall_factor = v.unwrap_or_else(|| die("--wall-factor must be a number >= 1.0"));
+    }
+    let suites: Vec<String> = {
+        let mut s = Vec::new();
+        let mut rest: &[String] = &args;
+        while let Some(i) = rest.iter().position(|a| a == "--suite" || a.starts_with("--suite=")) {
+            if let Some(v) = rest[i].strip_prefix("--suite=") {
+                s.push(v.to_string());
+            } else if let Some(v) = rest.get(i + 1) {
+                s.push(v.clone());
+            }
+            rest = &rest[i + 1..];
+        }
+        s
+    };
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for base_path in bench_files(&baseline_dir) {
+        let file_name = base_path.file_name().expect("bench file").to_string_lossy().to_string();
+        let base = BenchReport::read(&base_path)
+            .unwrap_or_else(|e| die(&format!("{}: {e}", base_path.display())));
+        if !suites.is_empty() && !suites.contains(&base.suite) {
+            continue;
+        }
+        compared += 1;
+        let fresh_path = fresh_dir.join(&file_name);
+        if !fresh_path.exists() {
+            regressions.push(format!(
+                "{}: missing from fresh dir {} (suite was not regenerated)",
+                file_name,
+                fresh_dir.display()
+            ));
+            continue;
+        }
+        let fresh = BenchReport::read(&fresh_path)
+            .unwrap_or_else(|e| die(&format!("{}: {e}", fresh_path.display())));
+        let found = compare_reports(&base, &fresh, &tol);
+        eprintln!(
+            "{file_name}: {} baseline records vs {} fresh, {} regression(s)",
+            base.records.len(),
+            fresh.records.len(),
+            found.len()
+        );
+        regressions.extend(found.iter().map(|r| r.to_string()));
+    }
+    if compared == 0 {
+        die(&format!("no BENCH_*.json baselines found under {}", baseline_dir.display()));
+    }
+
+    if regressions.is_empty() {
+        println!("perf gate PASS: {compared} suite(s), no regressions");
+        return;
+    }
+    println!("perf gate FAIL: {} regression(s) across {compared} suite(s):", regressions.len());
+    for r in &regressions {
+        println!("  {r}");
+    }
+    std::process::exit(1);
+}

@@ -11,14 +11,18 @@
 use cim_accel::estimate::estimate_gemm;
 use cim_accel::AccelConfig;
 use cim_machine::bus::BusConfig;
-use tdo_bench::{device_flag_help, device_from_args, handle_help};
+use cim_report::{BenchRecord, BenchReport};
+use tdo_bench::{
+    bench_config, device_flag_help, device_from_args, emit_report, handle_help, json_flag_help,
+};
 
 fn main() {
     handle_help(
         "fig5_endurance",
         "system lifetime vs PCM endurance, naive vs smart (fusion) mapping",
-        &[device_flag_help()],
+        &[device_flag_help(), json_flag_help()],
     );
+    let wall_t0 = std::time::Instant::now();
     let n = 4096usize;
     let device = device_from_args();
     let model_src = device.model();
@@ -73,4 +77,24 @@ fn main() {
         "smart/naive lifetime ratio: {:.2}x (paper: ~2x)",
         model.years(2.0 * nominal, b_smart) / model.years(2.0 * nominal, b_naive)
     );
+
+    let mut report = BenchReport::new("fig5_endurance");
+    report.push(
+        BenchRecord {
+            name: "listing2_lifetime".into(),
+            config: bench_config(Some(device), None, None, None),
+            wall_ns: wall_t0.elapsed().as_nanos() as f64,
+            modeled_ns: pair.time.as_ns(),
+            ..BenchRecord::default()
+        }
+        .with_metric("write_traffic_naive_bps", b_naive)
+        .with_metric("write_traffic_smart_bps", b_smart)
+        .with_metric("years_naive_at_2x", model.years(2.0 * nominal, b_naive))
+        .with_metric("years_smart_at_2x", model.years(2.0 * nominal, b_smart))
+        .with_metric(
+            "smart_over_naive_x",
+            model.years(2.0 * nominal, b_smart) / model.years(2.0 * nominal, b_naive),
+        ),
+    );
+    emit_report(&report);
 }

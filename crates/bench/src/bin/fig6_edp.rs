@@ -5,10 +5,12 @@
 //! Usage: `cargo run --release -p tdo_bench --bin fig6_edp --
 //!     [--dataset=small|medium|large] [--device pcm|reram] [--grid KxM]`
 
+use cim_report::{BenchRecord, BenchReport};
 use polybench::Dataset;
 use tdo_bench::{
-    dataset_flag_help, dataset_from_args, device_flag_help, device_from_args, grid_flag_help,
-    grid_from_args, handle_help, run_fig6_with,
+    bench_config, dataset_flag_help, dataset_from_args, device_flag_help, device_from_args,
+    emit_report, grid_flag_help, grid_from_args, handle_help, json_flag_help, record_from_run,
+    run_fig6_with,
 };
 use tdo_cim::{geomean, ExecOptions};
 
@@ -16,7 +18,12 @@ fn main() {
     handle_help(
         "fig6_edp",
         "EDP and runtime improvement per kernel (Fig. 6 right)",
-        &[dataset_flag_help(Dataset::Medium), device_flag_help(), grid_flag_help((1, 1))],
+        &[
+            dataset_flag_help(Dataset::Medium),
+            device_flag_help(),
+            grid_flag_help((1, 1)),
+            json_flag_help(),
+        ],
     );
     let dataset = dataset_from_args();
     let device = device_from_args();
@@ -62,4 +69,27 @@ fn main() {
         best.kernel.name()
     );
     println!("GEMV-like kernels regress in both EDP and runtime, as in the paper.");
+
+    let cfg = bench_config(Some(device), Some(grid), Some(dataset), None);
+    let mut report = BenchReport::new("fig6_edp");
+    for r in &rows {
+        report.push(
+            record_from_run(r.kernel.name(), cfg.clone(), &r.always.cim, r.wall)
+                .with_metric("edp_improvement_x", r.always.edp_improvement())
+                .with_metric("runtime_improvement_x", r.always.runtime_improvement())
+                .with_metric("host_modeled_ns", r.always.host.wall_time().as_ns()),
+        );
+    }
+    report.push(
+        BenchRecord { name: "geomean".into(), config: cfg, ..BenchRecord::default() }
+            .with_metric(
+                "edp_improvement_x",
+                geomean(rows.iter().map(|r| r.always.edp_improvement())),
+            )
+            .with_metric(
+                "runtime_improvement_x",
+                geomean(rows.iter().map(|r| r.always.runtime_improvement())),
+            ),
+    );
+    emit_report(&report);
 }

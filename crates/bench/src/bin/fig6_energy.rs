@@ -4,14 +4,18 @@
 //!
 //! Usage: `cargo run --release -p tdo-bench --bin fig6_energy [--dataset=small|medium|large]`
 
+use cim_report::{BenchRecord, BenchReport};
 use polybench::Dataset;
-use tdo_bench::{dataset_flag_help, dataset_from_args, fig6_geomeans, handle_help, run_fig6};
+use tdo_bench::{
+    bench_config, dataset_flag_help, dataset_from_args, emit_report, fig6_geomeans, handle_help,
+    json_flag_help, record_from_run, run_fig6,
+};
 
 fn main() {
     handle_help(
         "fig6_energy",
         "energy and compute intensity per kernel (Fig. 6 left)",
-        &[dataset_flag_help(Dataset::Medium)],
+        &[dataset_flag_help(Dataset::Medium), json_flag_help()],
     );
     let dataset = dataset_from_args();
     eprintln!("running fig6 energy study at {dataset:?} (this simulates every kernel twice) ...");
@@ -43,4 +47,22 @@ fn main() {
     println!("paper annotations: full geomean 3.2x, selective geomean 32.6x;");
     println!("expected shape: GEMM-like kernels (2mm, 3mm, gemm, conv) win large,");
     println!("GEMV-like kernels (gesummv, bicg, mvt) lose and sit at MACs/write ~1.");
+
+    let cfg = bench_config(None, None, Some(dataset), None);
+    let mut report = BenchReport::new("fig6_energy");
+    for r in &rows {
+        report.push(
+            record_from_run(r.kernel.name(), cfg.clone(), &r.always.cim, r.wall)
+                .with_metric("host_energy_mj", r.always.host_energy().as_mj())
+                .with_metric("energy_improvement_x", r.always.energy_improvement())
+                .with_metric("selective_energy_x", r.selective_energy_x)
+                .with_metric("macs_per_write", r.always.macs_per_write()),
+        );
+    }
+    report.push(
+        BenchRecord { name: "geomean".into(), config: cfg, ..BenchRecord::default() }
+            .with_metric("energy_improvement_x", full)
+            .with_metric("selective_energy_x", selective),
+    );
+    emit_report(&report);
 }

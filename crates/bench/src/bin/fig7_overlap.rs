@@ -16,13 +16,14 @@
 //! Results are bit-for-bit identical across all three schedules; only
 //! the modeled time and host instruction mix change.
 
-use cim_accel::AccelConfig;
+use cim_accel::{AccelConfig, AccelStats};
 use cim_machine::units::SimTime;
 use cim_machine::{Machine, MachineConfig};
+use cim_report::{BenchRecord, BenchReport};
 use cim_runtime::{CimContext, DevPtr, DispatchMode, DriverConfig, Transpose};
 use tdo_bench::{
-    batch_from_args_or, device_flag_help, device_from_args, grid_flag_help, grid_from_args_or,
-    handle_help, size_from_args_or,
+    batch_from_args_or, bench_config, device_flag_help, device_from_args, emit_report,
+    grid_flag_help, grid_from_args_or, handle_help, json_flag_help, size_from_args_or,
 };
 
 struct RunOut {
@@ -31,6 +32,8 @@ struct RunOut {
     busy_wait: SimTime,
     spin_insts: u64,
     max_tiles: u64,
+    stats: AccelStats,
+    wall: std::time::Duration,
     c_bits: Vec<u32>,
 }
 
@@ -52,6 +55,7 @@ fn run(
     n: usize,
     device: cim_pcm::DeviceKind,
 ) -> RunOut {
+    let wall_t0 = std::time::Instant::now();
     let mut mach = Machine::new(MachineConfig::default());
     let accel_cfg = AccelConfig::for_device(device).with_grid(grid.0, grid.1);
     let dispatch =
@@ -131,12 +135,15 @@ fn run(
         mach.peek_f32_slice(c.va, &mut out);
         c_bits.extend(out.iter().map(|v| v.to_bits()));
     }
+    let stats = *ctx.accel().stats();
     RunOut {
         elapsed,
         accel_busy,
         busy_wait: ctx.driver().stats().busy_wait_time,
         spin_insts: mach.core.spin_instructions(),
-        max_tiles: ctx.accel().stats().max_tiles_active,
+        max_tiles: stats.max_tiles_active,
+        stats,
+        wall: wall_t0.elapsed(),
         c_bits,
     }
 }
@@ -150,6 +157,7 @@ fn main() {
             "--batch <N>                             independent GEMMs (default: 4)".into(),
             "--size <N>                              per-GEMM dimension (default: 96)".into(),
             device_flag_help(),
+            json_flag_help(),
         ],
     );
     let grid = grid_from_args_or((2, 2));
@@ -208,4 +216,25 @@ fn main() {
         (1.0 - asynch.busy_wait / batched.busy_wait) * 100.0
     );
     println!("\nresults bit-for-bit identical across all three schedules.");
+
+    let mut report = BenchReport::new("fig7_overlap");
+    for (name, r) in [("serial", &serial), ("batched", &batched), ("async", &asynch)] {
+        report.push(
+            BenchRecord {
+                name: name.into(),
+                config: bench_config(Some(device), Some(grid), None, Some(name)),
+                wall_ns: r.wall.as_nanos() as f64,
+                modeled_ns: r.elapsed.as_ns(),
+                installs: r.stats.rows_programmed,
+                installs_skipped: r.stats.install_skips,
+                hoisted_syncs: 0,
+                max_tiles_active: r.max_tiles,
+                metrics: Default::default(),
+            }
+            .with_metric("accel_busy_ns", r.accel_busy.as_ns())
+            .with_metric("busy_wait_ns", r.busy_wait.as_ns())
+            .with_metric("spin_insts", r.spin_insts as f64),
+        );
+    }
+    emit_report(&report);
 }

@@ -24,11 +24,13 @@
 
 use cim_accel::AccelConfig;
 use cim_machine::units::SimTime;
+use cim_report::BenchReport;
 use cim_runtime::DispatchMode;
 use polybench::Dataset;
 use tdo_bench::{
-    batch_from_args_or, dataset_flag_help, device_flag_help, device_from_args, grid_flag_help,
-    grid_from_args_or, handle_help, parse_dataset_flag, usize_flag_or,
+    batch_from_args_or, bench_config, dataset_flag_help, device_flag_help, device_from_args,
+    emit_report, grid_flag_help, grid_from_args_or, handle_help, json_flag_help,
+    parse_dataset_flag, record_from_run, stream_record, usize_flag_or,
 };
 use tdo_cim::{compile, execute, CompileOptions, ExecOptions, RunResult};
 use workloads::chain::init_fn;
@@ -39,6 +41,7 @@ struct ChainRun {
     run: RunResult,
     batched_calls: u64,
     fused_groups: usize,
+    wall: std::time::Duration,
 }
 
 fn run_chain(
@@ -48,6 +51,7 @@ fn run_chain(
     dispatch: DispatchMode,
     label: &'static str,
 ) -> ChainRun {
+    let wall_t0 = std::time::Instant::now();
     let mut copts = CompileOptions::with_tactics();
     copts.tactics.fusion = fusion;
     let compiled = compile(&spec.source(), &copts).expect("chain compiles");
@@ -57,7 +61,7 @@ fn run_chain(
     let run =
         execute(&compiled, &base.clone().with_dispatch(dispatch), &init_fn()).expect("chain runs");
     let batched_calls = run_stat(&run, |s| s.gemm_batched_calls);
-    ChainRun { label, run, batched_calls, fused_groups }
+    ChainRun { label, run, batched_calls, fused_groups, wall: wall_t0.elapsed() }
 }
 
 fn run_stat(run: &RunResult, f: impl Fn(&cim_runtime::RuntimeStats) -> u64) -> u64 {
@@ -82,6 +86,7 @@ fn main() {
             grid_flag_help((2, 2)),
             "--batch <N>                             chain micro-batches (default: 4)".into(),
             "--layers <N>                            chain layers (default: 3)".into(),
+            json_flag_help(),
         ],
     );
     let dataset = parse_dataset_flag("--dataset", Dataset::Small);
@@ -171,9 +176,14 @@ fn main() {
         grid.0, grid.1
     );
     let base_cfg = StreamConfig::new(stream_dataset, accel);
-    let unstreamed = run_gemm(&base_cfg.clone().unstreamed());
-    let streamed = run_gemm(&base_cfg);
-    let streamed_async = run_gemm(&base_cfg.clone().with_dispatch(DispatchMode::Async));
+    let timed = |cfg: &StreamConfig| {
+        let t0 = std::time::Instant::now();
+        (run_gemm(cfg), t0.elapsed())
+    };
+    let (unstreamed, unstreamed_wall) = timed(&base_cfg.clone().unstreamed());
+    let (streamed, streamed_wall) = timed(&base_cfg);
+    let (streamed_async, streamed_async_wall) =
+        timed(&base_cfg.clone().with_dispatch(DispatchMode::Async));
     assert_eq!(unstreamed.c_bits, streamed.c_bits, "streaming must not change results");
     assert_eq!(streamed.c_bits, streamed_async.c_bits, "dispatch must not change results");
     for (label, r) in
@@ -247,4 +257,31 @@ fn main() {
         );
     }
     println!("\nresults bit-for-bit identical across all schedules and dispatch modes.");
+
+    let mut report = BenchReport::new("fig8_workloads");
+    for (name, dispatch, r) in [
+        ("chain_serial", "serial", &serial),
+        ("chain_batched_sync", "batched-sync", &batched),
+        ("chain_batched_async", "batched-async", &asynch),
+    ] {
+        let cfg = bench_config(Some(device), Some(grid), Some(dataset), Some(dispatch));
+        report.push(
+            record_from_run(name, cfg, &r.run, r.wall)
+                .with_metric("batched_calls", r.batched_calls as f64)
+                .with_metric("fused_groups", r.fused_groups as f64)
+                .with_metric(
+                    "host_wait_ns",
+                    r.run.driver.as_ref().expect("driver stats").total_wait_time().as_ns(),
+                ),
+        );
+    }
+    for (name, dispatch, r, wall) in [
+        ("stream_unstreamed", "unstreamed-sync", &unstreamed, unstreamed_wall),
+        ("stream_sync", "streamed-sync", &streamed, streamed_wall),
+        ("stream_async", "streamed-async", &streamed_async, streamed_async_wall),
+    ] {
+        let cfg = bench_config(Some(device), Some(grid), Some(stream_dataset), Some(dispatch));
+        report.push(stream_record(name, cfg, r, wall));
+    }
+    emit_report(&report);
 }

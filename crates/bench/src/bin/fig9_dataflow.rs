@@ -34,11 +34,13 @@
 use cim_accel::estimate::estimate_gemm;
 use cim_accel::AccelConfig;
 use cim_machine::units::SimTime;
+use cim_report::BenchReport;
 use cim_runtime::DispatchMode;
 use polybench::Dataset;
 use tdo_bench::{
-    batch_from_args_or, dataset_flag_help, device_flag_help, device_from_args, grid_flag_help,
-    grid_from_args_or, handle_help, parse_dataset_flag, usize_flag_or,
+    batch_from_args_or, bench_config, dataset_flag_help, device_flag_help, device_from_args,
+    emit_report, grid_flag_help, grid_from_args_or, handle_help, json_flag_help,
+    parse_dataset_flag, record_from_run, stream_record, usize_flag_or,
 };
 use tdo_cim::{compile, execute, CompileOptions, ExecOptions, RunResult};
 use workloads::chain::init_fn;
@@ -50,6 +52,7 @@ struct ChainRun {
     hoisted: usize,
     elided: usize,
     pins: usize,
+    wall: std::time::Duration,
 }
 
 fn run_chain(
@@ -59,6 +62,7 @@ fn run_chain(
     dispatch: DispatchMode,
     label: &'static str,
 ) -> ChainRun {
+    let wall_t0 = std::time::Instant::now();
     let compiled = compile(&spec.source(), copts).expect("chain compiles");
     let report = compiled.report.as_ref().expect("tactics ran");
     assert!(report.any_offloaded(), "chain must offload transparently");
@@ -71,6 +75,7 @@ fn run_chain(
         hoisted: df.map_or(0, |d| d.hoisted_syncs),
         elided: df.map_or(0, |d| d.elided_syncs),
         pins: df.map_or(0, |d| d.pins),
+        wall: wall_t0.elapsed(),
     }
 }
 
@@ -94,6 +99,7 @@ fn main() {
             "--layers <N>                            chain layers (default: 3)".into(),
             "--heads <N>                             projection heads per layer (default: 3)"
                 .into(),
+            json_flag_help(),
         ],
     );
     let dataset = parse_dataset_flag("--dataset", Dataset::Small);
@@ -240,8 +246,13 @@ fn main() {
     let n = stream_dataset.base_size();
     eprintln!("running fig9 streamed gemm: {n}x{n} on {device}, A and C panel-resident ...");
     let base_cfg = StreamConfig::new(stream_dataset, accel);
-    let streamed = run_gemm(&base_cfg);
-    let streamed_async = run_gemm(&base_cfg.clone().with_dispatch(DispatchMode::Async));
+    let timed = |cfg: &StreamConfig| {
+        let t0 = std::time::Instant::now();
+        (run_gemm(cfg), t0.elapsed())
+    };
+    let (streamed, streamed_wall) = timed(&base_cfg);
+    let (streamed_async, streamed_async_wall) =
+        timed(&base_cfg.clone().with_dispatch(DispatchMode::Async));
     assert_eq!(streamed.c_bits, streamed_async.c_bits, "dispatch must not change results");
     for (label, r) in [("sync", &streamed), ("async", &streamed_async)] {
         assert!(
@@ -282,4 +293,30 @@ fn main() {
         streamed.cma_peak / (1024 * 1024),
         (streamed.cma_peak + (n * n * 4) as u64) / (1024 * 1024),
     );
+
+    let mut report = BenchReport::new("fig9_dataflow");
+    for (name, dispatch, r) in [
+        ("chain_fused_async", "fused-async", &fused),
+        ("chain_dataflow_sync", "dataflow-sync", &df_sync),
+        ("chain_dataflow_async", "dataflow-async", &df_async),
+    ] {
+        let cfg = bench_config(Some(device), Some(grid), Some(dataset), Some(dispatch));
+        let mut rec = record_from_run(name, cfg, &r.run, r.wall)
+            .with_metric("elided_syncs", r.elided as f64)
+            .with_metric("pins", r.pins as f64)
+            .with_metric(
+                "host_wait_ns",
+                r.run.driver.as_ref().expect("driver stats").total_wait_time().as_ns(),
+            );
+        rec.hoisted_syncs = r.hoisted as u64;
+        report.push(rec);
+    }
+    for (name, dispatch, r, wall) in [
+        ("stream_sync", "streamed-sync", &streamed, streamed_wall),
+        ("stream_async", "streamed-async", &streamed_async, streamed_async_wall),
+    ] {
+        let cfg = bench_config(Some(device), Some(grid), Some(stream_dataset), Some(dispatch));
+        report.push(stream_record(name, cfg, r, wall));
+    }
+    emit_report(&report);
 }

@@ -5,10 +5,15 @@
 use cim_accel::AccelConfig;
 use cim_machine::MachineConfig;
 use cim_pcm::DeviceKind;
-use tdo_bench::handle_help;
+use cim_report::{BenchRecord, BenchReport};
+use tdo_bench::{bench_config, emit_report, handle_help, json_flag_help};
 
 fn main() {
-    handle_help("table1", "CIM and host system configuration (Table I) + sweep matrix", &[]);
+    handle_help(
+        "table1",
+        "CIM and host system configuration (Table I) + sweep matrix",
+        &[json_flag_help()],
+    );
     let a = AccelConfig::default();
     let e = a.energy;
     let m = MachineConfig::default();
@@ -89,4 +94,34 @@ fn main() {
         a.tile_count()
     );
     println!("{}", "=".repeat(72));
+
+    // Table I is pure configuration — the records pin the platform
+    // constants so a silent parameter change trips the perf gate.
+    let mut report = BenchReport::new("table1");
+    report.push(
+        BenchRecord {
+            name: "host".into(),
+            config: bench_config(None, Some(a.grid), None, None),
+            ..BenchRecord::default()
+        }
+        .with_metric("cores", m.cores as f64)
+        .with_metric("freq_hz", m.freq_hz)
+        .with_metric("pj_per_inst", m.pj_per_inst),
+    );
+    for kind in DeviceKind::ALL {
+        let d = kind.model();
+        let de = d.energy();
+        report.push(
+            BenchRecord {
+                name: format!("device_{}", kind.name()),
+                config: bench_config(Some(kind), Some(a.grid), None, None),
+                ..BenchRecord::default()
+            }
+            .with_metric("write_pj_per_cell", de.write_pj_per_cell)
+            .with_metric("write_ns_per_row", de.write_ns_per_row)
+            .with_metric("compute_ns_per_gemv", de.compute_ns_per_gemv)
+            .with_metric("endurance_writes", d.endurance_writes()),
+        );
+    }
+    emit_report(&report);
 }

@@ -17,8 +17,10 @@
 //! ablation) live under `benches/`.
 
 use cim_pcm::DeviceKind;
+use cim_report::{BenchConfig, BenchRecord, BenchReport};
 use polybench::{init_fn, source, Dataset, Kernel};
-use tdo_cim::{compile, execute, geomean, Comparison, CompileOptions, ExecOptions};
+use std::path::PathBuf;
+use tdo_cim::{compile, execute, geomean, Comparison, CompileOptions, ExecOptions, RunResult};
 use tdo_tactics::OffloadPolicy;
 
 /// One row of the Fig. 6 data.
@@ -33,6 +35,8 @@ pub struct Fig6Row {
     pub selective_energy_x: f64,
     /// Whether the Selective policy offloaded anything in this kernel.
     pub selective_offloaded: bool,
+    /// Host wall-clock spent simulating this kernel's comparisons.
+    pub wall: std::time::Duration,
 }
 
 /// Runs the Fig. 6 study at a dataset size with the paper's default
@@ -55,6 +59,7 @@ pub fn run_fig6_with(dataset: Dataset, exec_opts: &ExecOptions) -> Vec<Fig6Row> 
     Kernel::ALL
         .iter()
         .map(|&kernel| {
+            let t0 = std::time::Instant::now();
             let src = source(kernel, dataset);
             let init = init_fn(kernel);
             let exec_opts = exec_opts.clone();
@@ -82,7 +87,13 @@ pub fn run_fig6_with(dataset: Dataset, exec_opts: &ExecOptions) -> Vec<Fig6Row> 
                 let sel_run = execute(&sel_compiled, &exec_opts, &init).expect("selective runs");
                 always.host.total_energy() / sel_run.total_energy()
             };
-            Fig6Row { kernel, always, selective_energy_x, selective_offloaded: offloaded > 0 }
+            Fig6Row {
+                kernel,
+                always,
+                selective_energy_x,
+                selective_offloaded: offloaded > 0,
+                wall: t0.elapsed(),
+            }
         })
         .collect()
 }
@@ -229,8 +240,100 @@ pub fn batch_from_args_or(default: usize) -> usize {
     usize_flag_or("--batch", default)
 }
 
+/// Help line for the shared `--json` flag.
+pub fn json_flag_help() -> String {
+    "--json <path>                           also write a cim-bench-v1 JSON report".into()
+}
+
+/// Parses `--json <path>` (or `--json=path`) from argv — the
+/// machine-readable output sink every figure binary supports.
+pub fn json_path_from_args() -> Option<PathBuf> {
+    flag_value("--json").map(PathBuf::from)
+}
+
+/// Writes `report` to the `--json` path when one was given (fatal on
+/// I/O errors — a perf gate must not silently skip its own output).
+pub fn emit_report(report: &BenchReport) {
+    let Some(path) = json_path_from_args() else { return };
+    if let Err(e) = report.write(&path) {
+        die(&format!("cannot write {}: {e}", path.display()));
+    }
+    eprintln!("wrote {} ({} records)", path.display(), report.records.len());
+}
+
+/// A [`BenchConfig`] with this binary's sweep axes filled in; axes a
+/// binary does not expose stay at the schema's "-" placeholder.
+pub fn bench_config(
+    device: Option<DeviceKind>,
+    grid: Option<(usize, usize)>,
+    dataset: Option<Dataset>,
+    dispatch: Option<&str>,
+) -> BenchConfig {
+    let mut c = BenchConfig::default();
+    if let Some(d) = device {
+        c.device = d.name().into();
+    }
+    if let Some(g) = grid {
+        c.grid = g;
+    }
+    if let Some(d) = dataset {
+        c.dataset = format!("{d:?}").to_lowercase();
+    }
+    if let Some(d) = dispatch {
+        c.dispatch = d.into();
+    }
+    c
+}
+
+/// Builds a [`BenchRecord`] from an executed run: modeled wall time plus
+/// the accelerator counters the perf gate holds exact. `wall` is the
+/// host wall-clock spent producing the run.
+pub fn record_from_run(
+    name: impl Into<String>,
+    config: BenchConfig,
+    run: &RunResult,
+    wall: std::time::Duration,
+) -> BenchRecord {
+    let acc = run.accel.unwrap_or_default();
+    BenchRecord {
+        name: name.into(),
+        config,
+        wall_ns: wall.as_nanos() as f64,
+        modeled_ns: run.wall_time().as_ns(),
+        installs: acc.rows_programmed,
+        installs_skipped: acc.install_skips,
+        hoisted_syncs: 0,
+        max_tiles_active: acc.max_tiles_active,
+        metrics: Default::default(),
+    }
+    .with_metric("energy_mj", run.total_energy().as_mj())
+}
+
 /// Parses `--size <N>` (or `--size=N`) from argv — per-kernel problem
 /// size for the overlap study.
 pub fn size_from_args_or(default: usize) -> usize {
     usize_flag_or("--size", default)
+}
+
+/// A [`BenchRecord`] for one streamed-GEMM schedule (fig8/fig9 Section B).
+/// `StreamRun` exposes no accelerator counters, so those stay zero.
+pub fn stream_record(
+    name: &str,
+    config: BenchConfig,
+    r: &workloads::StreamRun,
+    wall: std::time::Duration,
+) -> BenchRecord {
+    BenchRecord {
+        name: name.into(),
+        config,
+        wall_ns: wall.as_nanos() as f64,
+        modeled_ns: r.elapsed.as_ns(),
+        max_tiles_active: r.max_tiles,
+        ..BenchRecord::default()
+    }
+    .with_metric("accel_busy_ns", r.accel_busy.as_ns())
+    .with_metric("busy_wait_ns", r.busy_wait.as_ns())
+    .with_metric("panels", r.panels as f64)
+    .with_metric("cma_peak_bytes", r.cma_peak as f64)
+    .with_metric("sync_skips", r.sync_skips as f64)
 }

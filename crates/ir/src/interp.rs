@@ -13,8 +13,9 @@
 //! numerically comparable by construction.
 
 use crate::expr::{Access, BinOp, Expr, UnOp};
-use crate::stmt::{CallArg, CallStmt, CmpOp, Stmt};
+use crate::stmt::{CallArg, CallStmt, CmpOp, ForLoop, Stmt};
 use crate::types::{ArrayId, Program};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Dynamic cost events emitted while interpreting.
@@ -151,13 +152,29 @@ pub trait Backend {
 /// Propagates any [`InterpError`] from evaluation or the backend.
 pub fn run<B: Backend>(prog: &Program, backend: &mut B) -> Result<(), InterpError> {
     let mut env = vec![0i64; prog.vars.len()];
-    let mut interp = Interp { prog, backend };
+    let mut interp = Interp { prog, backend, enable_fast: true, fast_loops: HashMap::new() };
+    interp.exec_block(&prog.body, &mut env)
+}
+
+/// Runs a program with the affine fast path disabled — the reference
+/// executor that differential tests compare [`run`] against.
+///
+/// # Errors
+///
+/// Propagates any [`InterpError`] from evaluation or the backend.
+pub fn run_reference<B: Backend>(prog: &Program, backend: &mut B) -> Result<(), InterpError> {
+    let mut env = vec![0i64; prog.vars.len()];
+    let mut interp = Interp { prog, backend, enable_fast: false, fast_loops: HashMap::new() };
     interp.exec_block(&prog.body, &mut env)
 }
 
 struct Interp<'p, B: Backend> {
     prog: &'p Program,
     backend: &'p mut B,
+    enable_fast: bool,
+    /// Fast-path templates, keyed by `ForLoop` node address within the
+    /// (immutably borrowed) program. `None` caches "not fast-path-able".
+    fast_loops: HashMap<usize, Option<fast::FastBody>>,
 }
 
 impl<'p, B: Backend> Interp<'p, B> {
@@ -173,6 +190,9 @@ impl<'p, B: Backend> Interp<'p, B> {
             Stmt::For(l) => {
                 let lo = self.eval(&l.lo, env)?.as_index()?;
                 let hi = self.eval(&l.hi, env)?.as_index()?;
+                if self.fast_loop(l, lo, hi, env) {
+                    return Ok(());
+                }
                 let mut i = lo;
                 while i < hi {
                     env[l.var.0] = i;
@@ -210,6 +230,25 @@ impl<'p, B: Backend> Interp<'p, B> {
                 }
             }
             Stmt::Call(c) => self.exec_call(c, env),
+        }
+    }
+
+    /// Tries to run `l` through its compiled [`fast::FastBody`]; returns
+    /// `true` when the loop has fully executed (with identical values,
+    /// cost totals and load/store order as the slow path would produce).
+    fn fast_loop(&mut self, l: &ForLoop, lo: i64, hi: i64, env: &mut [i64]) -> bool {
+        if !self.enable_fast {
+            return false;
+        }
+        let key = l as *const ForLoop as usize;
+        if !self.fast_loops.contains_key(&key) {
+            let compiled = fast::FastBody::compile(self.prog, l);
+            self.fast_loops.insert(key, compiled);
+        }
+        let Interp { fast_loops, backend, .. } = self;
+        match fast_loops.get(&key).and_then(|o| o.as_ref()) {
+            Some(body) => body.run(l, lo, hi, env, *backend),
+            None => false,
         }
     }
 
@@ -328,6 +367,7 @@ fn cmp_holds(op: CmpOp, a: f64, b: f64) -> bool {
 }
 
 pub mod calls;
+mod fast;
 pub mod pure;
 
 pub use pure::PureBackend;

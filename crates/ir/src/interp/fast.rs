@@ -1,0 +1,384 @@
+//! Affine fast path for innermost loops.
+//!
+//! The tree-walking interpreter pays a full `Expr` traversal plus one
+//! `backend.cost` call per emitted event for every iteration. Kernels
+//! spend almost all of their time in innermost loops whose body is a
+//! single assignment with affine subscripts (`C[i][j] = C[i][j] + ...`),
+//! so those loops are compiled once into a [`FastBody`] template:
+//!
+//! * every subscript is lowered to an affine form over the loop
+//!   variables, and the per-dimension bounds checks are discharged for
+//!   the *whole* iteration space by testing the two endpoints (an affine
+//!   index is monotonic in the inner variable);
+//! * the per-iteration cost events are counted structurally at compile
+//!   time and retired in bulk (`cost(ev, n * trips)`) — the cost model
+//!   only observes totals, and the cache simulator orders on the
+//!   `load`/`store` calls, which still issue individually and in the
+//!   exact order of the slow path;
+//! * the assignment value is evaluated from a pre-resolved template with
+//!   the same f32 rounding rules as [`super::Interp::apply_bin`].
+//!
+//! Anything the template cannot prove (non-affine subscripts, integer
+//! division, multi-statement bodies, an endpoint out of bounds) falls
+//! back to the slow path, so observable behavior — values, cost totals,
+//! errors — is identical by construction.
+
+use super::{Backend, CostEvent, Value};
+use crate::expr::{Access, BinOp, Expr, UnOp};
+use crate::stmt::{ForLoop, Stmt};
+use crate::types::{ArrayId, Program};
+
+/// Census slots, one per [`CostEvent`] variant.
+const EVENTS: [CostEvent; 10] = [
+    CostEvent::IntAlu,
+    CostEvent::IntMul,
+    CostEvent::FpAdd,
+    CostEvent::FpMul,
+    CostEvent::FpDiv,
+    CostEvent::Load,
+    CostEvent::Store,
+    CostEvent::Cmp,
+    CostEvent::Branch,
+    CostEvent::CallOverhead,
+];
+
+fn slot(ev: CostEvent) -> usize {
+    EVENTS.iter().position(|e| *e == ev).expect("every event has a slot")
+}
+
+/// `c + sum(coeffs[v] * env[v])` over all program variables.
+#[derive(Clone, Debug)]
+struct Affine {
+    c: i64,
+    coeffs: Vec<i64>,
+}
+
+impl Affine {
+    fn constant(c: i64, vars: usize) -> Self {
+        Affine { c, coeffs: vec![0; vars] }
+    }
+
+    fn var(v: usize, vars: usize) -> Self {
+        let mut a = Affine::constant(0, vars);
+        a.coeffs[v] = 1;
+        a
+    }
+
+    fn is_const(&self) -> bool {
+        self.coeffs.iter().all(|c| *c == 0)
+    }
+
+    fn add(mut self, o: &Affine) -> Self {
+        self.c += o.c;
+        for (a, b) in self.coeffs.iter_mut().zip(&o.coeffs) {
+            *a += b;
+        }
+        self
+    }
+
+    fn sub(mut self, o: &Affine) -> Self {
+        self.c -= o.c;
+        for (a, b) in self.coeffs.iter_mut().zip(&o.coeffs) {
+            *a -= b;
+        }
+        self
+    }
+
+    fn neg(mut self) -> Self {
+        self.c = -self.c;
+        for a in &mut self.coeffs {
+            *a = -*a;
+        }
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Self {
+        self.c *= k;
+        for a in &mut self.coeffs {
+            *a *= k;
+        }
+        self
+    }
+
+    /// Value under `env` with variable `inner` contributing zero.
+    fn base(&self, env: &[i64], inner: usize) -> i64 {
+        let mut v = self.c;
+        for (i, k) in self.coeffs.iter().enumerate() {
+            if i != inner && *k != 0 {
+                v += k * env[i];
+            }
+        }
+        v
+    }
+}
+
+/// Lowers an index expression to affine form, tallying the cost events
+/// the slow-path `eval` would emit for it. Partial census updates from a
+/// failed lowering are harmless: any `None` discards the whole template.
+fn affine_expr(e: &Expr, vars: usize, costs: &mut [u64; 10]) -> Option<Affine> {
+    match e {
+        Expr::Int(v) => Some(Affine::constant(*v, vars)),
+        Expr::Var(v) => Some(Affine::var(v.0, vars)),
+        Expr::Float(_) | Expr::Load(_) => None,
+        Expr::Unary(UnOp::Neg, e) => {
+            let a = affine_expr(e, vars, costs)?;
+            costs[slot(CostEvent::IntAlu)] += 1;
+            Some(a.neg())
+        }
+        Expr::Bin(op, l, r) => {
+            let a = affine_expr(l, vars, costs)?;
+            let b = affine_expr(r, vars, costs)?;
+            match op {
+                BinOp::Add => {
+                    costs[slot(CostEvent::IntAlu)] += 1;
+                    Some(a.add(&b))
+                }
+                BinOp::Sub => {
+                    costs[slot(CostEvent::IntAlu)] += 1;
+                    Some(a.sub(&b))
+                }
+                BinOp::Mul => {
+                    costs[slot(CostEvent::IntMul)] += 1;
+                    if b.is_const() {
+                        Some(a.scale(b.c))
+                    } else if a.is_const() {
+                        Some(b.scale(a.c))
+                    } else {
+                        None // quadratic
+                    }
+                }
+                // Div can fault; Min/Max are not affine.
+                BinOp::Div | BinOp::Min | BinOp::Max => None,
+            }
+        }
+    }
+}
+
+/// A lowered array access: per-dimension affine subscripts (with their
+/// extents, for the endpoint bounds proof) plus the row-major flattened
+/// affine index.
+struct AccessPlan {
+    array: ArrayId,
+    dims: Vec<(Affine, usize)>,
+    flat: Affine,
+}
+
+fn compile_access(prog: &Program, a: &Access, costs: &mut [u64; 10]) -> Option<AccessPlan> {
+    let decl = prog.array(a.array);
+    if a.idx.len() != decl.dims.len() {
+        return None; // slow path reports the TypeError
+    }
+    let vars = prog.vars.len();
+    let mut flat = Affine::constant(0, vars);
+    let mut dims = Vec::with_capacity(a.idx.len());
+    for (d, e) in a.idx.iter().enumerate() {
+        let aff = affine_expr(e, vars, costs)?;
+        // One multiply-accumulate of address arithmetic per dim.
+        costs[slot(CostEvent::IntAlu)] += 1;
+        flat = flat.scale(decl.dims[d] as i64).add(&aff);
+        dims.push((aff, decl.dims[d]));
+    }
+    Some(AccessPlan { array: a.array, dims, flat })
+}
+
+/// Pre-resolved assignment value. Loads refer into `FastBody::loads` by
+/// position; their flattened addresses are resolved per loop entry.
+enum FastExpr {
+    I(i64),
+    F(f64),
+    Var(usize),
+    Load(usize),
+    Neg(Box<FastExpr>),
+    Bin(BinOp, Box<FastExpr>, Box<FastExpr>),
+}
+
+/// Compiles a value expression, returning the template and whether it is
+/// integer-typed. The structural type exactly predicts the runtime
+/// `Value` variant (literals and loads are fixed, `Bin` is integer iff
+/// both operands are), which is what lets the census pick the right
+/// event per operation ahead of time.
+fn compile_expr(
+    prog: &Program,
+    e: &Expr,
+    costs: &mut [u64; 10],
+    loads: &mut Vec<AccessPlan>,
+) -> Option<(FastExpr, bool)> {
+    match e {
+        Expr::Int(v) => Some((FastExpr::I(*v), true)),
+        Expr::Float(v) => Some((FastExpr::F(*v), false)),
+        Expr::Var(v) => Some((FastExpr::Var(v.0), true)),
+        Expr::Load(a) => {
+            let plan = compile_access(prog, a, costs)?;
+            costs[slot(CostEvent::Load)] += 1;
+            loads.push(plan);
+            Some((FastExpr::Load(loads.len() - 1), false))
+        }
+        Expr::Unary(UnOp::Neg, e) => {
+            let (n, is_int) = compile_expr(prog, e, costs, loads)?;
+            costs[slot(if is_int { CostEvent::IntAlu } else { CostEvent::FpAdd })] += 1;
+            Some((FastExpr::Neg(Box::new(n)), is_int))
+        }
+        Expr::Bin(op, l, r) => {
+            let (ln, li) = compile_expr(prog, l, costs, loads)?;
+            let (rn, ri) = compile_expr(prog, r, costs, loads)?;
+            let is_int = li && ri;
+            let ev = if is_int {
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Min | BinOp::Max => CostEvent::IntAlu,
+                    BinOp::Mul => CostEvent::IntMul,
+                    // Integer division can fault mid-loop; keep it on the
+                    // slow path so the error surfaces identically.
+                    BinOp::Div => return None,
+                }
+            } else {
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Min | BinOp::Max => CostEvent::FpAdd,
+                    BinOp::Mul => CostEvent::FpMul,
+                    BinOp::Div => CostEvent::FpDiv,
+                }
+            };
+            costs[slot(ev)] += 1;
+            Some((FastExpr::Bin(*op, Box::new(ln), Box::new(rn)), is_int))
+        }
+    }
+}
+
+fn eval_fast<B: Backend>(
+    e: &FastExpr,
+    lflat: &[(ArrayId, i64, i64)],
+    env: &[i64],
+    i: i64,
+    backend: &mut B,
+) -> Value {
+    match e {
+        FastExpr::I(v) => Value::I(*v),
+        FastExpr::F(v) => Value::F(*v),
+        FastExpr::Var(v) => Value::I(env[*v]),
+        FastExpr::Load(k) => {
+            let (arr, base, stride) = lflat[*k];
+            Value::F(backend.load(arr, (base + stride * i) as usize) as f64)
+        }
+        FastExpr::Neg(e) => match eval_fast(e, lflat, env, i, backend) {
+            Value::I(v) => Value::I(-v),
+            Value::F(v) => Value::F(-v),
+        },
+        FastExpr::Bin(op, l, r) => {
+            let a = eval_fast(l, lflat, env, i, backend);
+            let b = eval_fast(r, lflat, env, i, backend);
+            if let (Value::I(x), Value::I(y)) = (a, b) {
+                return Value::I(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    BinOp::Div => unreachable!("integer division is rejected at compile time"),
+                });
+            }
+            let (x, y) = (a.as_f64(), b.as_f64());
+            // Same f32 rounding rules as the slow path's apply_bin.
+            Value::F(match op {
+                BinOp::Add => (x as f32 + y as f32) as f64,
+                BinOp::Sub => (x as f32 - y as f32) as f64,
+                BinOp::Mul => (x as f32 * y as f32) as f64,
+                BinOp::Div => (x as f32 / y as f32) as f64,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+            })
+        }
+    }
+}
+
+/// A compiled innermost loop: `for i in lo..hi step s { target = value }`
+/// with everything affine. Cached per `ForLoop` node by the interpreter.
+pub(super) struct FastBody {
+    target: AccessPlan,
+    loads: Vec<AccessPlan>,
+    value: FastExpr,
+    /// Cost events one iteration emits on the slow path, by [`EVENTS`] slot.
+    costs: [u64; 10],
+}
+
+impl FastBody {
+    /// Compiles the loop body, or `None` if any part of it is outside the
+    /// fast path's provable subset.
+    pub(super) fn compile(prog: &Program, l: &ForLoop) -> Option<FastBody> {
+        if l.step <= 0 || l.body.len() != 1 {
+            return None;
+        }
+        let Stmt::Assign(a) = &l.body[0] else { return None };
+        let mut costs = [0u64; 10];
+        // Loop head per iteration: compare, branch, induction increment.
+        costs[slot(CostEvent::Cmp)] += 1;
+        costs[slot(CostEvent::Branch)] += 1;
+        costs[slot(CostEvent::IntAlu)] += 1;
+        let mut loads = Vec::new();
+        // Body order mirrors the slow path: value first, then target.
+        let (value, _) = compile_expr(prog, &a.value, &mut costs, &mut loads)?;
+        let target = compile_access(prog, &a.target, &mut costs)?;
+        costs[slot(CostEvent::Store)] += 1;
+        Some(FastBody { target, loads, value, costs })
+    }
+
+    /// Executes the loop if the whole iteration space is provably in
+    /// bounds; returns `false` to defer to the slow path. `lo`/`hi` are
+    /// the already-evaluated loop bounds.
+    pub(super) fn run<B: Backend>(
+        &self,
+        l: &ForLoop,
+        lo: i64,
+        hi: i64,
+        env: &mut [i64],
+        backend: &mut B,
+    ) -> bool {
+        let inner = l.var.0;
+        if hi <= lo {
+            // Zero-trip loop: just the exit check, env untouched.
+            backend.cost(CostEvent::Cmp, 1);
+            backend.cost(CostEvent::Branch, 1);
+            return true;
+        }
+        let trips = (hi - lo + l.step - 1) / l.step;
+        let last = lo + (trips - 1) * l.step;
+        // An affine subscript is monotonic in the inner variable, so
+        // checking the first and last iterations bounds them all.
+        let resolve = |plan: &AccessPlan| -> Option<(i64, i64)> {
+            for (aff, extent) in &plan.dims {
+                let b = aff.base(env, inner);
+                let s = aff.coeffs[inner];
+                for i in [lo, last] {
+                    let v = b + s * i;
+                    if v < 0 || v as usize >= *extent {
+                        return None;
+                    }
+                }
+            }
+            Some((plan.flat.base(env, inner), plan.flat.coeffs[inner]))
+        };
+        let Some(tflat) = resolve(&self.target) else { return false };
+        let mut lflat = Vec::with_capacity(self.loads.len());
+        for plan in &self.loads {
+            let Some((base, stride)) = resolve(plan) else { return false };
+            lflat.push((plan.array, base, stride));
+        }
+        // Retire the whole loop's census in bulk. The cost model only
+        // accumulates totals; ordering is observable solely through
+        // load/store, which the loop below still issues one by one.
+        for (ev, n) in EVENTS.iter().zip(&self.costs) {
+            if *n > 0 {
+                backend.cost(*ev, n * trips as u64);
+            }
+        }
+        // Loop exit check.
+        backend.cost(CostEvent::Cmp, 1);
+        backend.cost(CostEvent::Branch, 1);
+        let mut i = lo;
+        while i < hi {
+            env[inner] = i;
+            let v = eval_fast(&self.value, &lflat, env, i, backend).as_f64();
+            backend.store(self.target.array, (tflat.0 + tflat.1 * i) as usize, v as f32);
+            i += l.step;
+        }
+        true
+    }
+}

@@ -1,0 +1,283 @@
+//! Differential properties for the interpreter's affine fast path.
+//!
+//! `interp::run` (fast path enabled) and `interp::run_reference` (plain
+//! tree-walker) must be observationally identical on every program: same
+//! array contents bit for bit, same cost-event totals, same ordered
+//! load/store sequence, same error. The generator covers the shapes the
+//! fast path accelerates (axpy, strided, triangular, GEMM, loop-carried
+//! recurrences, reversed subscripts) and the shapes it must decline
+//! (non-affine subscripts, integer division, runtime out-of-bounds).
+
+use proptest::prelude::*;
+use tdo_ir::interp::{self, Backend, CostEvent, InterpError, ResolvedArg};
+use tdo_ir::{Access, ArrayId, Expr, Program, Stmt};
+
+/// Records everything a backend can observe.
+#[derive(Default, Clone, PartialEq, Debug)]
+struct Recorder {
+    arrays: Vec<Vec<f32>>,
+    /// (event discriminant, count) totals.
+    costs: std::collections::BTreeMap<String, u64>,
+    /// Ordered data-access log: (is_store, array, flat, value bits).
+    accesses: Vec<(bool, usize, usize, u32)>,
+}
+
+impl Recorder {
+    fn for_program(p: &Program) -> Self {
+        let arrays = (0..p.arrays.len())
+            .map(|i| {
+                let len: usize = p.array(ArrayId(i)).dims.iter().product();
+                // Deterministic non-trivial fill so loads matter.
+                (0..len.max(1)).map(|j| (j % 13) as f32 - 6.0).collect()
+            })
+            .collect();
+        Recorder { arrays, ..Recorder::default() }
+    }
+}
+
+impl Backend for Recorder {
+    fn load(&mut self, a: ArrayId, flat: usize) -> f32 {
+        let v = self.arrays[a.0][flat];
+        self.accesses.push((false, a.0, flat, v.to_bits()));
+        v
+    }
+    fn store(&mut self, a: ArrayId, flat: usize, v: f32) {
+        self.arrays[a.0][flat] = v;
+        self.accesses.push((true, a.0, flat, v.to_bits()));
+    }
+    fn cost(&mut self, ev: CostEvent, n: u64) {
+        *self.costs.entry(format!("{ev:?}")).or_insert(0) += n;
+    }
+    fn call(&mut self, _: &Program, c: &str, _: &[ResolvedArg]) -> Result<(), InterpError> {
+        Err(InterpError::UnknownCall(c.into()))
+    }
+}
+
+/// Builds one of the generator's program shapes over problem size `n`
+/// and stride `step`.
+fn build_program(shape: usize, n: usize, step: i64) -> Program {
+    let mut p = Program::new("fast-loop-case");
+    let ni = n as i64;
+    match shape {
+        // axpy: Y[i] = Y[i] + 2.5 * X[i]
+        0 => {
+            let x = p.add_array("X", vec![n]);
+            let y = p.add_array("Y", vec![n]);
+            let i = p.fresh_var("i");
+            p.body = vec![Stmt::for_loop(
+                i,
+                Expr::Int(0),
+                Expr::Int(ni),
+                1,
+                vec![Stmt::assign(
+                    Access { array: y, idx: vec![Expr::Var(i)] },
+                    Expr::add(
+                        Expr::load(y, vec![Expr::Var(i)]),
+                        Expr::mul(Expr::Float(2.5), Expr::load(x, vec![Expr::Var(i)])),
+                    ),
+                )],
+            )];
+        }
+        // strided store with affine offset: A[i] = X[i] * 2.0, step > 1
+        1 => {
+            let x = p.add_array("X", vec![n]);
+            let a = p.add_array("A", vec![n]);
+            let i = p.fresh_var("i");
+            p.body = vec![Stmt::for_loop(
+                i,
+                Expr::Int(0),
+                Expr::Int(ni),
+                step.max(1),
+                vec![Stmt::assign(
+                    Access { array: a, idx: vec![Expr::Var(i)] },
+                    Expr::mul(Expr::load(x, vec![Expr::Var(i)]), Expr::Float(2.0)),
+                )],
+            )];
+        }
+        // triangular nest: for i, for j in i..n: A[i][j] = X[j] + 1.0
+        2 => {
+            let x = p.add_array("X", vec![n]);
+            let a = p.add_array("A", vec![n, n]);
+            let i = p.fresh_var("i");
+            let j = p.fresh_var("j");
+            p.body = vec![Stmt::for_loop(
+                i,
+                Expr::Int(0),
+                Expr::Int(ni),
+                1,
+                vec![Stmt::for_loop(
+                    j,
+                    Expr::Var(i),
+                    Expr::Int(ni),
+                    1,
+                    vec![Stmt::assign(
+                        Access { array: a, idx: vec![Expr::Var(i), Expr::Var(j)] },
+                        Expr::add(Expr::load(x, vec![Expr::Var(j)]), Expr::Float(1.0)),
+                    )],
+                )],
+            )];
+        }
+        // GEMM inner product: C[i][j] += A[i][k] * B[k][j]
+        3 => {
+            let a = p.add_array("A", vec![n, n]);
+            let b = p.add_array("B", vec![n, n]);
+            let c = p.add_array("C", vec![n, n]);
+            let i = p.fresh_var("i");
+            let j = p.fresh_var("j");
+            let k = p.fresh_var("k");
+            p.body = vec![Stmt::for_loop(
+                i,
+                Expr::Int(0),
+                Expr::Int(ni),
+                1,
+                vec![Stmt::for_loop(
+                    j,
+                    Expr::Int(0),
+                    Expr::Int(ni),
+                    1,
+                    vec![Stmt::for_loop(
+                        k,
+                        Expr::Int(0),
+                        Expr::Int(ni),
+                        1,
+                        vec![Stmt::assign(
+                            Access { array: c, idx: vec![Expr::Var(i), Expr::Var(j)] },
+                            Expr::add(
+                                Expr::load(c, vec![Expr::Var(i), Expr::Var(j)]),
+                                Expr::mul(
+                                    Expr::load(a, vec![Expr::Var(i), Expr::Var(k)]),
+                                    Expr::load(b, vec![Expr::Var(k), Expr::Var(j)]),
+                                ),
+                            ),
+                        )],
+                    )],
+                )],
+            )];
+        }
+        // reversed subscript (negative inner coefficient): A[n-1-i] = X[i]
+        4 => {
+            let x = p.add_array("X", vec![n]);
+            let a = p.add_array("A", vec![n]);
+            let i = p.fresh_var("i");
+            p.body = vec![Stmt::for_loop(
+                i,
+                Expr::Int(0),
+                Expr::Int(ni),
+                1,
+                vec![Stmt::assign(
+                    Access { array: a, idx: vec![Expr::sub(Expr::Int(ni - 1), Expr::Var(i))] },
+                    Expr::load(x, vec![Expr::Var(i)]),
+                )],
+            )];
+        }
+        // loop-carried recurrence: A[i] = A[i-1] + X[i], i in 1..n
+        5 => {
+            let x = p.add_array("X", vec![n]);
+            let a = p.add_array("A", vec![n]);
+            let i = p.fresh_var("i");
+            p.body = vec![Stmt::for_loop(
+                i,
+                Expr::Int(1),
+                Expr::Int(ni),
+                1,
+                vec![Stmt::assign(
+                    Access { array: a, idx: vec![Expr::Var(i)] },
+                    Expr::add(
+                        Expr::load(a, vec![Expr::sub(Expr::Var(i), Expr::Int(1))]),
+                        Expr::load(x, vec![Expr::Var(i)]),
+                    ),
+                )],
+            )];
+        }
+        // non-affine subscript (declined): A[min(i, n-1)] = 1.0
+        6 => {
+            let a = p.add_array("A", vec![n]);
+            let i = p.fresh_var("i");
+            p.body = vec![Stmt::for_loop(
+                i,
+                Expr::Int(0),
+                Expr::Int(ni),
+                1,
+                vec![Stmt::assign(
+                    Access { array: a, idx: vec![Expr::min(Expr::Var(i), Expr::Int(ni - 1))] },
+                    Expr::Float(1.0),
+                )],
+            )];
+        }
+        // integer division in the value (declined): A[i] = i / 2
+        7 => {
+            let a = p.add_array("A", vec![n]);
+            let i = p.fresh_var("i");
+            p.body = vec![Stmt::for_loop(
+                i,
+                Expr::Int(0),
+                Expr::Int(ni),
+                1,
+                vec![Stmt::assign(
+                    Access { array: a, idx: vec![Expr::Var(i)] },
+                    Expr::div(Expr::Var(i), Expr::Int(2)),
+                )],
+            )];
+        }
+        // runtime out-of-bounds on the last iteration: A[i+1] = 0.0
+        _ => {
+            let a = p.add_array("A", vec![n]);
+            let i = p.fresh_var("i");
+            p.body = vec![Stmt::for_loop(
+                i,
+                Expr::Int(0),
+                Expr::Int(ni),
+                1,
+                vec![Stmt::assign(
+                    Access { array: a, idx: vec![Expr::add(Expr::Var(i), Expr::Int(1))] },
+                    Expr::Float(0.0),
+                )],
+            )];
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config { cases: 64 })]
+    fn fast_path_is_observationally_identical(
+        shape in 0usize..9,
+        n in 1usize..10,
+        step in 1i64..4,
+    ) {
+        let p = build_program(shape, n, step);
+        let mut fast = Recorder::for_program(&p);
+        let mut slow = fast.clone();
+        let fr = interp::run(&p, &mut fast);
+        let sr = interp::run_reference(&p, &mut slow);
+        prop_assert_eq!(&fr, &sr);
+        prop_assert_eq!(&fast.arrays, &slow.arrays);
+        prop_assert_eq!(&fast.costs, &slow.costs);
+        prop_assert_eq!(&fast.accesses, &slow.accesses);
+    }
+}
+
+/// The declined shapes still run (via the slow path inside `run`).
+#[test]
+fn declined_shapes_fall_back() {
+    for shape in [6usize, 7] {
+        let p = build_program(shape, 5, 1);
+        let mut b = Recorder::for_program(&p);
+        interp::run(&p, &mut b).expect("fallback executes");
+    }
+}
+
+/// The out-of-bounds shape errors identically under both executors, with
+/// the same partial stores already applied.
+#[test]
+fn runtime_oob_matches_reference() {
+    let p = build_program(8, 4, 1);
+    let mut fast = Recorder::for_program(&p);
+    let mut slow = fast.clone();
+    let fr = interp::run(&p, &mut fast).unwrap_err();
+    let sr = interp::run_reference(&p, &mut slow).unwrap_err();
+    assert_eq!(fr, sr);
+    assert!(matches!(fr, InterpError::OutOfBounds { flat: 4, .. }));
+    assert_eq!(fast.arrays, slow.arrays);
+    assert_eq!(fast.accesses, slow.accesses);
+}

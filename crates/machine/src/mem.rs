@@ -119,6 +119,20 @@ impl PhysMem {
 
     /// Reads a little-endian `f32` at `addr`.
     pub fn read_f32(&mut self, addr: u64) -> f32 {
+        // Scalar loads are the interpreter's hottest memory call; skip the
+        // general range loop when the value sits inside one frame.
+        let in_frame = (addr % FRAME_BYTES as u64) as usize;
+        if in_frame + 4 <= FRAME_BYTES {
+            assert!(addr + 4 <= self.size, "read past end of memory");
+            self.stats.bytes_read += 4;
+            let idx = (addr / FRAME_BYTES as u64) as usize;
+            return match &self.frames[idx] {
+                Some(frame) => {
+                    f32::from_le_bytes(frame[in_frame..in_frame + 4].try_into().expect("4 bytes"))
+                }
+                None => 0.0,
+            };
+        }
         let mut b = [0u8; 4];
         self.read(addr, &mut b);
         f32::from_le_bytes(b)
@@ -126,6 +140,14 @@ impl PhysMem {
 
     /// Writes a little-endian `f32` at `addr`.
     pub fn write_f32(&mut self, addr: u64, v: f32) {
+        let in_frame = (addr % FRAME_BYTES as u64) as usize;
+        if in_frame + 4 <= FRAME_BYTES {
+            assert!(addr + 4 <= self.size, "write past end of memory");
+            self.stats.bytes_written += 4;
+            let frame = self.frame_mut(addr);
+            frame[in_frame..in_frame + 4].copy_from_slice(&v.to_le_bytes());
+            return;
+        }
         self.write(addr, &v.to_le_bytes());
     }
 

@@ -7,6 +7,7 @@
 //! CMA buffers are mapped physically contiguous so a single base address
 //! suffices for DMA.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Page size used for translation (matches Linux 4 KiB pages).
@@ -33,6 +34,11 @@ pub struct Mmu {
     table: HashMap<u64, u64>, // vpn -> pfn
     next_frame: u64,
     frame_limit: u64,
+    // One-entry TLB: the interpreter's inner loops walk arrays
+    // sequentially, so caching the last (vpn, pfn) pair skips the hash
+    // lookup on almost every access. `u64::MAX` marks it empty; map only
+    // ever adds pages, so only `unmap` must invalidate.
+    tlb: Cell<(u64, u64)>,
 }
 
 impl Mmu {
@@ -46,7 +52,12 @@ impl Mmu {
         assert!(frame_base < frame_limit, "empty frame pool");
         assert_eq!(frame_base % PAGE_BYTES, 0, "frame base must be page aligned");
         assert_eq!(frame_limit % PAGE_BYTES, 0, "frame limit must be page aligned");
-        Mmu { table: HashMap::new(), next_frame: frame_base / PAGE_BYTES, frame_limit }
+        Mmu {
+            table: HashMap::new(),
+            next_frame: frame_base / PAGE_BYTES,
+            frame_limit,
+            tlb: Cell::new((u64::MAX, 0)),
+        }
     }
 
     /// Maps `[va, va+len)` to fresh physical frames (not necessarily
@@ -94,6 +105,7 @@ impl Mmu {
         for vpn in first..=last {
             self.table.remove(&vpn);
         }
+        self.tlb.set((u64::MAX, 0));
     }
 
     /// Translates a virtual address to a physical address.
@@ -103,8 +115,15 @@ impl Mmu {
     /// Returns [`TranslateError`] if the page is unmapped.
     pub fn translate(&self, va: u64) -> Result<u64, TranslateError> {
         let vpn = va / PAGE_BYTES;
+        let (hit_vpn, hit_pfn) = self.tlb.get();
+        if hit_vpn == vpn {
+            return Ok(hit_pfn * PAGE_BYTES + va % PAGE_BYTES);
+        }
         match self.table.get(&vpn) {
-            Some(pfn) => Ok(pfn * PAGE_BYTES + va % PAGE_BYTES),
+            Some(pfn) => {
+                self.tlb.set((vpn, *pfn));
+                Ok(pfn * PAGE_BYTES + va % PAGE_BYTES)
+            }
             None => Err(TranslateError { va }),
         }
     }

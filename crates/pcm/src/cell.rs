@@ -84,15 +84,28 @@ impl PcmCell {
     ///
     /// Panics if `level` is out of range for `cfg`.
     pub fn program(&mut self, cfg: &CellConfig, level: u8) -> Vec<Pulse> {
-        assert!((level as u16) < cfg.levels(), "level {level} out of range");
-        self.writes += 1;
-        self.level = level;
+        self.program_level(cfg, level);
         let mut pulses = vec![Pulse::reset()];
         if level > 0 {
             let strength = level as f64 / (cfg.levels() - 1) as f64;
             pulses.push(Pulse::set(strength));
         }
         pulses
+    }
+
+    /// Programs the cell without materializing the pulse train — the hot
+    /// path for row-granular installs, where the per-cell `Vec<Pulse>` of
+    /// [`PcmCell::program`] would dominate the simulator's wall clock.
+    /// Wear and stored level are identical to `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range for `cfg`.
+    #[inline]
+    pub fn program_level(&mut self, cfg: &CellConfig, level: u8) {
+        assert!((level as u16) < cfg.levels(), "level {level} out of range");
+        self.writes += 1;
+        self.level = level;
     }
 
     /// Senses the conductance in microsiemens, optionally with programming

@@ -26,12 +26,19 @@ pub struct WearStats {
 }
 
 /// A `rows x cols` array of multi-level PCM cells.
+///
+/// Besides the cell array (which carries per-device wear), the crossbar
+/// keeps a packed copy of the stored levels (`levels[r * cols + c]`, one
+/// byte per device). The compute path walks the packed array instead of
+/// the 16-byte cell structs, which matters for simulator throughput: a
+/// 256x256 GEMV touches 64 KiB of cells but only 4 KiB of packed levels.
 #[derive(Debug, Clone)]
 pub struct Crossbar {
     rows: usize,
     cols: usize,
     cfg: CellConfig,
     cells: Vec<PcmCell>,
+    levels: Vec<u8>,
     row_programs: u64,
 }
 
@@ -43,7 +50,14 @@ impl Crossbar {
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize, cfg: CellConfig) -> Self {
         assert!(rows > 0 && cols > 0, "crossbar dimensions must be positive");
-        Crossbar { rows, cols, cfg, cells: vec![PcmCell::new(); rows * cols], row_programs: 0 }
+        Crossbar {
+            rows,
+            cols,
+            cfg,
+            cells: vec![PcmCell::new(); rows * cols],
+            levels: vec![0u8; rows * cols],
+            row_programs: 0,
+        }
     }
 
     /// Number of word lines.
@@ -70,7 +84,8 @@ impl Crossbar {
     pub fn program_cell(&mut self, r: usize, c: usize, level: u8) {
         let i = self.idx(r, c);
         let cfg = self.cfg;
-        self.cells[i].program(&cfg, level);
+        self.cells[i].program_level(&cfg, level);
+        self.levels[i] = level;
     }
 
     /// Programs one full row from `levels` (column-buffer contents with the
@@ -82,10 +97,12 @@ impl Crossbar {
     /// Panics if `levels.len() != cols`.
     pub fn program_row(&mut self, r: usize, levels: &[u8]) {
         assert_eq!(levels.len(), self.cols, "row width mismatch");
+        assert!(r < self.rows, "row {r} out of range");
         let cfg = self.cfg;
+        let base = r * self.cols;
         for (c, lv) in levels.iter().enumerate() {
-            let i = self.idx(r, c);
-            self.cells[i].program(&cfg, *lv);
+            self.cells[base + c].program_level(&cfg, *lv);
+            self.levels[base + c] = *lv;
         }
         self.row_programs += 1;
     }
@@ -100,11 +117,13 @@ impl Crossbar {
     pub fn program_row_masked(&mut self, r: usize, levels: &[u8], mask: &[bool]) {
         assert_eq!(levels.len(), self.cols, "row width mismatch");
         assert_eq!(mask.len(), self.cols, "mask width mismatch");
+        assert!(r < self.rows, "row {r} out of range");
         let cfg = self.cfg;
+        let base = r * self.cols;
         for c in 0..self.cols {
             if mask[c] {
-                let i = self.idx(r, c);
-                self.cells[i].program(&cfg, levels[c]);
+                self.cells[base + c].program_level(&cfg, levels[c]);
+                self.levels[base + c] = levels[c];
             }
         }
         self.row_programs += 1;
@@ -112,7 +131,7 @@ impl Crossbar {
 
     /// Stored level of a cell.
     pub fn level(&self, r: usize, c: usize) -> u8 {
-        self.cells[self.idx(r, c)].level()
+        self.levels[self.idx(r, c)]
     }
 
     /// Idealized integer GEMV over stored levels:
@@ -122,18 +141,32 @@ impl Crossbar {
     ///
     /// Panics if `inputs.len() != rows`.
     pub fn dot_levels(&self, inputs: &[i32]) -> Vec<i64> {
-        assert_eq!(inputs.len(), self.rows, "input length mismatch");
         let mut out = vec![0i64; self.cols];
+        self.dot_levels_into(inputs, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Crossbar::dot_levels`]: accumulates the
+    /// integer dot products into `out` (which is zeroed first). Walks the
+    /// packed level array, so results are bit-identical to the cell-array
+    /// path while touching a fraction of the memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != rows` or `out.len() != cols`.
+    pub fn dot_levels_into(&self, inputs: &[i32], out: &mut [i64]) {
+        assert_eq!(inputs.len(), self.rows, "input length mismatch");
+        assert_eq!(out.len(), self.cols, "output length mismatch");
+        out.iter_mut().for_each(|o| *o = 0);
         for (r, x) in inputs.iter().enumerate() {
             if *x == 0 {
                 continue;
             }
-            let row = &self.cells[r * self.cols..(r + 1) * self.cols];
-            for (o, cell) in out.iter_mut().zip(row) {
-                *o += *x as i64 * cell.level() as i64;
+            let row = &self.levels[r * self.cols..(r + 1) * self.cols];
+            for (o, lv) in out.iter_mut().zip(row) {
+                *o += *x as i64 * *lv as i64;
             }
         }
-        out
     }
 
     /// Analog GEMV: row voltages in volts, column currents in microamps,
@@ -255,6 +288,24 @@ mod tests {
         assert_eq!(w.max_cell_writes, 5);
         assert_eq!(b.worn_cells(5), 1);
         assert_eq!(b.worn_cells(6), 0);
+    }
+
+    #[test]
+    fn packed_levels_mirror_cell_state() {
+        // The packed array is a pure cache of the per-cell levels; every
+        // mutator must keep the two in lockstep.
+        let mut b = bar();
+        b.program_row(0, &[1, 2, 3]);
+        b.program_row_masked(1, &[4, 5, 6], &[true, false, true]);
+        b.program_cell(3, 2, 9);
+        for r in 0..4 {
+            for c in 0..3 {
+                assert_eq!(b.level(r, c), b.cells[r * b.cols + c].level(), "cell ({r},{c})");
+            }
+        }
+        let mut out = vec![0i64; 3];
+        b.dot_levels_into(&[1, 1, 1, 1], &mut out);
+        assert_eq!(out, b.dot_levels(&[1, 1, 1, 1]));
     }
 
     #[test]

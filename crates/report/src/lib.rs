@@ -1,0 +1,565 @@
+//! # cim_report — machine-readable benchmark records
+//!
+//! Every evaluation artifact in this repository (the seven figure/table
+//! binaries and the criterion micro-benchmark suites) can emit its
+//! results as a `cim-bench-v1` JSON file next to its human-readable
+//! output. The files serve two purposes:
+//!
+//! * **baselines** — `BENCH_<name>.json` files committed at the repo
+//!   root record the expected modeled numbers and counter values;
+//! * **perf gate** — the `bench_compare` binary (in `tdo_bench`) diffs a
+//!   fresh run against the committed baseline with per-metric
+//!   tolerances and exits nonzero on regression; CI runs it on every
+//!   push (see `docs/BENCHMARKS.md`).
+//!
+//! The schema is deliberately small: a suite name plus a flat list of
+//! [`BenchRecord`]s, each with the sweep configuration it ran under,
+//! a wall-clock measurement, the modeled (simulated) time, the four
+//! offload counters the paper's figures pivot on, and a tail of named
+//! metrics. Everything is hand-rolled JSON ([`json`]) because the build
+//! is fully offline — no serde.
+//!
+//! ## Comparison classes
+//!
+//! [`compare_records`] applies one rule per field:
+//!
+//! | field                     | rule                                 |
+//! |---------------------------|--------------------------------------|
+//! | counters (installs, ...)  | exact equality                       |
+//! | `modeled_ns`              | relative tolerance 1e-9 (determinism)|
+//! | `wall_ns`                 | ratio gate (default 3x, regressions only) |
+//! | metric `*_wall_ns`        | same ratio gate                      |
+//! | other metrics             | relative tolerance 1e-6              |
+//!
+//! Wall clock is the only nondeterministic field, so it gets a loose
+//! multiplicative gate that catches order-of-magnitude regressions (a
+//! lost fast path) without flapping on machine noise. Everything else
+//! in the simulator is bit-deterministic and is held tight.
+
+pub mod json;
+
+use json::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Schema identifier written to (and required from) every report file.
+pub const SCHEMA: &str = "cim-bench-v1";
+
+/// The sweep configuration a record was produced under. Fields that a
+/// given suite does not sweep stay at their `Default` ("-", 1x1 grid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Device model name (`pcm`, `reram`, or `-`).
+    pub device: String,
+    /// Tile grid `(k_tiles, m_tiles)`.
+    pub grid: (usize, usize),
+    /// Dataset / problem-size name (`mini`..`xlarge`, or `-`).
+    pub dataset: String,
+    /// Dispatch schedule (`sync`, `async`, `serial`, ... or `-`).
+    pub dispatch: String,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { device: "-".into(), grid: (1, 1), dataset: "-".into(), dispatch: "-".into() }
+    }
+}
+
+impl BenchConfig {
+    fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("device".into(), Value::Str(self.device.clone()));
+        m.insert(
+            "grid".into(),
+            Value::Arr(vec![Value::Num(self.grid.0 as f64), Value::Num(self.grid.1 as f64)]),
+        );
+        m.insert("dataset".into(), Value::Str(self.dataset.clone()));
+        m.insert("dispatch".into(), Value::Str(self.dispatch.clone()));
+        Value::Obj(m)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let obj = v.as_obj().ok_or("config must be an object")?;
+        let field = |k: &str| -> Result<String, String> {
+            obj.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("config.{k} must be a string"))
+        };
+        let grid = obj
+            .get("grid")
+            .and_then(Value::as_arr)
+            .filter(|a| a.len() == 2)
+            .and_then(|a| Some((a[0].as_num()? as usize, a[1].as_num()? as usize)))
+            .ok_or("config.grid must be a [k, m] pair")?;
+        Ok(BenchConfig {
+            device: field("device")?,
+            grid,
+            dataset: field("dataset")?,
+            dispatch: field("dispatch")?,
+        })
+    }
+}
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchRecord {
+    /// Record name, unique within its suite (kernel, schedule, bench id).
+    pub name: String,
+    /// Sweep configuration.
+    pub config: BenchConfig,
+    /// Host wall-clock nanoseconds spent producing this record — the
+    /// only nondeterministic field.
+    pub wall_ns: f64,
+    /// Modeled (simulated) nanoseconds; 0 for records with no run.
+    pub modeled_ns: f64,
+    /// Crossbar rows programmed (stationary-operand installs).
+    pub installs: u64,
+    /// Installs skipped via operand residency.
+    pub installs_skipped: u64,
+    /// Device-to-host syncs hoisted by the offload dataflow graph.
+    pub hoisted_syncs: u64,
+    /// Most physical tiles concurrently active in any wave.
+    pub max_tiles_active: u64,
+    /// Named metric tail (energies, improvement ratios, panel counts...),
+    /// keyed canonically (sorted). Keys ending in `_wall_ns` are compared
+    /// with the loose wall gate.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl BenchRecord {
+    /// A record with just a name; fill the rest with struct update.
+    pub fn named(name: impl Into<String>) -> Self {
+        BenchRecord { name: name.into(), ..BenchRecord::default() }
+    }
+
+    /// Appends a named metric (builder style).
+    #[must_use]
+    pub fn with_metric(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.metrics.insert(key.into(), value);
+        self
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("name".into(), Value::Str(self.name.clone()));
+        m.insert("config".into(), self.config.to_value());
+        m.insert("wall_ns".into(), Value::Num(self.wall_ns));
+        m.insert("modeled_ns".into(), Value::Num(self.modeled_ns));
+        m.insert("installs".into(), Value::Num(self.installs as f64));
+        m.insert("installs_skipped".into(), Value::Num(self.installs_skipped as f64));
+        m.insert("hoisted_syncs".into(), Value::Num(self.hoisted_syncs as f64));
+        m.insert("max_tiles_active".into(), Value::Num(self.max_tiles_active as f64));
+        m.insert(
+            "metrics".into(),
+            Value::Obj(self.metrics.iter().map(|(k, v)| (k.clone(), Value::Num(*v))).collect()),
+        );
+        Value::Obj(m)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let obj = v.as_obj().ok_or("record must be an object")?;
+        let num = |k: &str| -> Result<f64, String> {
+            obj.get(k).and_then(Value::as_num).ok_or_else(|| format!("record.{k} must be a number"))
+        };
+        let count = |k: &str| -> Result<u64, String> {
+            let n = num(k)?;
+            if n.is_finite() && n >= 0.0 && n == n.trunc() {
+                Ok(n as u64)
+            } else {
+                Err(format!("record.{k} must be a non-negative integer, got {n}"))
+            }
+        };
+        let name = obj
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("record.name must be a string")?
+            .to_string();
+        let config =
+            BenchConfig::from_value(obj.get("config").ok_or("record.config is required")?)?;
+        let metrics = obj
+            .get("metrics")
+            .and_then(Value::as_obj)
+            .ok_or("record.metrics must be an object")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_num()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("metric {k} must be a number"))
+            })
+            .collect::<Result<BTreeMap<_, _>, _>>()?;
+        Ok(BenchRecord {
+            name,
+            config,
+            wall_ns: num("wall_ns")?,
+            modeled_ns: num("modeled_ns")?,
+            installs: count("installs")?,
+            installs_skipped: count("installs_skipped")?,
+            hoisted_syncs: count("hoisted_syncs")?,
+            max_tiles_active: count("max_tiles_active")?,
+            metrics,
+        })
+    }
+}
+
+/// A suite of records — the unit one `BENCH_<suite>.json` file holds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// Suite name (`fig6_edp`, `bench_pipeline`, ...).
+    pub suite: String,
+    /// Records, in emission order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// An empty report for a suite.
+    pub fn new(suite: impl Into<String>) -> Self {
+        BenchReport { suite: suite.into(), records: Vec::new() }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: BenchRecord) {
+        self.records.push(record);
+    }
+
+    /// Serializes to the `cim-bench-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut m = BTreeMap::new();
+        m.insert("schema".into(), Value::Str(SCHEMA.into()));
+        m.insert("suite".into(), Value::Str(self.suite.clone()));
+        m.insert("records".into(), Value::Arr(self.records.iter().map(|r| r.to_value()).collect()));
+        Value::Obj(m).to_pretty()
+    }
+
+    /// Parses and schema-validates a `cim-bench-v1` document.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, wrong/missing schema tag, missing fields, wrong
+    /// field types, or duplicate record names.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("document must be an object")?;
+        match obj.get("schema").and_then(Value::as_str) {
+            Some(s) if s == SCHEMA => {}
+            Some(s) => return Err(format!("unsupported schema '{s}' (expected '{SCHEMA}')")),
+            None => return Err("missing schema tag".into()),
+        }
+        let suite =
+            obj.get("suite").and_then(Value::as_str).ok_or("suite must be a string")?.to_string();
+        let records = obj
+            .get("records")
+            .and_then(Value::as_arr)
+            .ok_or("records must be an array")?
+            .iter()
+            .map(BenchRecord::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &records {
+            if !seen.insert(&r.name) {
+                return Err(format!("duplicate record name '{}'", r.name));
+            }
+        }
+        Ok(BenchReport { suite, records })
+    }
+
+    /// Writes the report to `path` (the conventional name is
+    /// `BENCH_<suite>.json`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and validates a report file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors and anything [`BenchReport::parse`] rejects,
+    /// as text.
+    pub fn read(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// The conventional file name for this suite.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.suite)
+    }
+}
+
+/// Tolerances the perf gate applies; see the module docs for the table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Relative tolerance on modeled (deterministic) values.
+    pub modeled_rel: f64,
+    /// Relative tolerance on derived metrics (ratios, energies).
+    pub metric_rel: f64,
+    /// Wall-clock gate: fresh regresses when `fresh > base * wall_factor`.
+    pub wall_factor: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances { modeled_rel: 1e-9, metric_rel: 1e-6, wall_factor: 3.0 }
+    }
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Suite the record belongs to.
+    pub suite: String,
+    /// Record name.
+    pub record: String,
+    /// Field or metric key that regressed.
+    pub field: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// Human-readable rule that failed.
+    pub rule: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} = {} vs baseline {} ({})",
+            self.suite, self.record, self.field, self.fresh, self.baseline, self.rule
+        )
+    }
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return 0.0;
+    }
+    (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+/// Compares a fresh record against its baseline, appending regressions.
+/// `name` collisions are the caller's problem — records are matched
+/// before calling this.
+pub fn compare_records(
+    suite: &str,
+    base: &BenchRecord,
+    fresh: &BenchRecord,
+    tol: &Tolerances,
+    out: &mut Vec<Regression>,
+) {
+    let mut push = |field: &str, b: f64, f: f64, rule: String| {
+        out.push(Regression {
+            suite: suite.into(),
+            record: base.name.clone(),
+            field: field.into(),
+            baseline: b,
+            fresh: f,
+            rule,
+        });
+    };
+    if base.config != fresh.config {
+        push("config", 0.0, 0.0, "sweep configuration changed".into());
+    }
+    for (field, b, f) in [
+        ("installs", base.installs, fresh.installs),
+        ("installs_skipped", base.installs_skipped, fresh.installs_skipped),
+        ("hoisted_syncs", base.hoisted_syncs, fresh.hoisted_syncs),
+        ("max_tiles_active", base.max_tiles_active, fresh.max_tiles_active),
+    ] {
+        if b != f {
+            push(field, b as f64, f as f64, "counter must match exactly".into());
+        }
+    }
+    if rel_diff(base.modeled_ns, fresh.modeled_ns) > tol.modeled_rel {
+        push(
+            "modeled_ns",
+            base.modeled_ns,
+            fresh.modeled_ns,
+            format!("modeled time drifted beyond rel {:.0e}", tol.modeled_rel),
+        );
+    }
+    let wall_gate = |b: f64, f: f64| f.is_nan() || (b > 0.0 && f > b * tol.wall_factor);
+    if wall_gate(base.wall_ns, fresh.wall_ns) {
+        push(
+            "wall_ns",
+            base.wall_ns,
+            fresh.wall_ns,
+            format!("wall clock regressed beyond {}x", tol.wall_factor),
+        );
+    }
+    for (k, b) in &base.metrics {
+        let Some(f) = fresh.metrics.get(k) else {
+            push(k, *b, f64::NAN, "metric missing from fresh run".into());
+            continue;
+        };
+        if k.ends_with("_wall_ns") {
+            if wall_gate(*b, *f) {
+                push(k, *b, *f, format!("wall clock regressed beyond {}x", tol.wall_factor));
+            }
+        } else if rel_diff(*b, *f) > tol.metric_rel {
+            push(k, *b, *f, format!("metric drifted beyond rel {:.0e}", tol.metric_rel));
+        }
+    }
+}
+
+/// Compares two whole reports. Records present only in the fresh run
+/// are fine (new coverage); records missing from the fresh run are
+/// regressions.
+pub fn compare_reports(
+    base: &BenchReport,
+    fresh: &BenchReport,
+    tol: &Tolerances,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let fresh_by_name: BTreeMap<&str, &BenchRecord> =
+        fresh.records.iter().map(|r| (r.name.as_str(), r)).collect();
+    for b in &base.records {
+        match fresh_by_name.get(b.name.as_str()) {
+            Some(f) => compare_records(&base.suite, b, f, tol, &mut out),
+            None => out.push(Regression {
+                suite: base.suite.clone(),
+                record: b.name.clone(),
+                field: "record".into(),
+                baseline: 0.0,
+                fresh: 0.0,
+                rule: "record missing from fresh run".into(),
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut rep = BenchReport::new("fig_test");
+        rep.push(BenchRecord {
+            name: "gemm".into(),
+            config: BenchConfig {
+                device: "pcm".into(),
+                grid: (2, 2),
+                dataset: "medium".into(),
+                dispatch: "async".into(),
+            },
+            wall_ns: 1.5e6,
+            modeled_ns: 2.25e9,
+            installs: 1024,
+            installs_skipped: 96,
+            hoisted_syncs: 3,
+            max_tiles_active: 4,
+            metrics: [("energy_mj".to_string(), 12.5), ("edp_improvement_x".to_string(), 612.0)]
+                .into_iter()
+                .collect(),
+        });
+        rep.push(BenchRecord::named("mvt").with_metric("runtime_improvement_x", 0.5));
+        rep
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let rep = sample();
+        let text = rep.to_json();
+        let back = BenchReport::parse(&text).expect("parses");
+        assert_eq!(rep, back);
+        // Stable serialization: a second trip is byte-identical.
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn schema_tag_is_enforced() {
+        let text = sample().to_json().replace(SCHEMA, "cim-bench-v0");
+        let err = BenchReport::parse(&text).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(BenchReport::parse("not json").is_err());
+    }
+
+    #[test]
+    fn duplicate_record_names_rejected() {
+        let mut rep = sample();
+        rep.push(BenchRecord::named("gemm"));
+        let err = BenchReport::parse(&rep.to_json()).unwrap_err();
+        assert!(err.contains("duplicate record name"), "{err}");
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let rep = sample();
+        assert!(compare_reports(&rep, &rep, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn counter_change_is_a_regression() {
+        let base = sample();
+        let mut fresh = base.clone();
+        fresh.records[0].installs += 1;
+        let regs = compare_reports(&base, &fresh, &Tolerances::default());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "installs");
+    }
+
+    #[test]
+    fn modeled_time_is_held_tight_but_wall_is_loose() {
+        let base = sample();
+        let tol = Tolerances::default();
+        // 1% modeled drift: regression.
+        let mut fresh = base.clone();
+        fresh.records[0].modeled_ns *= 1.01;
+        assert_eq!(compare_reports(&base, &fresh, &tol).len(), 1);
+        // 2x wall drift: fine (within the 3x gate).
+        let mut fresh = base.clone();
+        fresh.records[0].wall_ns *= 2.0;
+        assert!(compare_reports(&base, &fresh, &tol).is_empty());
+        // 4x wall drift: regression.
+        fresh.records[0].wall_ns = base.records[0].wall_ns * 4.0;
+        let regs = compare_reports(&base, &fresh, &tol);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "wall_ns");
+        // Faster wall clock is never a regression.
+        let mut fresh = base.clone();
+        fresh.records[0].wall_ns *= 0.01;
+        assert!(compare_reports(&base, &fresh, &tol).is_empty());
+    }
+
+    #[test]
+    fn missing_record_and_metric_are_regressions() {
+        let base = sample();
+        let mut fresh = base.clone();
+        fresh.records.pop();
+        let regs = compare_reports(&base, &fresh, &Tolerances::default());
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].rule.contains("missing"));
+
+        let mut fresh = base.clone();
+        fresh.records[0].metrics.remove("energy_mj");
+        let regs = compare_reports(&base, &fresh, &Tolerances::default());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "energy_mj");
+    }
+
+    #[test]
+    fn extra_fresh_records_are_not_regressions() {
+        let base = sample();
+        let mut fresh = base.clone();
+        fresh.push(BenchRecord::named("new-coverage"));
+        assert!(compare_reports(&base, &fresh, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let rep = sample();
+        let dir = std::env::temp_dir().join("cim_report_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(rep.file_name());
+        rep.write(&path).expect("writes");
+        let back = BenchReport::read(&path).expect("reads");
+        assert_eq!(rep, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

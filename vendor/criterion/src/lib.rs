@@ -9,10 +9,21 @@
 //! Measurement is intentionally simple: each benchmark runs a short
 //! warm-up, then `sample_size` timed samples of a fixed iteration
 //! batch, and prints the median per-iteration time. There are no HTML
-//! reports, no outlier analysis, and no saved baselines (see
-//! `vendor/README.md`).
+//! reports and no outlier analysis (see `vendor/README.md`) — but when
+//! the bench binary is invoked with `--json <path>` (i.e. `cargo bench
+//! --bench NAME -- --json out.json`), the medians are also written as a
+//! `cim-bench-v1` report, the same machine-readable schema the figure
+//! binaries emit (`crates/report`), so the `bench_compare` perf gate
+//! can diff micro-benchmarks and figures uniformly. The JSON is
+//! hand-rolled here to keep this vendored crate dependency-free.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Medians accumulated across every group in the current bench binary,
+/// as `(benchmark id, median ns/iter)`. Written by [`maybe_write_json`]
+/// at the end of `criterion_main!`.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Opaque value barrier, re-exported for call sites that import it from
 /// criterion rather than `std::hint`.
@@ -104,6 +115,77 @@ fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     f(&mut bench);
     let median = bench.medians_ns.last().copied().unwrap_or(f64::NAN);
     println!("{id:<48} time: [{}]  ({iters} iters/sample)", human(median));
+    RESULTS.lock().expect("results poisoned").push((id.to_string(), median));
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes every median recorded so far as a `cim-bench-v1` report to
+/// `path`. Each benchmark id becomes one record with the median in
+/// `wall_ns` (nondeterministic, so the perf gate's loose ratio rule
+/// applies); modeled time and counters stay zero.
+pub fn write_json(suite: &str, path: &str) {
+    let results = RESULTS.lock().expect("results poisoned");
+    let mut out = String::new();
+    out.push_str("{\n  \"records\": [");
+    for (i, (id, median)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let wall = if median.is_finite() { format!("{median}") } else { "null".into() };
+        out.push_str(&format!(
+            "\n    {{\n      \"config\": {{\"dataset\": \"-\", \"device\": \"-\", \
+             \"dispatch\": \"-\", \"grid\": [1, 1]}},\n      \
+             \"hoisted_syncs\": 0,\n      \"installs\": 0,\n      \
+             \"installs_skipped\": 0,\n      \"max_tiles_active\": 0,\n      \
+             \"metrics\": {{}},\n      \"modeled_ns\": 0,\n      \
+             \"name\": \"{}\",\n      \"wall_ns\": {wall}\n    }}",
+            json_escape(id)
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"schema\": \"cim-bench-v1\",\n  \"suite\": \"{}\"\n}}",
+        json_escape(suite)
+    ));
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {path} ({} records)", results.len());
+}
+
+/// `criterion_main!` epilogue: honors `--json <path>` from argv, naming
+/// the suite `bench_<binary stem>` (cargo's trailing `-<hash>` removed).
+pub fn maybe_write_json_from_argv() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args.iter().enumerate().find_map(|(i, a)| {
+        a.strip_prefix("--json=")
+            .map(str::to_string)
+            .or_else(|| (a == "--json").then(|| args.get(i + 1).cloned()).flatten())
+    });
+    let Some(path) = path else { return };
+    let stem = std::path::Path::new(&args[0])
+        .file_stem()
+        .map_or_else(|| "unknown".into(), |s| s.to_string_lossy().into_owned());
+    // cargo bench binaries are named `<bench>-<16 hex digits>`.
+    let stem = match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    };
+    write_json(&format!("bench_{stem}"), &path);
 }
 
 /// Entry point mirroring `criterion::Criterion`.
@@ -181,6 +263,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::maybe_write_json_from_argv();
         }
     };
 }
@@ -219,5 +302,18 @@ mod tests {
     #[test]
     fn criterion_group_macro_compiles_and_runs() {
         demo_group();
+    }
+
+    #[test]
+    fn json_sink_emits_schema_and_escapes_ids() {
+        let mut c = Criterion::default();
+        c.bench_function("json\"sink\"/case", |b| b.iter(|| spin(black_box(10))));
+        let path = std::env::temp_dir().join("criterion_json_sink_test.json");
+        write_json("bench_demo", path.to_str().expect("utf-8 temp path"));
+        let text = std::fs::read_to_string(&path).expect("written");
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"schema\": \"cim-bench-v1\""), "{text}");
+        assert!(text.contains("\"suite\": \"bench_demo\""), "{text}");
+        assert!(text.contains("json\\\"sink\\\"/case"), "{text}");
     }
 }
