@@ -2,6 +2,11 @@
 
 use cim_pcm::{AdcConfig, CellConfig, DeviceKind, Fidelity, PcmEnergyModel};
 
+/// Most per-tile DMA channels a configuration may request: the driver
+/// surfaces per-channel busy time in a fixed-size
+/// `cim_runtime`-side array, so the knob is bounded.
+pub const MAX_DMA_CHANNELS: usize = 8;
+
 /// Static configuration of the CIM accelerator.
 ///
 /// Besides the per-tile crossbar geometry, the configuration carries two
@@ -96,6 +101,15 @@ pub struct AccelConfig {
     pub double_buffering: bool,
     /// Maximum number of timeline events retained.
     pub timeline_capacity: usize,
+    /// Per-tile DMA channels feeding the crossbar install path. With one
+    /// channel (the default, the paper's single modeled bus) every block
+    /// gather of a wave serializes behind the previous one; with `c`
+    /// channels a block destined for tile `t` of its wave queues on
+    /// channel `t mod c`, so installs on disjoint tiles overlap their
+    /// gathers. Bounded by [`MAX_DMA_CHANNELS`]. Row programming was
+    /// always parallel across tiles; this knob only de-serializes the
+    /// DMA leg of [`crate::shard::InstallClock`].
+    pub dma_channels: usize,
     /// Host threads used to simulate independent tiles of one wave.
     /// `0` = auto (use the host's available parallelism when the wave is
     /// wide enough to pay for thread spawns), `1` = always serial, `n > 1`
@@ -120,6 +134,7 @@ impl Default for AccelConfig {
             fidelity: Fidelity::Exact,
             double_buffering: true,
             timeline_capacity: 4096,
+            dma_channels: 1,
             sim_threads: 0,
         }
     }
@@ -156,6 +171,23 @@ impl AccelConfig {
         AccelConfig { grid: (k_tiles, m_tiles), ..self }
     }
 
+    /// Sets the number of per-tile DMA channels feeding the install
+    /// path. `1` (the default) is the paper's single serial bus; more
+    /// channels let a wave's block gathers on distinct tiles overlap.
+    ///
+    /// ```
+    /// use cim_accel::AccelConfig;
+    ///
+    /// let cfg = AccelConfig::test_small().with_dma_channels(4);
+    /// assert_eq!(cfg.dma_channels, 4);
+    /// // The default stays the single serial install bus.
+    /// assert_eq!(AccelConfig::test_small().dma_channels, 1);
+    /// cfg.validate();
+    /// ```
+    pub fn with_dma_channels(self, channels: usize) -> Self {
+        AccelConfig { dma_channels: channels, ..self }
+    }
+
     /// Sets the host-side tile-simulation worker count (`0` = auto,
     /// `1` = serial, `n > 1` = force `n` workers). Purely a simulator
     /// throughput knob — modeled results never depend on it.
@@ -187,6 +219,10 @@ impl AccelConfig {
         assert!(self.rows > 0 && self.cols > 0, "crossbar must be non-empty");
         assert!(self.grid.0 > 0 && self.grid.1 > 0, "tile grid must be non-empty");
         assert!(self.buffer_bytes > 0, "buffers must be non-empty");
+        assert!(
+            (1..=MAX_DMA_CHANNELS).contains(&self.dma_channels),
+            "dma_channels must be in 1..={MAX_DMA_CHANNELS}"
+        );
         assert_eq!(self.cell.bits, 4, "8-bit cells are built from two 4-bit devices");
     }
 }
@@ -235,5 +271,25 @@ mod tests {
     #[should_panic(expected = "tile grid")]
     fn zero_grid_panics() {
         AccelConfig::default().with_grid(0, 1).validate();
+    }
+
+    #[test]
+    fn dma_channel_builder_bounds() {
+        let c = AccelConfig::default().with_dma_channels(4);
+        assert_eq!(c.dma_channels, 4);
+        c.validate();
+        AccelConfig::default().with_dma_channels(MAX_DMA_CHANNELS).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dma_channels")]
+    fn zero_dma_channels_panics() {
+        AccelConfig::default().with_dma_channels(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dma_channels")]
+    fn oversized_dma_channels_panics() {
+        AccelConfig::default().with_dma_channels(MAX_DMA_CHANNELS + 1).validate();
     }
 }

@@ -36,6 +36,7 @@ struct InstallJob {
     key: TileKey,
     idx: usize,
     lane: (usize, usize),
+    ch: usize,
     g: Vec<f32>,
     kt: usize,
     mt: usize,
@@ -311,7 +312,8 @@ impl CimAccelerator {
         t0: SimTime,
         t: SimTime,
     ) -> SimTime {
-        let mut clock = InstallClock::default();
+        let channels = self.cfg.dma_channels;
+        let mut clock = InstallClock::with_channels(channels);
         let mut jobs: Vec<InstallJob> = Vec::new();
         for ms in &wave.m_spans {
             for ks in &wave.k_spans {
@@ -352,12 +354,16 @@ impl CimAccelerator {
                 }
                 let tile_bytes = (kt * mt * 4) as u64;
                 let dma_t = self.bus_cfg.dma_time(tile_bytes);
+                // Per-tile DMA channel: the wave-local tile picks its
+                // channel, identically replayed by the estimator.
+                let ch = (ks.lane * region.shape.1 + ms.lane) % channels;
                 self.buffers.stage(BufferKind::Column, kt * mt);
                 self.stats.buffers += self.cfg.energy.buffer_energy(2 * (kt * mt) as u64);
-                jobs.push(InstallJob { key, idx, lane, g, kt, mt, m0, k0, dma_t });
+                jobs.push(InstallJob { key, idx, lane, ch, g, kt, mt, m0, k0, dma_t });
             }
         }
         let receipts = self.install_jobs(&jobs);
+        let mut channel_mask = 0u32;
         for (job, receipt) in jobs.iter().zip(&receipts) {
             debug_assert!(!receipt.resident_hit);
             let install_t = self.cfg.energy.write_time(receipt.rows_programmed);
@@ -366,7 +372,9 @@ impl CimAccelerator {
             self.stats.crossbar_write += self.cfg.energy.write_energy(receipt.cells_written);
             self.stats.install_time += install_t;
             self.stats.dma_exposed_time += job.dma_t;
-            let program_start = clock.add(job.dma_t, install_t);
+            self.channel_busy[job.ch] += job.dma_t;
+            channel_mask |= 1 << job.ch;
+            let program_start = clock.add_on(job.ch, job.dma_t, install_t);
             self.timeline.push_on(
                 EventKind::WriteCrossbar,
                 Some(job.lane),
@@ -376,6 +384,8 @@ impl CimAccelerator {
                 format!("install A tile m0={} k0={} ({}x{})", job.m0, job.k0, job.kt, job.mt),
             );
         }
+        self.stats.max_dma_channels_active =
+            self.stats.max_dma_channels_active.max(u64::from(channel_mask.count_ones()));
         clock.finish()
     }
 

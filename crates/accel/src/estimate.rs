@@ -33,6 +33,9 @@ pub struct OpEstimate {
     pub dma_bytes: u64,
     /// Most physical tiles concurrently active in any sharding wave.
     pub parallel_tiles: u64,
+    /// Most per-tile DMA channels concurrently gathering in any install
+    /// wave (mirrors `AccelStats::max_dma_channels_active`).
+    pub dma_channels_active: u64,
 }
 
 impl OpEstimate {
@@ -47,6 +50,7 @@ impl OpEstimate {
         self.macs += o.macs;
         self.dma_bytes += o.dma_bytes;
         self.parallel_tiles = self.parallel_tiles.max(o.parallel_tiles);
+        self.dma_channels_active = self.dma_channels_active.max(o.dma_channels_active);
     }
 
     /// Crossbar write traffic in bytes (one byte per 8-bit cell write).
@@ -115,9 +119,11 @@ fn estimate_gemm_on(
     let mut est = OpEstimate::default();
     for wave in &plan_waves(tr, tc, grid, m, k) {
         est.parallel_tiles = est.parallel_tiles.max(wave.tiles_active() as u64);
-        // Install phase: serial DMA, parallel programming (see
-        // `CimAccelerator::install_wave`).
-        let mut clock = InstallClock::default();
+        // Install phase: per-channel serial DMA, parallel programming
+        // (see `CimAccelerator::install_wave`).
+        let channels = cfg.dma_channels;
+        let mut clock = InstallClock::with_channels(channels);
+        let mut channel_mask = 0u32;
         for ms in &wave.m_spans {
             for ks in &wave.k_spans {
                 if a_resident {
@@ -126,7 +132,9 @@ fn estimate_gemm_on(
                 }
                 let (kt, mt) = (ks.len, ms.len);
                 let tile_bytes = (kt * mt * 4) as u64;
-                clock.add(bus.dma_time(tile_bytes), e.write_time(kt as u64));
+                let ch = (ks.lane * grid.1 + ms.lane) % channels;
+                channel_mask |= 1 << ch;
+                clock.add_on(ch, bus.dma_time(tile_bytes), e.write_time(kt as u64));
                 est.energy +=
                     e.write_energy((kt * mt) as u64) + e.buffer_energy(2 * (kt * mt) as u64);
                 est.cell_writes += (kt * mt) as u64;
@@ -134,6 +142,7 @@ fn estimate_gemm_on(
                 est.dma_bytes += tile_bytes;
             }
         }
+        est.dma_channels_active = est.dma_channels_active.max(u64::from(channel_mask.count_ones()));
         est.time += clock.finish();
         // Compute phase: one step per B column, all tiles in parallel.
         let reads_c = !(wave.first_k && beta_zero);
@@ -224,6 +233,7 @@ pub fn estimate_gemm_batched(
         est.gemvs += g.gemvs;
         est.macs += g.macs;
         est.dma_bytes += g.dma_bytes;
+        est.dma_channels_active = est.dma_channels_active.max(g.dma_channels_active);
         chain[r] += g.time;
         round_tiles += g.parallel_tiles;
     }

@@ -60,7 +60,7 @@ pub mod tile;
 pub mod timeline;
 
 pub use cim_pcm::{DeviceKind, DeviceModel};
-pub use config::AccelConfig;
+pub use config::{AccelConfig, MAX_DMA_CHANNELS};
 pub use engine::{ConvParams, EngineError, GemmParams};
 pub use estimate::OpEstimate;
 pub use shard::{partition_grid, GridRegion};
@@ -90,6 +90,9 @@ pub struct CimAccelerator {
     pub(crate) regs: ContextRegisters,
     pub(crate) timeline: Timeline,
     pub(crate) stats: AccelStats,
+    /// Cumulative install-gather DMA time per per-tile channel
+    /// (`cfg.dma_channels` entries).
+    pub(crate) channel_busy: Vec<SimTime>,
     pub(crate) generation: u64,
     /// Next logical command id (monotonic across the device's lifetime).
     pub(crate) cmd_seq: u64,
@@ -113,6 +116,7 @@ impl CimAccelerator {
             regs: ContextRegisters::new(),
             timeline: Timeline::new(cfg.timeline_capacity),
             stats: AccelStats::default(),
+            channel_busy: vec![SimTime::ZERO; cfg.dma_channels],
             generation: 0,
             cmd_seq: 0,
             last_cmd: 0,
@@ -217,8 +221,17 @@ impl CimAccelerator {
     /// Resets statistics (not residency or the timeline).
     pub fn reset_stats(&mut self) {
         self.stats = AccelStats::default();
+        self.channel_busy = vec![SimTime::ZERO; self.cfg.dma_channels];
         self.buffers.reset();
         self.dma.reset();
+    }
+
+    /// Cumulative install-gather DMA time queued on each per-tile DMA
+    /// channel (one entry per configured channel). With the default
+    /// single channel this equals the serial install bus occupancy; the
+    /// driver mirrors it into `DriverStats` on every batched poll.
+    pub fn dma_channel_busy(&self) -> &[SimTime] {
+        &self.channel_busy
     }
 
     /// Recorded event timeline.

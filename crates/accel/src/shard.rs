@@ -19,24 +19,60 @@
 use cim_machine::units::SimTime;
 
 /// Pipelined clock of one wave's install phase: block DMA gathers
-/// serialize on the shared bus while row programming runs in parallel
+/// serialize *per channel* while row programming runs in parallel
 /// across the wave's tiles, so the phase ends when the last tile whose
-/// DMA completed also finishes programming. The single timing formula
-/// shared by the micro-engine and the analytic estimator.
-#[derive(Debug, Default, Clone, Copy, PartialEq)]
+/// DMA completed also finishes programming. With one channel (the
+/// default) every gather queues on the same modeled bus — the paper's
+/// behavior; with `c` channels a wave's gathers on distinct tiles
+/// overlap (each tile's traffic lands on channel `tile mod c`). The
+/// single timing formula shared by the micro-engine and the analytic
+/// estimator.
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstallClock {
-    dma_clock: SimTime,
+    dma_clocks: Vec<SimTime>,
     finish: SimTime,
 }
 
+impl Default for InstallClock {
+    /// One channel: the historical fully-serial install bus.
+    fn default() -> Self {
+        InstallClock::with_channels(1)
+    }
+}
+
 impl InstallClock {
-    /// Accounts one block install (`dma_t` bus time, then `program_t` of
-    /// row programming on that block's tile). Returns the time the
-    /// block's DMA completes — when its tile starts programming.
+    /// A clock with `channels` independent DMA channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channels` is zero.
+    pub fn with_channels(channels: usize) -> Self {
+        assert!(channels > 0, "install clock needs at least one DMA channel");
+        InstallClock { dma_clocks: vec![SimTime::ZERO; channels], finish: SimTime::ZERO }
+    }
+
+    /// Number of DMA channels.
+    pub fn channels(&self) -> usize {
+        self.dma_clocks.len()
+    }
+
+    /// Accounts one block install on channel 0 (`dma_t` bus time, then
+    /// `program_t` of row programming on that block's tile). Returns the
+    /// time the block's DMA completes — when its tile starts programming.
     pub fn add(&mut self, dma_t: SimTime, program_t: SimTime) -> SimTime {
-        self.dma_clock += dma_t;
-        self.finish = self.finish.max(self.dma_clock + program_t);
-        self.dma_clock
+        self.add_on(0, dma_t, program_t)
+    }
+
+    /// As [`InstallClock::add`], with the gather queued on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is out of range.
+    pub fn add_on(&mut self, channel: usize, dma_t: SimTime, program_t: SimTime) -> SimTime {
+        let clock = &mut self.dma_clocks[channel];
+        *clock += dma_t;
+        self.finish = self.finish.max(*clock + program_t);
+        *clock
     }
 
     /// Duration of the whole install phase (zero if nothing installed).
@@ -248,6 +284,39 @@ pub fn plan_waves(rows: usize, cols: usize, grid: (usize, usize), m: usize, k: u
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn install_clock_single_channel_serializes() {
+        let mut c = InstallClock::default();
+        assert_eq!(c.channels(), 1);
+        let dma = SimTime::from_ns(10.0);
+        let prog = SimTime::from_ns(100.0);
+        // Two blocks: DMAs queue back to back, programming overlaps.
+        assert_eq!(c.add(dma, prog), dma);
+        assert_eq!(c.add(dma, prog), dma * 2.0);
+        assert_eq!(c.finish(), dma * 2.0 + prog);
+    }
+
+    #[test]
+    fn install_clock_channels_overlap_gathers() {
+        // Same two blocks on two channels: both DMAs run concurrently,
+        // so the phase ends one DMA + one program after it starts.
+        let dma = SimTime::from_ns(10.0);
+        let prog = SimTime::from_ns(100.0);
+        let mut c = InstallClock::with_channels(2);
+        assert_eq!(c.add_on(0, dma, prog), dma);
+        assert_eq!(c.add_on(1, dma, prog), dma);
+        assert_eq!(c.finish(), dma + prog);
+        // A third block reuses channel 0 and queues behind its gather.
+        assert_eq!(c.add_on(0, dma, prog), dma * 2.0);
+        assert_eq!(c.finish(), dma * 2.0 + prog);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one DMA channel")]
+    fn install_clock_rejects_zero_channels() {
+        let _ = InstallClock::with_channels(0);
+    }
 
     #[test]
     fn single_tile_grid_replays_block_walk() {

@@ -24,6 +24,10 @@ pub struct AccelStats {
     /// Most physical tiles concurrently active in any sharding wave (1
     /// for single-tile runs, up to `grid.0 * grid.1` for sharded GEMMs).
     pub max_tiles_active: u64,
+    /// Most per-tile DMA channels concurrently gathering in any install
+    /// wave (0 until a wave installs, 1 on the default serial bus, up to
+    /// `AccelConfig::dma_channels`).
+    pub max_dma_channels_active: u64,
     /// Analog compute energy (200 fJ per active cell).
     pub crossbar_compute: Energy,
     /// Cell programming energy (200 pJ per cell).
@@ -75,6 +79,7 @@ impl AccelStats {
         self.install_skips += o.install_skips;
         self.macs += o.macs;
         self.max_tiles_active = self.max_tiles_active.max(o.max_tiles_active);
+        self.max_dma_channels_active = self.max_dma_channels_active.max(o.max_dma_channels_active);
         self.crossbar_compute += o.crossbar_compute;
         self.crossbar_write += o.crossbar_write;
         self.mixed_signal += o.mixed_signal;
@@ -98,6 +103,7 @@ impl fmt::Display for AccelStats {
         writeln!(f, "  macs             {:>12}", self.macs)?;
         writeln!(f, "  macs/write       {:>12.2}", self.macs_per_write())?;
         writeln!(f, "  max tiles active {:>12}", self.max_tiles_active)?;
+        writeln!(f, "  max dma channels {:>12}", self.max_dma_channels_active)?;
         writeln!(f, "  E crossbar compute {}", self.crossbar_compute)?;
         writeln!(f, "  E crossbar write   {}", self.crossbar_write)?;
         writeln!(f, "  E mixed signal     {}", self.mixed_signal)?;

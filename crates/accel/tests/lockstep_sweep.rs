@@ -28,11 +28,20 @@ fn alloc_mat(mach: &mut Machine, data: &[f32]) -> u64 {
 /// 8x8 tiles of the selected device technology: small enough that the
 /// shape axis exercises multi-wave sharding, with the device's real
 /// energy/latency constants.
-fn sweep_config(device: DeviceKind, grid: (usize, usize), fidelity: Fidelity) -> AccelConfig {
+fn sweep_config(
+    device: DeviceKind,
+    grid: (usize, usize),
+    fidelity: Fidelity,
+    dma_channels: usize,
+) -> AccelConfig {
     let base =
         AccelConfig { rows: 8, cols: 8, buffer_bytes: 64, ..AccelConfig::for_device(device) };
-    AccelConfig { fidelity, ..base }.with_grid(grid.0, grid.1)
+    AccelConfig { fidelity, ..base }.with_grid(grid.0, grid.1).with_dma_channels(dma_channels)
 }
+
+/// The per-tile DMA channel counts the sweeps exercise (serial bus,
+/// partially and fully de-serialized installs).
+const CHANNEL_SWEEP: [usize; 3] = [1, 2, 4];
 
 fn arm_gemm(
     acc: &mut CimAccelerator,
@@ -120,6 +129,7 @@ fn assert_lockstep(
         ("install_skips", stats.install_skips, est.install_skips),
         ("macs", stats.macs, est.macs),
         ("max_tiles_active", stats.max_tiles_active, est.parallel_tiles),
+        ("max_dma_channels_active", stats.max_dma_channels_active, est.dma_channels_active),
     ] {
         prop_assert!(
             engine == estimator,
@@ -148,11 +158,33 @@ fn assert_lockstep(
     Ok(())
 }
 
+/// Deterministic anchor for the channel model: a full 2x2 wave on four
+/// channels overlaps all four gathers (engine and estimator agree on the
+/// channel count and stay in lockstep), and de-serializing the install
+/// bus strictly shortens the run.
+#[test]
+fn four_channels_overlap_disjoint_tile_installs() {
+    let shape = (16, 2, 16); // 2x2 blocks of 8x8 tiles: one 4-tile wave
+    let bus = MachineConfig::test_small().bus;
+    let mut durs = Vec::new();
+    for channels in CHANNEL_SWEEP {
+        let cfg = sweep_config(DeviceKind::Pcm, (2, 2), Fidelity::Exact, channels);
+        let (stats, dur) = run_engine(cfg, shape, 0.0, None);
+        assert_eq!(stats.max_dma_channels_active, channels.min(4) as u64);
+        let est = estimate_gemm(&cfg, &bus, shape.0, shape.1, shape.2, false, false);
+        assert_eq!(est.dma_channels_active, stats.max_dma_channels_active);
+        assert!((dur.as_ns() - est.time.as_ns()).abs() < 1e-6, "{dur} vs {}", est.time);
+        durs.push(dur);
+    }
+    assert!(durs[1] < durs[0], "2 channels must beat the serial bus");
+    assert!(durs[2] < durs[1], "4 channels must beat 2");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
     /// Single-GEMM dispatch: engine == estimator over device x grid x
-    /// shape x fidelity x beta.
+    /// shape x fidelity x beta x DMA channel count.
     #[test]
     fn single_gemm_engine_matches_estimator(
         device_ix in 0usize..DeviceKind::ALL.len(),
@@ -163,15 +195,18 @@ proptest! {
         k in 1usize..20,
         int8 in proptest::bool::ANY,
         beta_zero in proptest::bool::ANY,
+        ch_ix in 0usize..CHANNEL_SWEEP.len(),
     ) {
         let device = DeviceKind::ALL[device_ix];
         let fidelity = if int8 { Fidelity::Int8 } else { Fidelity::Exact };
-        let cfg = sweep_config(device, (gk, gm), fidelity);
+        let channels = CHANNEL_SWEEP[ch_ix];
+        let cfg = sweep_config(device, (gk, gm), fidelity, channels);
         let beta = if beta_zero { 0.0 } else { 0.5 };
         let (stats, dur) = run_engine(cfg, (m, n, k), beta, None);
         let bus = MachineConfig::test_small().bus;
         let est = estimate_gemm(&cfg, &bus, m, n, k, beta_zero, false);
-        let label = format!("{device:?} grid={gk}x{gm} m={m} n={n} k={k} {fidelity:?}");
+        let label =
+            format!("{device:?} grid={gk}x{gm} m={m} n={n} k={k} {fidelity:?} ch={channels}");
         assert_lockstep(&stats, dur, &est, &label)?;
     }
 
@@ -187,14 +222,17 @@ proptest! {
         k in 1usize..12,
         count in 1usize..5,
         share_a in proptest::bool::ANY,
+        ch_ix in 0usize..CHANNEL_SWEEP.len(),
     ) {
         let device = DeviceKind::ALL[device_ix];
-        let cfg = sweep_config(device, (gk, gm), Fidelity::Exact);
+        let channels = CHANNEL_SWEEP[ch_ix];
+        let cfg = sweep_config(device, (gk, gm), Fidelity::Exact, channels);
         let (stats, dur) = run_engine(cfg, (m, n, k), 0.0, Some((count, share_a)));
         let bus = MachineConfig::test_small().bus;
         let est = estimate_gemm_batched(&cfg, &bus, m, n, k, true, count, share_a);
         let label = format!(
-            "{device:?} grid={gk}x{gm} m={m} n={n} k={k} count={count} share_a={share_a}"
+            "{device:?} grid={gk}x{gm} m={m} n={n} k={k} count={count} share_a={share_a} \
+             ch={channels}"
         );
         assert_lockstep(&stats, dur, &est, &label)?;
     }

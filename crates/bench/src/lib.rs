@@ -9,7 +9,11 @@
 //! * `fig7_overlap` — host/accelerator overlap under async dispatch;
 //! * `fig8_workloads` — the workload axis beyond PolyBench: the
 //!   inference-style GEMM-chain suite and the streamed XLarge GEMM
-//!   (see `docs/WORKLOADS.md`).
+//!   (see `docs/WORKLOADS.md`);
+//! * `fig9_dataflow` — the offload dataflow graph: sync hoisting,
+//!   h2d elision and operand residency on the multi-head chain;
+//! * `fig10_reactor` — reactor doorbell batching vs per-future
+//!   polling, and the per-tile DMA channel sweep.
 //!
 //! Every binary accepts `--help` and lists its valid flag values.
 //!

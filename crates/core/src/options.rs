@@ -90,6 +90,29 @@ impl ExecOptions {
         self
     }
 
+    /// Sets the number of per-tile DMA channels the modeled device uses
+    /// to install stationary operands — the fig10 sweep knob. With more
+    /// than one channel, crossbar installs on disjoint tiles of a wave
+    /// gather concurrently instead of serializing on one bus.
+    ///
+    /// ```
+    /// use tdo_cim::ExecOptions;
+    ///
+    /// let opts = ExecOptions::default().with_dma_channels(4);
+    /// assert_eq!(opts.accel.dma_channels, 4);
+    /// // The default remains the paper's single shared DMA bus.
+    /// assert_eq!(ExecOptions::default().accel.dma_channels, 1);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`cim_accel::AccelConfig::validate`]) when `channels`
+    /// is zero or exceeds [`cim_accel::MAX_DMA_CHANNELS`].
+    pub fn with_dma_channels(mut self, channels: usize) -> Self {
+        self.accel = self.accel.with_dma_channels(channels);
+        self
+    }
+
     /// Resizes the CMA carve-out for workloads whose device-destined
     /// working set exceeds the platform default — e.g. XLarge GEMM
     /// chains, where `batch * layers` activation matrices plus weights
@@ -158,6 +181,13 @@ mod tests {
         assert_eq!(e.accel.device, cim_pcm::DeviceKind::Reram);
         assert_eq!(e.accel.grid, (2, 2));
         assert_eq!(e.accel.rows, 256);
+    }
+
+    #[test]
+    fn dma_channel_builder() {
+        let e = ExecOptions::default().with_dma_channels(4);
+        assert_eq!(e.accel.dma_channels, 4);
+        e.accel.validate();
     }
 
     #[test]

@@ -15,12 +15,13 @@
 //! offloading in Fig. 6.
 
 use cim_accel::regs::{Reg, Status};
-use cim_accel::{AccelConfig, CimAccelerator, DeviceKind, GridRegion};
+use cim_accel::{AccelConfig, CimAccelerator, DeviceKind, GridRegion, MAX_DMA_CHANNELS};
 use cim_machine::cpu::InstClass;
 use cim_machine::units::SimTime;
 use cim_machine::Machine;
 
 use crate::error::CimError;
+use crate::reactor::{CmdRecord, Reactor};
 
 /// How the host waits for accelerator completion.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -101,6 +102,16 @@ pub struct DriverConfig {
     /// Tile-grid override `(k_tiles, m_tiles)`: when set, the context
     /// reshapes the accelerator's tile array.
     pub tile_grid: Option<(usize, usize)>,
+    /// Completion reactor: batch status reads across all in-flight
+    /// commands through ring-buffer submission/completion queues (the
+    /// default). When off, every [`CimDriver::sync`] runs its own
+    /// per-future wait loop against the status register — the
+    /// pre-reactor behavior, kept as the differential-test reference.
+    pub reactor: bool,
+    /// Slots in each reactor ring. Submissions finding the ring full
+    /// stall the host (counted in [`DriverStats::queue_full_stalls`])
+    /// until the pinning command's doorbell is claimed.
+    pub queue_capacity: usize,
 }
 
 impl Default for DriverConfig {
@@ -115,6 +126,8 @@ impl Default for DriverConfig {
             flush: FlushMode::Ranges,
             device: None,
             tile_grid: None,
+            reactor: true,
+            queue_capacity: 64,
         }
     }
 }
@@ -126,7 +139,9 @@ impl DriverConfig {
     ///
     /// [`CimError::InvalidArg`] for a [`WaitPolicy::Poll`] interval below
     /// [`MIN_POLL_INTERVAL_NS`] — a zero interval would divide the poll
-    /// count by zero and bill infinite poll instructions.
+    /// count by zero and bill infinite poll instructions — or for a
+    /// zero [`DriverConfig::queue_capacity`], which could never admit a
+    /// submission.
     pub fn validate(&self) -> Result<(), CimError> {
         if let WaitPolicy::Poll { interval, .. } = self.wait {
             if interval.as_ns() < MIN_POLL_INTERVAL_NS {
@@ -134,6 +149,11 @@ impl DriverConfig {
                     "poll interval {interval} is below the {MIN_POLL_INTERVAL_NS} ns minimum"
                 )));
             }
+        }
+        if self.queue_capacity == 0 {
+            return Err(CimError::InvalidArg(
+                "queue_capacity must hold at least one command".into(),
+            ));
         }
         Ok(())
     }
@@ -173,6 +193,23 @@ pub struct DriverStats {
     pub idle_wait_time: SimTime,
     /// Number of accelerator invocations (submits included).
     pub invocations: u64,
+    /// Completion-status reads of any kind: PMIO status-register reads
+    /// plus batched completion-queue head reads. The reactor's win is
+    /// this counter collapsing — one CQ read services every in-flight
+    /// command where the per-future wait loops each paid their own.
+    pub status_reads: u64,
+    /// Batched completion-queue sweeps the reactor performed.
+    pub batched_polls: u64,
+    /// Completions delivered by those sweeps (ratio to
+    /// [`DriverStats::batched_polls`] = completions per poll).
+    pub completions_polled: u64,
+    /// Submissions that found the submission ring full and stalled the
+    /// host until a slot freed (queue-full backpressure).
+    pub queue_full_stalls: u64,
+    /// Cumulative busy time of each per-tile DMA channel, mirrored from
+    /// the accelerator at every reactor sweep. Channels beyond
+    /// `AccelConfig::dma_channels` stay zero.
+    pub dma_channel_busy: [SimTime; MAX_DMA_CHANNELS],
 }
 
 impl DriverStats {
@@ -306,11 +343,18 @@ impl DispatchQueue {
 }
 
 /// The kernel driver.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CimDriver {
     cfg: DriverConfig,
     stats: DriverStats,
     queue: DispatchQueue,
+    reactor: Reactor,
+}
+
+impl Default for CimDriver {
+    fn default() -> Self {
+        CimDriver::new(DriverConfig::default())
+    }
 }
 
 impl CimDriver {
@@ -324,12 +368,22 @@ impl CimDriver {
         if let Err(e) = cfg.validate() {
             panic!("invalid driver configuration: {e}");
         }
-        CimDriver { cfg, stats: DriverStats::default(), queue: DispatchQueue::default() }
+        CimDriver {
+            cfg,
+            stats: DriverStats::default(),
+            queue: DispatchQueue::default(),
+            reactor: Reactor::new(cfg.queue_capacity),
+        }
     }
 
     /// The dispatch queue (in-flight command inspection).
     pub fn queue(&self) -> &DispatchQueue {
         &self.queue
+    }
+
+    /// The completion reactor (ring-state inspection).
+    pub fn reactor(&self) -> &Reactor {
+        &self.reactor
     }
 
     /// Driver configuration.
@@ -418,6 +472,78 @@ impl CimDriver {
         mach.core.retire(InstClass::Other, insts);
     }
 
+    /// Charges a polled wait of `remaining` to the host: the core idles
+    /// between periodic wake-ups and the wake-up instructions overlap
+    /// the wait window, so exactly `remaining` elapses. (The historical
+    /// accounting appended the poll instructions *after* the idle wait,
+    /// so a wait completing on its first status read still overshot the
+    /// completion instant by a full poll's instruction time.) Returns
+    /// the number of polls; the caller bills the status reads.
+    fn charge_polled_wait(
+        &mut self,
+        mach: &mut Machine,
+        remaining: SimTime,
+        interval: SimTime,
+        insts_per_poll: u64,
+    ) -> u64 {
+        // Clamped defensively: see `MIN_POLL_INTERVAL_NS`.
+        let iv_ns = interval.as_ns().max(MIN_POLL_INTERVAL_NS);
+        let polls = (remaining.as_ns() / iv_ns).ceil().max(1.0) as u64;
+        let before = mach.core.elapsed();
+        mach.core.retire(InstClass::Other, polls * insts_per_poll);
+        let inst_time = mach.core.elapsed() - before;
+        if remaining > inst_time {
+            mach.core.idle_wait(remaining - inst_time);
+        }
+        self.stats.idle_wait_time += remaining;
+        polls
+    }
+
+    /// One batched host sweep of the completion queue, billed as
+    /// `polls` status reads: the device model retires everything due by
+    /// `horizon` and all fresh doorbells are delivered at once.
+    fn poll_reactor(&mut self, acc: &CimAccelerator, horizon: SimTime, polls: u64) {
+        let delivered = self.reactor.poll(horizon);
+        self.stats.batched_polls += polls;
+        self.stats.status_reads += polls;
+        self.stats.completions_polled += delivered as u64;
+        for (slot, t) in self.stats.dma_channel_busy.iter_mut().zip(acc.dma_channel_busy()) {
+            *slot = *t;
+        }
+    }
+
+    /// Blocks the host until the submission ring can admit another
+    /// command — queue-full backpressure. Each stall waits (per the
+    /// configured policy) for the in-flight command pinning the needed
+    /// slot, then sweeps the completion queue to free it.
+    fn admit(&mut self, mach: &mut Machine, acc: &CimAccelerator) {
+        while !self.reactor.can_submit() {
+            self.stats.queue_full_stalls += 1;
+            let wake = self
+                .reactor
+                .blocking_ready_at()
+                .expect("a full submission ring implies an in-flight pinning command");
+            let now = mach.now();
+            let mut polls = 1;
+            if wake > now {
+                let remaining = wake - now;
+                match self.cfg.wait {
+                    WaitPolicy::Spin => {
+                        mach.core.spin_wait(remaining);
+                        self.stats.busy_wait_time += remaining;
+                    }
+                    WaitPolicy::Poll { interval, insts_per_poll } => {
+                        polls = self.charge_polled_wait(mach, remaining, interval, insts_per_poll);
+                    }
+                }
+            }
+            // Cycle-granular waits can land a fraction of a cycle short
+            // of `wake`; sweep at the later of the two so the pinning
+            // command's doorbell is guaranteed to post.
+            self.poll_reactor(acc, mach.now().max(wake), polls);
+        }
+    }
+
     /// Triggers the armed command without waiting for it: the command
     /// executes (functionally) at submission, the dispatch queue records
     /// when the modeled hardware will actually be done — after any
@@ -460,6 +586,12 @@ impl CimDriver {
         writes: &[(u64, u64)],
     ) -> Result<CimFuture, CimError> {
         self.stats.invocations += 1;
+        if self.cfg.reactor {
+            // The doorbell cannot ring until the submission ring has a
+            // slot: a full ring stalls the host first, which pushes the
+            // start instant (and everything behind it) later.
+            self.admit(mach, acc);
+        }
         let now = mach.now();
         let start = self.queue.earliest_start(region, reads, writes, now);
         let dur = acc.execute_at(mach, start);
@@ -481,6 +613,10 @@ impl CimDriver {
             ready_at: start + dur,
             busy: dur,
         };
+        if self.cfg.reactor {
+            let rec = CmdRecord { cmd_id: future.cmd_id, ready_at: future.ready_at, busy: dur };
+            self.reactor.submit(rec).expect("admit() guaranteed a free submission slot");
+        }
         self.queue.push(future, region, reads.to_vec(), writes.to_vec());
         Ok(future)
     }
@@ -502,7 +638,15 @@ impl CimDriver {
         acc: &mut CimAccelerator,
         future: &CimFuture,
     ) -> Result<SimTime, CimError> {
+        if self.cfg.reactor && self.reactor.claim(future.cmd_id) {
+            // An earlier batched sweep already delivered this command's
+            // doorbell: the completion record sits in host memory, so
+            // the sync costs nothing — no wait, no device access.
+            self.queue.retire(future.cmd_id, mach.now());
+            return Ok(future.busy);
+        }
         let now = mach.now();
+        let mut polls = 0;
         if future.ready_at > now {
             let remaining = future.ready_at - now;
             match self.cfg.wait {
@@ -511,18 +655,49 @@ impl CimDriver {
                     self.stats.busy_wait_time += remaining;
                 }
                 WaitPolicy::Poll { interval, insts_per_poll } => {
-                    // Clamped defensively: see `MIN_POLL_INTERVAL_NS`.
-                    let iv_ns = interval.as_ns().max(MIN_POLL_INTERVAL_NS);
-                    mach.core.idle_wait(remaining);
-                    let polls = (remaining.as_ns() / iv_ns).ceil().max(1.0) as u64;
-                    mach.core.retire(InstClass::Other, polls * insts_per_poll);
-                    self.stats.reg_accesses += polls;
-                    self.stats.idle_wait_time += remaining;
+                    polls = self.charge_polled_wait(mach, remaining, interval, insts_per_poll);
+                    if !self.cfg.reactor {
+                        // Legacy polling hits the PMIO status register
+                        // on every wake-up.
+                        self.stats.reg_accesses += polls;
+                        self.stats.status_reads += polls;
+                    }
                 }
             }
         }
-        // Final status read confirming completion.
-        let _ = self.read_reg(mach, acc, Reg::Status);
+        if self.cfg.reactor {
+            match self.cfg.wait {
+                WaitPolicy::Spin => {
+                    // The spin loop ends on the PMIO read observing the
+                    // status flip (same cost as the legacy path); the
+                    // read doubles as the batched doorbell sweep for
+                    // everything else that retired meanwhile.
+                    let _ = self.read_reg(mach, acc, Reg::Status);
+                    polls = 1;
+                }
+                WaitPolicy::Poll { insts_per_poll, .. } => {
+                    // Polled wake-ups read the completion-queue head in
+                    // cacheable shared memory — no PMIO. A command
+                    // found already complete costs one such read.
+                    if polls == 0 {
+                        mach.core.retire(InstClass::Other, insts_per_poll);
+                        polls = 1;
+                    }
+                }
+            }
+            // Cycle-granular waits can land a fraction of a cycle short
+            // of `ready_at`; sweep at the later of the two so this
+            // command's doorbell is guaranteed to post.
+            self.poll_reactor(acc, mach.now().max(future.ready_at), polls);
+            // Normally claims the doorbell the sweep just delivered; a
+            // re-synced future (scratch-release retry) is already gone
+            // and the claim is a benign no-op.
+            let _ = self.reactor.claim(future.cmd_id);
+        } else {
+            // Final status read confirming completion.
+            let _ = self.read_reg(mach, acc, Reg::Status);
+            self.stats.status_reads += 1;
+        }
         self.queue.retire(future.cmd_id, mach.now());
         Ok(future.busy)
     }
@@ -672,12 +847,76 @@ mod tests {
         let (mut mach, mut acc, mut drv) = setup();
         drv.cfg.wait = WaitPolicy::Poll { interval: SimTime::ZERO, insts_per_poll: 2 };
         arm_identity_gemv(&mut mach, &mut acc, &mut drv);
-        let accesses_before = drv.stats().reg_accesses;
+        let reads_before = drv.stats().status_reads;
         let dur = drv.invoke(&mut mach, &mut acc).expect("gemv ok");
         // One poll per clamped (1 ns) interval at most — finite and sane
-        // (+1 for the final status read).
+        // (+1 for a final confirming read).
         let max_polls = dur.as_ns().ceil() as u64 + 1;
-        assert!(drv.stats().reg_accesses - accesses_before <= max_polls + 1);
+        assert!(drv.stats().status_reads - reads_before <= max_polls + 1);
+    }
+
+    #[test]
+    fn first_poll_completion_charges_only_elapsed_time() {
+        // Regression: a polled wait that completes on its first status
+        // read used to append the poll's instruction time *after* the
+        // idle window, overshooting the completion instant by a full
+        // poll. The wake-up instructions must overlap the wait.
+        let (mut mach, mut acc, mut drv) = setup();
+        let insts_per_poll = 200;
+        drv.cfg.wait = WaitPolicy::Poll { interval: SimTime::from_us(10_000.0), insts_per_poll };
+        arm_identity_gemv(&mut mach, &mut acc, &mut drv);
+        let fut = drv.submit(&mut mach, &mut acc).expect("submit ok");
+        drv.sync(&mut mach, &mut acc, &fut).expect("sync ok");
+        let cycle_ns = 1e9 / mach.cfg.freq_hz;
+        let over = mach.now().as_ns() - fut.ready_at.as_ns();
+        assert!(
+            over.abs() <= cycle_ns,
+            "wait must end at ready_at (off by {over} ns, > one cycle)"
+        );
+        assert_eq!(drv.stats().batched_polls, 1, "one coarse poll");
+        assert_eq!(drv.stats().status_reads, 1);
+        assert_eq!(drv.stats().completions_polled, 1);
+        assert_eq!(drv.stats().idle_wait_time, fut.busy);
+    }
+
+    #[test]
+    fn batched_poll_makes_earlier_sync_free() {
+        // Two chained commands; syncing the *later* one sweeps both
+        // doorbells in one batched read, so the earlier sync costs
+        // nothing — no wait, no device access, no clock movement.
+        let (mut mach, mut acc, mut drv) = setup();
+        arm_identity_gemv(&mut mach, &mut acc, &mut drv);
+        let f1 = drv.submit(&mut mach, &mut acc).expect("first");
+        drv.write_regs(&mut mach, &mut acc, &[(Reg::Command, Command::Gemv as u64)]);
+        let f2 = drv.submit(&mut mach, &mut acc).expect("second");
+        drv.sync(&mut mach, &mut acc, &f2).expect("sync 2");
+        assert_eq!(drv.stats().completions_polled, 2, "one sweep delivered both");
+        let (insts, cycles) = mach.core.checkpoint();
+        let reads = drv.stats().status_reads;
+        drv.sync(&mut mach, &mut acc, &f1).expect("sync 1");
+        assert_eq!(mach.core.checkpoint(), (insts, cycles), "claim is free");
+        assert_eq!(drv.stats().status_reads, reads, "no extra status read");
+        assert_eq!(drv.queue().in_flight(), 0);
+    }
+
+    #[test]
+    fn legacy_mode_bypasses_the_reactor() {
+        let (mut mach, mut acc, mut drv) = setup();
+        drv.cfg.reactor = false;
+        arm_identity_gemv(&mut mach, &mut acc, &mut drv);
+        let dur = drv.invoke(&mut mach, &mut acc).expect("gemv ok");
+        assert!(dur > SimTime::ZERO);
+        assert_eq!(drv.stats().batched_polls, 0);
+        assert_eq!(drv.stats().completions_polled, 0);
+        assert_eq!(drv.stats().status_reads, 1, "only the final PMIO read");
+        assert_eq!(drv.reactor().in_flight(), 0, "nothing entered the rings");
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_capacity")]
+    fn zero_queue_capacity_rejected_at_construction() {
+        let cfg = DriverConfig { queue_capacity: 0, ..DriverConfig::default() };
+        let _ = CimDriver::new(cfg);
     }
 
     #[test]

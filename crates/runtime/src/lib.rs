@@ -33,6 +33,7 @@ pub mod api;
 pub mod driver;
 pub mod error;
 pub(crate) mod ranges;
+pub mod reactor;
 pub mod residency;
 pub mod stats;
 
@@ -42,5 +43,6 @@ pub use driver::{
     CimDriver, CimFuture, DispatchMode, DispatchQueue, DriverConfig, FlushMode, WaitPolicy,
 };
 pub use error::CimError;
+pub use reactor::{CmdRecord, Completion, Reactor, RingBuffer};
 pub use residency::{ResidencyEntry, ResidencyTable};
 pub use stats::RuntimeStats;
