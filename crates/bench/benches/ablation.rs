@@ -8,6 +8,7 @@ use cim_runtime::{DriverConfig, FlushMode, WaitPolicy};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tdo_cim::{compile, execute, CompileOptions, ExecOptions};
+use tdo_tactics::PassId;
 
 const LISTING2: &str = r#"
     const int N = 16;
@@ -80,5 +81,38 @@ fn bench_flush_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fusion, bench_wait_policies, bench_flush_modes);
+fn bench_pass_pipeline(c: &mut Criterion) {
+    // Per-pass ablation: compile + execute under the full pipeline and
+    // with each graph pass dropped. Fusion is off so the graph passes
+    // have separate kernels to hoist around and operands to pin.
+    let axes: [(&str, Vec<PassId>); 5] = [
+        ("full", PassId::all().to_vec()),
+        ("detect_only", vec![PassId::DetectOffload]),
+        ("no_hoist", vec![PassId::DetectOffload, PassId::ElideSyncs, PassId::PlacePins]),
+        ("no_elide", vec![PassId::DetectOffload, PassId::SyncHoist, PassId::PlacePins]),
+        ("no_pin", vec![PassId::DetectOffload, PassId::SyncHoist, PassId::ElideSyncs]),
+    ];
+    let mut group = c.benchmark_group("pass_pipeline");
+    group.sample_size(20);
+    for (name, passes) in axes {
+        let mut opts = CompileOptions::default().with_passes(&passes);
+        opts.tactics.fusion = false;
+        let exec_opts = ExecOptions::default();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let compiled = compile(black_box(LISTING2), &opts).expect("compiles");
+                black_box(execute(&compiled, &exec_opts, &init).expect("runs"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fusion,
+    bench_wait_policies,
+    bench_flush_modes,
+    bench_pass_pipeline
+);
 criterion_main!(benches);

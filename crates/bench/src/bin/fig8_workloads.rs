@@ -30,7 +30,8 @@ use polybench::Dataset;
 use tdo_bench::{
     batch_from_args_or, bench_config, dataset_flag_help, device_flag_help, device_from_args,
     emit_report, grid_flag_help, grid_from_args_or, handle_help, json_flag_help,
-    parse_dataset_flag, record_from_run, stream_record, usize_flag_or,
+    parse_dataset_flag, print_pass_reports, record_from_run, stream_record, usize_flag_or,
+    verbose_flag_help,
 };
 use tdo_cim::{compile, execute, CompileOptions, ExecOptions, RunResult};
 use workloads::chain::init_fn;
@@ -55,6 +56,7 @@ fn run_chain(
     let mut copts = CompileOptions::with_tactics();
     copts.tactics.fusion = fusion;
     let compiled = compile(&spec.source(), &copts).expect("chain compiles");
+    print_pass_reports(label, &compiled);
     let report = compiled.report.as_ref().expect("tactics ran");
     assert!(report.any_offloaded(), "chain must offload transparently");
     let fused_groups = report.fused_groups;
@@ -86,6 +88,7 @@ fn main() {
             grid_flag_help((2, 2)),
             "--batch <N>                             chain micro-batches (default: 4)".into(),
             "--layers <N>                            chain layers (default: 3)".into(),
+            verbose_flag_help(),
             json_flag_help(),
         ],
     );

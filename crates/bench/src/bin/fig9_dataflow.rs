@@ -9,8 +9,9 @@
 //!   layer's `batch * heads` GEMMs into one `polly_cimBlasGemmBatched`,
 //!   dispatched asynchronously. Elements sharing a stationary operand
 //!   land on *different* tile regions, so every element installs.
-//! * **dataflow sync / dataflow async** — fusion off, offload dataflow
-//!   graph on: redundant `polly_cimHostToDev` syncs are elided, each
+//! * **dataflow sync / dataflow async** — fusion off, the *default*
+//!   compile path (the full compiler pass pipeline, no opt-in):
+//!   redundant `polly_cimHostToDev` syncs are elided, each
 //!   `(layer, micro-batch)` input is pinned (`polly_cimPin`) so its
 //!   `heads` kernels reuse one install on one region, and every
 //!   `polly_cimDevToHost` is sunk past independent host code. Under
@@ -40,7 +41,8 @@ use polybench::Dataset;
 use tdo_bench::{
     batch_from_args_or, bench_config, dataset_flag_help, device_flag_help, device_from_args,
     emit_report, grid_flag_help, grid_from_args_or, handle_help, json_flag_help,
-    parse_dataset_flag, record_from_run, stream_record, usize_flag_or,
+    parse_dataset_flag, print_pass_reports, record_from_run, stream_record, usize_flag_or,
+    verbose_flag_help,
 };
 use tdo_cim::{compile, execute, CompileOptions, ExecOptions, RunResult};
 use workloads::chain::init_fn;
@@ -64,19 +66,17 @@ fn run_chain(
 ) -> ChainRun {
     let wall_t0 = std::time::Instant::now();
     let compiled = compile(&spec.source(), copts).expect("chain compiles");
+    print_pass_reports(label, &compiled);
     let report = compiled.report.as_ref().expect("tactics ran");
     assert!(report.any_offloaded(), "chain must offload transparently");
-    let df = compiled.dataflow;
+    let (hoisted, elided, pins) = (
+        compiled.pass_counter("hoisted_syncs") as usize,
+        compiled.pass_counter("elided_syncs") as usize,
+        compiled.pass_counter("pins") as usize,
+    );
     let run =
         execute(&compiled, &base.clone().with_dispatch(dispatch), &init_fn()).expect("chain runs");
-    ChainRun {
-        label,
-        run,
-        hoisted: df.map_or(0, |d| d.hoisted_syncs),
-        elided: df.map_or(0, |d| d.elided_syncs),
-        pins: df.map_or(0, |d| d.pins),
-        wall: wall_t0.elapsed(),
-    }
+    ChainRun { label, run, hoisted, elided, pins, wall: wall_t0.elapsed() }
 }
 
 fn chain_bits(spec: &ChainSpec, run: &RunResult) -> Vec<u32> {
@@ -99,6 +99,7 @@ fn main() {
             "--layers <N>                            chain layers (default: 3)".into(),
             "--heads <N>                             projection heads per layer (default: 3)"
                 .into(),
+            verbose_flag_help(),
             json_flag_help(),
         ],
     );
@@ -125,8 +126,12 @@ fn main() {
     if 2 * working_set > base.machine.cma_bytes {
         base = base.with_cma_bytes(2 * working_set);
     }
-    let fused_copts = CompileOptions::with_tactics();
-    let mut df_copts = CompileOptions::with_dataflow();
+    // The fused baseline is the legacy conservative schedule (detection +
+    // fusion, no graph passes); the dataflow runs use the *default*
+    // compile path — the full pass pipeline with no opt-in (fusion is
+    // turned off so the per-head kernels stay separate and pinnable).
+    let fused_copts = CompileOptions::without_dataflow();
+    let mut df_copts = CompileOptions::default();
     df_copts.tactics.fusion = false;
     let fused = run_chain(&spec, &base, &fused_copts, DispatchMode::Async, "fused async");
     let df_sync = run_chain(&spec, &base, &df_copts, DispatchMode::Sync, "dataflow sync");

@@ -24,7 +24,9 @@ use cim_pcm::DeviceKind;
 use cim_report::{BenchConfig, BenchRecord, BenchReport};
 use polybench::{init_fn, source, Dataset, Kernel};
 use std::path::PathBuf;
-use tdo_cim::{compile, execute, geomean, Comparison, CompileOptions, ExecOptions, RunResult};
+use tdo_cim::{
+    compile, execute, geomean, Comparison, CompileOptions, CompiledProgram, ExecOptions, RunResult,
+};
 use tdo_tactics::OffloadPolicy;
 
 /// One row of the Fig. 6 data.
@@ -81,6 +83,7 @@ pub fn run_fig6_with(dataset: Dataset, exec_opts: &ExecOptions) -> Vec<Fig6Row> 
             let mut sel_opts = CompileOptions::with_tactics();
             sel_opts.tactics.policy = OffloadPolicy::Selective;
             let sel_compiled = compile(&src, &sel_opts).expect("compiles");
+            print_pass_reports(kernel.name(), &sel_compiled);
             let report = sel_compiled.report.as_ref().expect("tactics ran");
             let offloaded = report.kernels.iter().filter(|k| k.offloaded).count();
             let selective_energy_x = if offloaded == 0 {
@@ -242,6 +245,29 @@ pub fn usize_flag_or(flag: &str, default: usize) -> usize {
 /// Parses `--batch <N>` (or `--batch=N`) from argv.
 pub fn batch_from_args_or(default: usize) -> usize {
     usize_flag_or("--batch", default)
+}
+
+/// Help line for the shared `--verbose` flag.
+pub fn verbose_flag_help() -> String {
+    "--verbose                               print per-pass compiler reports".into()
+}
+
+/// Whether `--verbose` (or `-v`) is present in argv.
+pub fn verbose_from_args() -> bool {
+    std::env::args().skip(1).any(|a| a == "--verbose" || a == "-v")
+}
+
+/// Under `--verbose`, prints the compiler pass pipeline report of a
+/// compiled program to stderr — one line per pass, in pipeline order.
+/// The figure binaries call this after every `compile`.
+pub fn print_pass_reports(label: &str, compiled: &CompiledProgram) {
+    if !verbose_from_args() {
+        return;
+    }
+    eprintln!("{label}: compiler pass pipeline:");
+    for p in &compiled.passes {
+        eprintln!("  {p}");
+    }
 }
 
 /// Help line for the shared `--json` flag.

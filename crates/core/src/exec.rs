@@ -559,8 +559,10 @@ mod tests {
                     D[i][j] += A[i][k] * B[k][j];
             }
         "#;
-        // Disable fusion so two separate sgemm calls are emitted.
-        let mut opts = CompileOptions::with_tactics();
+        // Disable fusion so two separate sgemm calls are emitted; use the
+        // legacy detect-only pipeline so the schedule stays conservative
+        // (the default pipeline would pin A and hide the contrast).
+        let mut opts = CompileOptions::without_dataflow();
         opts.tactics.fusion = false;
         let cim = compile(src, &opts).expect("compiles");
         assert_eq!(cim.pseudo_c().matches("polly_cimBlasSGemm").count(), 2);
@@ -635,17 +637,18 @@ mod tests {
                 s[i] = s[i] + 1.0;
             }
         "#;
-        let mut base_copts = CompileOptions::with_tactics();
+        let mut base_copts = CompileOptions::without_dataflow();
         base_copts.tactics.fusion = false;
-        let mut df_copts = CompileOptions::with_dataflow();
+        // The dataflow pipeline is the default — no opt-in needed.
+        let mut df_copts = CompileOptions::default();
         df_copts.tactics.fusion = false;
         let baseline = compile(src, &base_copts).expect("compiles");
         let optimized = compile(src, &df_copts).expect("compiles");
-        assert!(baseline.dataflow.is_none());
-        let report = optimized.dataflow.expect("dataflow ran");
-        assert!(report.hoisted_syncs >= 1, "{report}");
-        assert!(report.elided_syncs >= 1, "{report}");
-        assert_eq!(report.pins, 1, "{report}");
+        assert!(!baseline.dataflow_optimized());
+        assert!(optimized.dataflow_optimized());
+        assert!(optimized.pass_counter("hoisted_syncs") >= 1, "{:?}", optimized.passes);
+        assert!(optimized.pass_counter("elided_syncs") >= 1, "{:?}", optimized.passes);
+        assert_eq!(optimized.pass_counter("pins"), 1, "{:?}", optimized.passes);
         let base_run = execute(&baseline, &small_opts(), &det_init).expect("baseline runs");
         for dispatch in [DispatchMode::Sync, DispatchMode::Async] {
             let opts = small_opts().with_dispatch(dispatch);
@@ -704,16 +707,15 @@ mod tests {
                     U[i][j] += A[i][k] * B[k][j];
             }
         "#;
-        let mut base_copts = CompileOptions::with_tactics();
+        let mut base_copts = CompileOptions::without_dataflow();
         base_copts.tactics.fusion = false;
-        let mut df_copts = CompileOptions::with_dataflow();
+        let mut df_copts = CompileOptions::default();
         df_copts.tactics.fusion = false;
         let baseline = compile(src, &base_copts).expect("compiles");
         let optimized = compile(src, &df_copts).expect("compiles");
         // A's reuse window ends at the overwriting kernel: exactly one
         // pin, covering the first two kernels only.
-        let report = optimized.dataflow.expect("dataflow ran");
-        assert_eq!(report.pins, 1, "{report}");
+        assert_eq!(optimized.pass_counter("pins"), 1, "{:?}", optimized.passes);
         let opts_grid = ExecOptions { ..small_opts() }.with_tile_grid(2, 2);
         let base_run = execute(&baseline, &opts_grid, &det_init).expect("baseline runs");
         for dispatch in [DispatchMode::Sync, DispatchMode::Async] {

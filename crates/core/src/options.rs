@@ -4,24 +4,38 @@ use cim_accel::AccelConfig;
 use cim_machine::MachineConfig;
 use cim_pcm::Fidelity;
 use cim_runtime::{DispatchMode, DriverConfig};
-use tdo_tactics::TacticsConfig;
+use tdo_tactics::{PassId, TacticsConfig};
 
 /// Options of the end-to-end pipeline — the two compilation strings of
 /// Section IV: `clang -O3 -march=native` (host) and
 /// `clang -O3 -march=native -enable-loop-tactics` (host + CIM).
-#[derive(Debug, Clone, Default)]
+///
+/// The default is the full transparent flow: Loop Tactics detection
+/// plus the whole compiler pass pipeline (sync hoisting, h2d elision,
+/// capacity-aware pin placement). Use [`CompileOptions::host_only`] for
+/// the host baseline and [`CompileOptions::without_dataflow`] for the
+/// conservative point-wise schedule the differential suites compare
+/// against.
+#[derive(Debug, Clone)]
 pub struct CompileOptions {
     /// `-enable-loop-tactics`: run detection + offloading.
     pub enable_loop_tactics: bool,
     /// Loop Tactics configuration (policy, fusion, cost model).
     pub tactics: TacticsConfig,
-    /// Run the offload dataflow graph passes over the emitted runtime
-    /// calls: sink `polly_cimDevToHost` past independent host code,
-    /// elide provably redundant `polly_cimHostToDev` syncs, and pin
-    /// stationary operands reused across consecutive kernels
-    /// (`tdo_tactics::graph`). Off by default — the conservative
-    /// point-wise schedule is the paper's baseline.
-    pub dataflow: bool,
+    /// The compiler pass pipeline to run (in order) when Loop Tactics is
+    /// enabled — see [`tdo_tactics::pass_manager`]. The default is the
+    /// full pipeline, [`PassId::all`].
+    pub passes: Vec<PassId>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            enable_loop_tactics: true,
+            tactics: TacticsConfig::default(),
+            passes: PassId::all().to_vec(),
+        }
+    }
 }
 
 impl CompileOptions {
@@ -30,15 +44,35 @@ impl CompileOptions {
         CompileOptions { enable_loop_tactics: false, ..CompileOptions::default() }
     }
 
-    /// Transparent CIM offloading (`-enable-loop-tactics`).
+    /// Transparent CIM offloading (`-enable-loop-tactics`) — the
+    /// default: detection plus the full pass pipeline.
     pub fn with_tactics() -> Self {
-        CompileOptions { enable_loop_tactics: true, ..CompileOptions::default() }
+        CompileOptions::default()
     }
 
-    /// Offloading plus the offload dataflow graph passes
-    /// (`-enable-loop-tactics -cim-dataflow`).
+    /// Offloading plus the offload dataflow graph passes. Kept for
+    /// callers that opted in before the pipeline became the default —
+    /// identical to [`CompileOptions::default`].
     pub fn with_dataflow() -> Self {
-        CompileOptions { enable_loop_tactics: true, dataflow: true, ..CompileOptions::default() }
+        CompileOptions::default()
+    }
+
+    /// The legacy conservative schedule: detection and lowering only,
+    /// every kernel bracketed by point-wise coherence syncs and every
+    /// call installing its stationary operand cold. The Selective cost
+    /// model prices installs per call again, matching the schedule that
+    /// actually runs.
+    pub fn without_dataflow() -> Self {
+        let mut opts =
+            CompileOptions { passes: vec![PassId::DetectOffload], ..CompileOptions::default() };
+        opts.tactics.assume_residency = false;
+        opts
+    }
+
+    /// Replaces the pass list (ablation studies).
+    pub fn with_passes(mut self, ids: &[PassId]) -> Self {
+        self.passes = ids.to_vec();
+        self
     }
 }
 
@@ -170,6 +204,12 @@ mod tests {
     fn presets() {
         assert!(!CompileOptions::host_only().enable_loop_tactics);
         assert!(CompileOptions::with_tactics().enable_loop_tactics);
+        // The default is the full pass pipeline — dataflow needs no opt-in.
+        assert_eq!(CompileOptions::default().passes, PassId::all().to_vec());
+        assert!(CompileOptions::default().enable_loop_tactics);
+        let legacy = CompileOptions::without_dataflow();
+        assert_eq!(legacy.passes, vec![PassId::DetectOffload]);
+        assert!(!legacy.tactics.assume_residency);
         let e = ExecOptions::default();
         assert_eq!(e.accel.rows, 256);
         assert!(e.fidelity.is_exact());

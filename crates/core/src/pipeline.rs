@@ -2,19 +2,20 @@
 //!
 //! Front-end (`tdo-lang`, the Clang stand-in) lowers source to loop IR;
 //! the mid-level optimizer (`tdo-poly`, the Polly stand-in) extracts the
-//! SCoP and builds schedule trees; Loop Tactics (`tdo-tactics`) detects
-//! and offloads kernels; codegen lowers the optimized schedule back to
-//! IR, which the back-end (the costed interpreter in [`crate::exec`])
-//! "links" against the CIM runtime library.
+//! SCoP and builds schedule trees; the compiler pass pipeline
+//! (`tdo_tactics::pass_manager`) detects and offloads kernels, then
+//! optimizes the emitted runtime-call schedule (sync hoisting, h2d
+//! elision, capacity-aware pin placement); the back-end (the costed
+//! interpreter in [`crate::exec`]) "links" the result against the CIM
+//! runtime library.
 
 use crate::options::CompileOptions;
 use std::fmt;
 use tdo_ir::printer::print_program;
 use tdo_ir::Program;
 use tdo_lang::FrontendError;
-use tdo_poly::codegen::rebuild_program;
 use tdo_poly::scop::{extract, ScopError};
-use tdo_tactics::{optimize_offload_schedule, DataflowReport, LoopTactics, OffloadReport};
+use tdo_tactics::{OffloadReport, PassCtx, PassManager, PassReport};
 
 /// A compiled program ready for execution.
 #[derive(Debug, Clone)]
@@ -23,10 +24,11 @@ pub struct CompiledProgram {
     pub prog: Program,
     /// The IR straight out of the front-end (pre-optimization).
     pub source_ir: Program,
-    /// Loop Tactics report (when tactics ran).
+    /// Loop Tactics report (when detection ran).
     pub report: Option<OffloadReport>,
-    /// Offload dataflow graph report (when the graph passes ran).
-    pub dataflow: Option<DataflowReport>,
+    /// Per-pass reports, in pipeline order (empty when tactics were
+    /// disabled or the SCoP was skipped).
+    pub passes: Vec<PassReport>,
     /// Why the polyhedral step was skipped, if it was.
     pub scop_skipped: Option<ScopError>,
 }
@@ -45,6 +47,23 @@ impl CompiledProgram {
     /// Whether any kernel was offloaded.
     pub fn offloaded(&self) -> bool {
         self.report.as_ref().is_some_and(|r| r.any_offloaded())
+    }
+
+    /// The report of the named pass, if it ran.
+    pub fn pass_report(&self, name: &str) -> Option<&PassReport> {
+        self.passes.iter().find(|p| p.name == name)
+    }
+
+    /// A named counter summed across every pass report (e.g.
+    /// `"hoisted_syncs"`, `"elided_syncs"`, `"pins"`, `"spills"`).
+    pub fn pass_counter(&self, key: &str) -> u64 {
+        self.passes.iter().map(|p| p.counter(key)).sum()
+    }
+
+    /// Whether any pass beyond detection changed the program — the
+    /// schedule differs from the conservative point-wise one.
+    pub fn dataflow_optimized(&self) -> bool {
+        self.passes.iter().skip(1).any(|p| p.changed)
     }
 }
 
@@ -76,36 +95,26 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<CompiledProgram, Comp
             prog: source_ir.clone(),
             source_ir,
             report: None,
-            dataflow: None,
+            passes: Vec::new(),
             scop_skipped: None,
         });
     }
     match extract(&source_ir) {
         Ok(scop) => {
-            let pass = LoopTactics::new(opts.tactics.clone());
-            let (tree, report) = pass.run(&source_ir, &scop);
-            let mut prog = rebuild_program(&source_ir, &scop, &tree);
-            let dataflow = if opts.dataflow && report.any_offloaded() {
-                let (optimized, dataflow_report) = optimize_offload_schedule(&prog);
-                prog = optimized;
-                Some(dataflow_report)
-            } else {
-                None
+            let manager = PassManager::from_ids(&opts.passes);
+            let (prog, report, passes) = {
+                let mut ctx = PassCtx::new(&source_ir, Some(&scop), &opts.tactics);
+                let passes = manager.run(&mut ctx);
+                (ctx.prog, ctx.offload, passes)
             };
             tdo_ir::verify::verify(&prog).expect("tactics emit well-formed IR");
-            Ok(CompiledProgram {
-                prog,
-                source_ir,
-                report: Some(report),
-                dataflow,
-                scop_skipped: None,
-            })
+            Ok(CompiledProgram { prog, source_ir, report, passes, scop_skipped: None })
         }
         Err(e) => Ok(CompiledProgram {
             prog: source_ir.clone(),
             source_ir,
             report: None,
-            dataflow: None,
+            passes: Vec::new(),
             scop_skipped: Some(e),
         }),
     }
@@ -139,6 +148,21 @@ mod tests {
         assert!(c.offloaded());
         assert!(c.pseudo_c().contains("polly_cimBlasSGemm"));
         assert!(c.source_pseudo_c().contains("for ("));
+    }
+
+    #[test]
+    fn default_compile_runs_the_full_pass_pipeline() {
+        let c = compile(GEMM, &CompileOptions::default()).expect("compiles");
+        assert!(c.offloaded());
+        assert_eq!(
+            c.passes.iter().map(|p| p.name.as_str()).collect::<Vec<_>>(),
+            ["detect-offload", "sync-hoist", "elide-syncs", "pin-placement"]
+        );
+        assert!(c.pass_counter("kernels_offloaded") >= 1);
+        // The legacy pipeline stops after detection.
+        let legacy = compile(GEMM, &CompileOptions::without_dataflow()).expect("compiles");
+        assert_eq!(legacy.passes.len(), 1);
+        assert!(!legacy.dataflow_optimized());
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl CimContext {
             device_id: None,
             allocations: Vec::new(),
             pending: Vec::new(),
-            residency: ResidencyTable::default(),
+            residency: ResidencyTable::with_capacity(grid.0 * grid.1),
             subregions: partition_grid(grid, grid.0 * grid.1),
             region_cursor: 0,
             stats: RuntimeStats::default(),
@@ -351,6 +351,15 @@ impl CimContext {
                 None if single_block => self.next_subregion(),
                 None => GridRegion::full(grid),
             };
+            // A fresh placement must fit the grid's tile budget: evict
+            // the least-recently-used installed pins until it does — a
+            // capacity spill, charged to the statistics. (Reuse of an
+            // already-installed entry holds its own tiles and needs no
+            // room.)
+            if !self.residency.entry(idx).installed {
+                self.stats.pin_evictions +=
+                    self.residency.evict_for(region.tiles(), Some(idx)) as u64;
+            }
             let hit = self.residency.place(idx, region);
             if hit {
                 self.stats.pin_hits += 1;

@@ -29,6 +29,9 @@ pub struct ResidencyEntry {
     /// condition under which the pre-invocation flush of the operand
     /// can be skipped (nothing host-side has touched it since).
     pub installed: bool,
+    /// Monotonic stamp of the entry's most recent placement — the LRU
+    /// order capacity eviction follows.
+    pub last_use: u64,
 }
 
 impl ResidencyEntry {
@@ -45,14 +48,35 @@ impl ResidencyEntry {
 #[derive(Debug, Clone, Default)]
 pub struct ResidencyTable {
     entries: Vec<ResidencyEntry>,
+    /// Tile budget installed pins may hold concurrently (0 = unbounded,
+    /// for tables built outside a grid context).
+    capacity_tiles: usize,
+    /// Monotonic placement clock feeding `last_use` stamps.
+    clock: u64,
 }
 
 impl ResidencyTable {
+    /// A table accounting installed pins against a grid of
+    /// `capacity_tiles` tiles.
+    pub fn with_capacity(capacity_tiles: usize) -> Self {
+        ResidencyTable { capacity_tiles, ..ResidencyTable::default() }
+    }
+
+    /// The table's tile budget (0 = unbounded).
+    pub fn capacity_tiles(&self) -> usize {
+        self.capacity_tiles
+    }
+
+    /// Tiles currently held by installed pins.
+    pub fn tiles_held(&self) -> usize {
+        self.entries.iter().filter(|e| e.installed).map(|e| e.region.map_or(0, |r| r.tiles())).sum()
+    }
+
     /// Pins `[pa, pa+len)`. Re-pinning an overlapping range replaces the
     /// old entry (its placement is stale by definition).
     pub fn pin(&mut self, pa: u64, len: u64) {
         self.entries.retain(|e| !e.overlaps(pa, len));
-        self.entries.push(ResidencyEntry { pa, len, region: None, installed: false });
+        self.entries.push(ResidencyEntry { pa, len, region: None, installed: false, last_use: 0 });
     }
 
     /// Index of the entry covering `[pa, pa+len)`, if any.
@@ -69,11 +93,42 @@ impl ResidencyTable {
     /// installed. Returns whether it was *already* installed — a
     /// residency hit for the caller's statistics.
     pub fn place(&mut self, idx: usize, region: GridRegion) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
         let e = &mut self.entries[idx];
         let hit = e.installed;
         e.region = Some(region);
         e.installed = true;
+        e.last_use = clock;
         hit
+    }
+
+    /// Makes room for a placement of `need` tiles: while the installed
+    /// pins plus the newcomer would exceed the capacity, the
+    /// least-recently-used installed entry (other than `keep`, the
+    /// entry being placed) loses its tiles — it stays pinned, so a later
+    /// use re-installs it (a capacity spill, not an unpin). Returns how
+    /// many entries were evicted. No-op for unbounded tables.
+    pub fn evict_for(&mut self, need: usize, keep: Option<usize>) -> usize {
+        if self.capacity_tiles == 0 {
+            return 0;
+        }
+        let mut evicted = 0;
+        while self.tiles_held() + need > self.capacity_tiles {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|&(i, e)| e.installed && Some(i) != keep)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i);
+            let Some(i) = victim else { break };
+            let e = &mut self.entries[i];
+            e.installed = false;
+            e.region = None;
+            evicted += 1;
+        }
+        evicted
     }
 
     /// Drops every entry overlapping `[pa, pa+len)` (host write or
@@ -128,6 +183,40 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert_eq!(t.invalidate_overlap(0, 0x10000), 1);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru_and_keeps_the_pin() {
+        let mut t = ResidencyTable::with_capacity(2);
+        t.pin(0x1000, 256);
+        t.pin(0x2000, 256);
+        t.pin(0x3000, 256);
+        let tile = |r: usize, c: usize| GridRegion { origin: (r, c), shape: (1, 1) };
+        let a = t.find(0x1000, 256).expect("a");
+        t.place(a, tile(0, 0));
+        let b = t.find(0x2000, 256).expect("b");
+        t.place(b, tile(0, 1));
+        assert_eq!(t.tiles_held(), 2);
+        // Touch a again so b becomes the LRU entry.
+        t.place(a, tile(0, 0));
+        let c = t.find(0x3000, 256).expect("c");
+        assert_eq!(t.evict_for(1, Some(c)), 1);
+        assert!(!t.entry(b).installed, "LRU entry must lose its tiles");
+        assert!(t.entry(a).installed, "recently used entry survives");
+        assert_eq!(t.len(), 3, "eviction does not unpin");
+        assert!(!t.place(c, tile(1, 0)), "evicted-for placement is a miss");
+        assert_eq!(t.tiles_held(), 2);
+        assert!(!t.place(b, tile(0, 1)), "re-placing the victim re-installs cold");
+    }
+
+    #[test]
+    fn unbounded_table_never_evicts() {
+        let mut t = ResidencyTable::default();
+        t.pin(0x1000, 256);
+        let idx = t.find(0x1000, 256).expect("covered");
+        t.place(idx, GridRegion { origin: (0, 0), shape: (2, 2) });
+        assert_eq!(t.evict_for(1000, None), 0);
+        assert!(t.entry(idx).installed);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct RuntimeStats {
     /// Pinned ranges invalidated because a host write or free reached
     /// them through a runtime entry point.
     pub pin_invalidations: u64,
+    /// Installed pins evicted from their tiles because a fresh pinned
+    /// placement exceeded the grid's capacity (the entry stays pinned
+    /// and re-installs on its next use — a capacity spill).
+    pub pin_evictions: u64,
 }
 
 impl RuntimeStats {

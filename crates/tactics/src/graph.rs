@@ -30,7 +30,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use tdo_ir::{ArrayId, CallArg, CallStmt, Program, Stmt};
+use tdo_ir::{ArrayId, CallArg, CallStmt, Expr, Program, Stmt};
 
 /// What the pass did to a translation unit.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -93,6 +93,45 @@ impl Node {
 pub struct OffloadGraph {
     nodes: Vec<Node>,
     report: DataflowReport,
+}
+
+/// A stationary operand reused by consecutive kernels inside one
+/// content window — a candidate for `polly_cimPin`, carrying everything
+/// the capacity-aware placement pass needs to score it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinCandidate {
+    /// The operand array.
+    pub array: ArrayId,
+    /// Node index of the first kernel using it (the pin's insertion
+    /// point).
+    pub first_idx: usize,
+    /// Node index of the last kernel in the reuse run — together with
+    /// [`PinCandidate::first_idx`] the live interval over which the
+    /// operand must hold its tiles.
+    pub last_idx: usize,
+    /// Kernels in the run.
+    pub uses: usize,
+    /// Kernel extent `(m, n, k)` parsed from the first call when its
+    /// dimensions are literal (`n = 1` for GEMV); `None` for view calls
+    /// with dynamic extents, which the placement pass treats as
+    /// full-grid occupants of unknown value.
+    pub dims: Option<(usize, usize, usize)>,
+}
+
+/// Literal `(m, n, k)` of a kernel call, when statically known.
+fn kernel_dims(stmt: &Stmt) -> Option<(usize, usize, usize)> {
+    let Stmt::Call(c) = stmt else { return None };
+    let int_arg = |i: usize| match c.args.get(i) {
+        Some(CallArg::Value(Expr::Int(v))) => usize::try_from(*v).ok(),
+        _ => None,
+    };
+    match c.callee.as_str() {
+        // (trans_a, trans_b, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc)
+        "polly_cimBlasSGemm" => Some((int_arg(2)?, int_arg(3)?, int_arg(4)?)),
+        // (trans, m, k, alpha, A, lda, x, beta, y)
+        "polly_cimBlasSGemv" => Some((int_arg(1)?, 1, int_arg(2)?)),
+        _ => None,
+    }
 }
 
 fn host_accesses(stmt: &Stmt, reads: &mut BTreeSet<ArrayId>, writes: &mut BTreeSet<ArrayId>) {
@@ -253,10 +292,8 @@ impl OffloadGraph {
     }
 
     /// Elides coherence syncs for arrays the host has not written since
-    /// their previous sync, and pins stationary operands reused by
-    /// consecutive kernels inside such a clean window. Returns
-    /// `(elided, pins)`.
-    pub fn place_residency(&mut self) -> (usize, usize) {
+    /// their previous sync. Returns how many were removed.
+    pub fn elide_syncs(&mut self) -> usize {
         // Walk once, tracking which arrays are "clean" (device-synced,
         // not host-written since).
         let mut clean: BTreeSet<ArrayId> = BTreeSet::new();
@@ -298,22 +335,37 @@ impl OffloadGraph {
                 }
             }
         }
+        self.nodes = kept;
+        self.report.elided_syncs += elided;
+        elided
+    }
 
-        // Pin stationary operands reused across kernels with no
-        // intervening write to them (host write, kept h2d, or a kernel
-        // producing into the operand).
+    /// Collects the stationary operands reused across kernels with no
+    /// intervening write to them (host write, kept h2d, or a kernel
+    /// producing into the operand) — the pin candidates of the
+    /// placement pass, in schedule order.
+    pub fn pin_candidates(&self) -> Vec<PinCandidate> {
         let mut window: BTreeMap<ArrayId, usize> = BTreeMap::new();
         let mut next_window = 0usize;
-        // (array, window) -> (first kernel index, kernel count)
-        let mut runs: BTreeMap<(ArrayId, usize), (usize, usize)> = BTreeMap::new();
-        for (i, node) in kept.iter().enumerate() {
+        let mut runs: BTreeMap<(ArrayId, usize), PinCandidate> = BTreeMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
             if let NodeOp::Kernel { stationary: Some(a) } = node.op {
                 let w = *window.entry(a).or_insert_with(|| {
                     next_window += 1;
                     next_window
                 });
-                let entry = runs.entry((a, w)).or_insert((i, 0));
-                entry.1 += 1;
+                runs.entry((a, w))
+                    .and_modify(|c| {
+                        c.last_idx = i;
+                        c.uses += 1;
+                    })
+                    .or_insert(PinCandidate {
+                        array: a,
+                        first_idx: i,
+                        last_idx: i,
+                        uses: 1,
+                        dims: kernel_dims(&node.stmt),
+                    });
             }
             if matches!(node.op, NodeOp::DevToHost(_)) {
                 continue; // a pure flush changes no contents
@@ -328,23 +380,37 @@ impl OffloadGraph {
                 window.insert(*w, next_window);
             }
         }
-        let mut pin_at: Vec<(usize, ArrayId)> = runs
-            .into_iter()
-            .filter(|&(_, (_, count))| count >= 2)
-            .map(|((a, _), (first, _))| (first, a))
-            .collect();
+        let mut out: Vec<PinCandidate> = runs.into_values().filter(|c| c.uses >= 2).collect();
+        out.sort_by_key(|c| c.first_idx);
+        out
+    }
+
+    /// Inserts a `polly_cimPin` before the first kernel of each accepted
+    /// candidate. Returns how many pins were placed.
+    pub fn insert_pins(&mut self, accepted: &[PinCandidate]) -> usize {
+        let mut pin_at: Vec<(usize, ArrayId)> =
+            accepted.iter().map(|c| (c.first_idx, c.array)).collect();
         pin_at.sort_unstable();
         for (offset, (idx, a)) in pin_at.iter().enumerate() {
             let stmt = Stmt::Call(CallStmt {
                 callee: "polly_cimPin".into(),
                 args: vec![CallArg::Array(*a)],
             });
-            kept.insert(idx + offset, classify(&stmt));
+            self.nodes.insert(idx + offset, classify(&stmt));
         }
         let pins = pin_at.len();
-        self.nodes = kept;
-        self.report.elided_syncs += elided;
         self.report.pins += pins;
+        pins
+    }
+
+    /// Elides coherence syncs for arrays the host has not written since
+    /// their previous sync, and pins every stationary operand reused by
+    /// consecutive kernels inside such a clean window — the
+    /// capacity-oblivious legacy pass. Returns `(elided, pins)`.
+    pub fn place_residency(&mut self) -> (usize, usize) {
+        let elided = self.elide_syncs();
+        let candidates = self.pin_candidates();
+        let pins = self.insert_pins(&candidates);
         (elided, pins)
     }
 

@@ -13,7 +13,10 @@
 //! * [`pass`] — the driver pass with fusion (Listing 2) and compiler
 //!   tiling of oversized GEMMs (Listing 3);
 //! * [`graph`] — the offload dataflow graph: post-codegen sync hoisting
-//!   and residency placement over the emitted runtime calls.
+//!   and residency placement over the emitted runtime calls;
+//! * [`pass_manager`] — the explicit pass pipeline running detection
+//!   and the graph passes as configurable [`pass_manager::CompilerPass`]
+//!   stages, including capacity-aware pin placement.
 //!
 //! ```
 //! use tdo_tactics::pass::{LoopTactics, TacticsConfig};
@@ -42,9 +45,13 @@ pub mod detect;
 pub mod graph;
 pub mod kernels;
 pub mod pass;
+pub mod pass_manager;
 pub mod policy;
 
-pub use graph::{optimize_offload_schedule, DataflowReport, OffloadGraph};
+pub use graph::{optimize_offload_schedule, DataflowReport, OffloadGraph, PinCandidate};
 pub use kernels::{ConvDesc, GemmDesc, GemvDesc, MatchedKernel};
 pub use pass::{KernelReport, LoopTactics, OffloadReport, TacticsConfig};
+pub use pass_manager::{
+    plan_pins, CompilerPass, PassCtx, PassId, PassManager, PassReport, PinPlan,
+};
 pub use policy::{CostModel, Decision, OffloadPolicy};

@@ -12,6 +12,7 @@ use crate::codegen::{batched_calls, gemm_view_call, kernel_calls, prologue};
 use crate::detect::match_kernel;
 use crate::kernels::{GemmDesc, MatchedKernel};
 use crate::policy::{CostModel, OffloadPolicy};
+use std::collections::BTreeMap;
 use std::fmt;
 use tdo_ir::{ArrayId, Expr, Program};
 use tdo_poly::deps::kernels_independent;
@@ -30,6 +31,12 @@ pub struct TacticsConfig {
     pub cost: CostModel,
     /// Device number passed to `polly_cimInit`.
     pub device: u32,
+    /// Price [`OffloadPolicy::Selective`] decisions assuming the
+    /// pin-placement pass keeps reused stationary operands resident, so
+    /// a run of kernels sharing one pays its crossbar install once
+    /// ([`CostModel::decide_reused`]). Disable when running the legacy
+    /// detect-only pipeline, where every call installs cold.
+    pub assume_residency: bool,
 }
 
 impl Default for TacticsConfig {
@@ -39,6 +46,7 @@ impl Default for TacticsConfig {
             fusion: true,
             cost: CostModel::default(),
             device: 0,
+            assume_residency: true,
         }
     }
 }
@@ -115,13 +123,19 @@ impl LoopTactics {
         (tree, report)
     }
 
-    fn decide(&self, k: &MatchedKernel) -> (bool, String) {
+    /// Policy decision for a kernel predicted to be one of `reuse`
+    /// consecutive calls sharing its stationary operand.
+    fn decide(&self, k: &MatchedKernel, reuse: usize) -> (bool, String) {
         match self.cfg.policy {
             OffloadPolicy::Always => (true, "policy=always".into()),
             OffloadPolicy::Selective => {
-                let d = self.cfg.cost.decide(k);
+                let reuse = if self.cfg.assume_residency { reuse } else { 1 };
+                let d = self.cfg.cost.decide_reused(k, reuse);
+                let amortized =
+                    if reuse > 1 { format!(" over {reuse} pinned calls") } else { String::new() };
                 let reason = format!(
-                    "cost model: cim {:.1} uJ vs host {:.1} uJ",
+                    "cost model{}: cim {:.1} uJ vs host {:.1} uJ",
+                    amortized,
                     d.cim_pj * 1e-6,
                     d.host_pj * 1e-6
                 );
@@ -173,7 +187,7 @@ impl LoopTactics {
         report: &mut OffloadReport,
     ) -> ScheduleTree {
         if let Some(k) = match_kernel(prog, scop, tree) {
-            let (offload, reason) = self.decide(&k);
+            let (offload, reason) = self.decide(&k, 1);
             if offload {
                 return self.offload_one(&k, report, reason);
             }
@@ -206,6 +220,9 @@ impl LoopTactics {
         // Match every child first so fusion can look at neighbours.
         let matches: Vec<Option<MatchedKernel>> =
             children.iter().map(|c| match_kernel(prog, scop, c)).collect();
+        // Predicted stationary-operand reuse per kernel, so Selective can
+        // amortize the pinned install over the run it belongs to.
+        let reuse = predicted_reuse(&matches);
         let mut out: Vec<ScheduleTree> = Vec::new();
         let mut i = 0;
         while i < children.len() {
@@ -214,7 +231,7 @@ impl LoopTactics {
                 i += 1;
                 continue;
             };
-            let (offload, reason) = self.decide(k);
+            let (offload, reason) = self.decide(k, reuse[i]);
             if !offload {
                 self.skip_one(k, report, reason);
                 out.push(children[i].clone());
@@ -242,7 +259,8 @@ impl LoopTactics {
                         if !kernels_independent(&xs, &ys) {
                             break;
                         }
-                        let (off_j, _) = self.decide(&matches[j].clone().expect("matched"));
+                        let (off_j, _) =
+                            self.decide(&matches[j].clone().expect("matched"), reuse[j]);
                         if !off_j {
                             break;
                         }
@@ -276,6 +294,58 @@ impl LoopTactics {
             ScheduleTree::Sequence { children: out }
         }
     }
+}
+
+/// The stationary operand a kernel's run of reuse is keyed on, when the
+/// runtime can keep one resident.
+fn stationary_of(k: &MatchedKernel) -> Option<ArrayId> {
+    match k {
+        MatchedKernel::Gemm(g) => Some(g.a),
+        MatchedKernel::Gemv(g) => Some(g.a),
+        MatchedKernel::Conv(_) => None,
+    }
+}
+
+/// Predicted reuse of each matched kernel's stationary operand within a
+/// sequence: the length of the run of consecutive kernels sharing it
+/// with no intervening writer. Mirrors the window logic of the
+/// pin-placement pass conservatively at the schedule-tree level —
+/// unmatched children (host code) are barriers that end every run, and
+/// a kernel writing an array ends that array's run.
+fn predicted_reuse(matches: &[Option<MatchedKernel>]) -> Vec<usize> {
+    fn flush(idxs: Vec<usize>, reuse: &mut [usize]) {
+        let n = idxs.len().max(1);
+        for i in idxs {
+            reuse[i] = n;
+        }
+    }
+    let mut reuse = vec![1usize; matches.len()];
+    let mut runs: BTreeMap<ArrayId, Vec<usize>> = BTreeMap::new();
+    for (i, m) in matches.iter().enumerate() {
+        let Some(k) = m else {
+            // Host code may write anything: end every open run.
+            for (_, idxs) in std::mem::take(&mut runs) {
+                flush(idxs, &mut reuse);
+            }
+            continue;
+        };
+        if let Some(a) = stationary_of(k) {
+            runs.entry(a).or_default().push(i);
+        }
+        for w in k.arrays_written() {
+            // A kernel does not clobber its own stationary operand.
+            if stationary_of(k) == Some(w) {
+                continue;
+            }
+            if let Some(idxs) = runs.remove(&w) {
+                flush(idxs, &mut reuse);
+            }
+        }
+    }
+    for (_, idxs) in runs {
+        flush(idxs, &mut reuse);
+    }
+    reuse
 }
 
 fn same_shape(a: &GemmDesc, b: &GemmDesc) -> bool {

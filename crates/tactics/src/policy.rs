@@ -75,8 +75,11 @@ impl CostModel {
         matches!(beta, Expr::Float(v) if *v == 0.0)
     }
 
-    /// Analytic accelerator estimate for a matched kernel.
-    pub fn estimate(&self, k: &MatchedKernel) -> OpEstimate {
+    /// Analytic accelerator estimate for a matched kernel. With
+    /// `resident`, the stationary operand is modeled as already
+    /// installed on its tiles (a pinned reuse); only meaningful when
+    /// [`CostModel::single_block`] holds for the operand.
+    fn estimate_with(&self, k: &MatchedKernel, resident: bool) -> OpEstimate {
         match k {
             MatchedKernel::Gemm(g) => estimate_gemm(
                 &self.accel,
@@ -85,28 +88,76 @@ impl CostModel {
                 g.n,
                 g.k,
                 Self::beta_zero(&g.beta),
-                false,
+                resident,
             ),
             MatchedKernel::Gemv(g) => {
-                estimate_gemv(&self.accel, &self.bus, g.m, g.k, Self::beta_zero(&g.beta), false)
+                estimate_gemv(&self.accel, &self.bus, g.m, g.k, Self::beta_zero(&g.beta), resident)
             }
             MatchedKernel::Conv(c) => estimate_conv2d(&self.accel, &self.bus, c.h, c.w, c.fh, c.fw),
         }
     }
 
-    /// Compares offloaded vs host execution for a kernel.
-    pub fn decide(&self, k: &MatchedKernel) -> Decision {
-        let est = self.estimate(k);
-        let host_pj = k.macs() as f64 * self.host_insts_per_mac * self.host_pj_per_inst;
+    /// Analytic accelerator estimate for a matched kernel (cold: the
+    /// stationary operand is installed by the call).
+    pub fn estimate(&self, k: &MatchedKernel) -> OpEstimate {
+        self.estimate_with(k, false)
+    }
+
+    /// Whether an `m x k` stationary operand occupies a single crossbar
+    /// tile — the condition under which tile residency survives
+    /// back-to-back kernels, so a pinned install is paid once.
+    pub fn single_block(&self, m: usize, k: usize) -> bool {
+        k <= self.accel.rows && m <= self.accel.cols
+    }
+
+    /// Stationary-operand extent `(m, k)` of a matched kernel, when it
+    /// has one the runtime can keep resident.
+    fn stationary_extent(k: &MatchedKernel) -> Option<(usize, usize)> {
+        match k {
+            MatchedKernel::Gemm(g) => Some((g.m, g.k)),
+            MatchedKernel::Gemv(g) => Some((g.m, g.k)),
+            MatchedKernel::Conv(_) => None,
+        }
+    }
+
+    fn decision_from(&self, macs: u64, cim_energy_pj: f64, cim_time_s: f64) -> Decision {
+        let host_pj = macs as f64 * self.host_insts_per_mac * self.host_pj_per_inst;
         let wait_pj = if self.spin_wait {
             // Spinning retires ~1 inst/cycle for the accelerator's busy time.
-            est.time.as_s() * self.host_freq_hz * self.host_pj_per_inst
+            cim_time_s * self.host_freq_hz * self.host_pj_per_inst
         } else {
             0.0
         };
-        let cim_pj =
-            est.energy.as_pj() + wait_pj + self.offload_overhead_insts * self.host_pj_per_inst;
+        let cim_pj = cim_energy_pj + wait_pj + self.offload_overhead_insts * self.host_pj_per_inst;
         Decision { offload: cim_pj < host_pj, host_pj, cim_pj }
+    }
+
+    /// Compares offloaded vs host execution for a single, cold kernel
+    /// invocation.
+    pub fn decide(&self, k: &MatchedKernel) -> Decision {
+        let est = self.estimate(k);
+        self.decision_from(k.macs(), est.energy.as_pj(), est.time.as_s())
+    }
+
+    /// Compares offloaded vs host execution for one call of a run of
+    /// `uses` consecutive kernels reusing the same pinned stationary
+    /// operand: the crossbar install is paid once (cold call), the
+    /// remaining `uses - 1` calls run against resident tiles, and the
+    /// decision is made on the per-call average. Falls back to
+    /// [`CostModel::decide`] when residency cannot help — a single use,
+    /// a multi-tile operand, or a kernel without a stationary operand.
+    pub fn decide_reused(&self, k: &MatchedKernel, uses: usize) -> Decision {
+        let resident_ok =
+            uses > 1 && Self::stationary_extent(k).is_some_and(|(m, kk)| self.single_block(m, kk));
+        if !resident_ok {
+            return self.decide(k);
+        }
+        let cold = self.estimate_with(k, false);
+        let warm = self.estimate_with(k, true);
+        let n = uses as f64;
+        let time_s = (cold.time.as_s() + (n - 1.0) * warm.time.as_s()) / n;
+        let energy_pj = (cold.energy.as_pj() + (n - 1.0) * warm.energy.as_pj()) / n;
+        self.decision_from(k.macs(), energy_pj, time_s)
     }
 }
 
@@ -174,5 +225,32 @@ mod tests {
         let cm = CostModel::default();
         let d = cm.decide(&gemm(4));
         assert!(!d.offload, "4x4 gemm cannot amortize the driver overhead");
+    }
+
+    #[test]
+    fn pinned_gemv_chain_flips_to_offload_once_residency_is_priced() {
+        // A stationary-weight GEMV chain is the regression shape: cold,
+        // every call pays the full crossbar install and loses to the
+        // host; priced as a pinned run, the install amortizes away and
+        // the chain flips to offload.
+        let cm = CostModel::default();
+        assert!(!cm.decide(&gemv(256)).offload, "cold gemv-256 must lose");
+        assert_eq!(
+            cm.decide_reused(&gemv(256), 1),
+            cm.decide(&gemv(256)),
+            "single use: no amortization"
+        );
+        let d = cm.decide_reused(&gemv(256), 8);
+        assert!(d.offload, "8-deep pinned chain: cim {} vs host {}", d.cim_pj, d.host_pj);
+        assert!(d.cim_pj < cm.decide(&gemv(256)).cim_pj, "amortized cost must drop");
+    }
+
+    #[test]
+    fn reuse_amortization_requires_a_single_block_operand() {
+        // A multi-wave stationary operand cannot stay resident, so reuse
+        // must not change the decision.
+        let cm = CostModel::default();
+        let k = gemm(1024);
+        assert_eq!(cm.decide_reused(&k, 16), cm.decide(&k));
     }
 }

@@ -1,0 +1,121 @@
+//! Capacity-aware pin placement under randomized reuse patterns.
+//!
+//! Random GEMM chains draw their stationary operand from a small weight
+//! pool, so reuse intervals interleave arbitrarily — while the cost
+//! model is pinned to a 1x1 grid, guaranteeing the concurrent stationary
+//! footprint exceeds capacity whenever two live intervals overlap. The
+//! planner must (a) account for every candidate as pinned or spilled,
+//! (b) never let concurrently live accepted pins exceed the grid, and
+//! (c) leave results bit-for-bit identical to the unpinned schedule.
+
+use proptest::prelude::*;
+use tdo_ir::interp::{run, PureBackend};
+use tdo_ir::{ArrayId, Program};
+use tdo_poly::codegen::rebuild_program;
+use tdo_poly::scop::extract;
+use tdo_tactics::pass::LoopTactics;
+use tdo_tactics::{plan_pins, CostModel, OffloadGraph, TacticsConfig};
+
+const N: usize = 8;
+const WEIGHTS: usize = 3;
+
+/// A chain of GEMMs; statement `t` computes `C{t} += W{ws[t]} * X`.
+fn chain_src(ws: &[usize]) -> String {
+    let mut decls = String::new();
+    for w in 0..WEIGHTS {
+        decls.push_str(&format!("float W{w}[N][N]; "));
+    }
+    decls.push_str("float X[N][N]; ");
+    for t in 0..ws.len() {
+        decls.push_str(&format!("float C{t}[N][N]; "));
+    }
+    let mut body = String::new();
+    for (t, w) in ws.iter().enumerate() {
+        body.push_str(&format!(
+            "for (int i = 0; i < N; i++)
+               for (int j = 0; j < N; j++)
+                 for (int k = 0; k < N; k++)
+                   C{t}[i][j] += W{w}[i][k] * X[k][j];\n"
+        ));
+    }
+    format!("const int N = {N};\n{decls}\nvoid kernel() {{\n{body}}}\n")
+}
+
+/// Detect-only offload of the chain (the unpinned baseline schedule).
+fn offload(src: &str) -> Program {
+    let cfg = TacticsConfig { fusion: false, ..TacticsConfig::default() };
+    let prog = tdo_lang::compile(src).expect("compiles");
+    let scop = extract(&prog).expect("affine");
+    let (tree, report) = LoopTactics::new(cfg).run(&prog, &scop);
+    assert!(report.any_offloaded(), "chain must offload");
+    rebuild_program(&prog, &scop, &tree)
+}
+
+fn run_to_arrays(prog: &Program) -> Vec<Vec<u32>> {
+    let mut be = PureBackend::for_program(prog);
+    for (i, d) in prog.arrays.iter().enumerate() {
+        let data: Vec<f32> =
+            (0..d.elem_count()).map(|j| ((i * 13 + j * 5) % 11) as f32 - 5.0).collect();
+        be.set_array(ArrayId(i), &data);
+    }
+    run(prog, &mut be).expect("runs");
+    (0..prog.arrays.len())
+        .map(|i| be.array(ArrayId(i)).iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn placement_respects_capacity_and_preserves_results(
+        ws in collection::vec(0usize..WEIGHTS, 4..10),
+    ) {
+        let baseline = offload(&chain_src(&ws));
+
+        // A single-tile grid: any two overlapping live intervals exceed
+        // capacity, so interleaved reuse must spill.
+        let mut cost = CostModel::default();
+        cost.accel = cost.accel.with_grid(1, 1);
+        let capacity = cost.accel.grid.0 * cost.accel.grid.1;
+
+        let mut graph = OffloadGraph::build(&baseline);
+        graph.hoist_syncs();
+        graph.elide_syncs();
+        let candidates = graph.pin_candidates();
+        let plan = plan_pins(&candidates, &cost);
+
+        // Every weight reused at least twice is a candidate (W arrays are
+        // never host-written after init, so each has one reuse window).
+        let reused =
+            (0..WEIGHTS).filter(|w| ws.iter().filter(|&&x| x == *w).count() >= 2).count();
+        prop_assert_eq!(candidates.len(), reused);
+
+        // (a) Accounting: pinned + spilled covers every candidate.
+        prop_assert_eq!(plan.accepted.len() + plan.spilled.len(), candidates.len());
+        prop_assert_eq!(plan.capacity_tiles, capacity);
+
+        // (b) At every schedule point, the tiles held by concurrently
+        // live accepted pins stay within the grid (all candidates here
+        // are single-block 8x8 operands: one tile each).
+        let horizon = plan.accepted.iter().map(|c| c.last_idx).max().unwrap_or(0);
+        for idx in 0..=horizon {
+            let live = plan
+                .accepted
+                .iter()
+                .filter(|c| c.first_idx <= idx && idx <= c.last_idx)
+                .count();
+            prop_assert!(live <= capacity, "{live} pins live at {idx} on a {capacity}-tile grid");
+        }
+
+        // (c) The pinned schedule is bit-for-bit the unpinned one.
+        let pins = graph.insert_pins(&plan.accepted);
+        prop_assert_eq!(pins, plan.accepted.len());
+        let mut pinned = baseline.clone();
+        pinned.body = graph.into_body();
+        let (b, p) = (run_to_arrays(&baseline), run_to_arrays(&pinned));
+        for (i, (want, got)) in b.iter().zip(&p).enumerate() {
+            prop_assert!(want == got, "{} diverges", baseline.arrays[i].name);
+        }
+    }
+}

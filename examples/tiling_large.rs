@@ -93,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         prog: p.clone(),
         source_ir: p,
         report: None,
-        dataflow: None,
+        passes: Vec::new(),
         scop_skipped: None,
     };
     let _ = CompileOptions::default();

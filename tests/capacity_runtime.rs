@@ -1,0 +1,121 @@
+//! End-to-end capacity accounting: the default compile pipeline's pin
+//! placement against the runtime's LRU tile table, on chains whose
+//! pinned stationary operands exceed the grid.
+//!
+//! Random GEMM chains draw their stationary operand from a small weight
+//! pool on the default single-tile grid, so sequential reuse windows
+//! force the runtime to recycle tiles (capacity evictions) while
+//! interleaved windows force the compiler to spill candidates. Either
+//! way, every candidate must be accounted for, every accepted pin must
+//! actually hit residency, and results must match the legacy
+//! conservative schedule bit for bit.
+
+use proptest::prelude::*;
+use tdo_cim::{compile, execute, CompileOptions, ExecOptions, RunResult};
+
+const N: usize = 8;
+const WEIGHTS: usize = 3;
+
+/// A chain of GEMMs; statement `t` computes `C{t} += W{ws[t]} * X`.
+fn chain_src(ws: &[usize]) -> String {
+    let mut decls = String::new();
+    for w in 0..WEIGHTS {
+        decls.push_str(&format!("float W{w}[N][N]; "));
+    }
+    decls.push_str("float X[N][N]; ");
+    for t in 0..ws.len() {
+        decls.push_str(&format!("float C{t}[N][N]; "));
+    }
+    let mut body = String::new();
+    for (t, w) in ws.iter().enumerate() {
+        body.push_str(&format!(
+            "for (int i = 0; i < N; i++)
+               for (int j = 0; j < N; j++)
+                 for (int k = 0; k < N; k++)
+                   C{t}[i][j] += W{w}[i][k] * X[k][j];\n"
+        ));
+    }
+    format!("const int N = {N};\n{decls}\nvoid kernel() {{\n{body}}}\n")
+}
+
+fn init(name: &str, data: &mut [f32]) {
+    let seed = name.len();
+    for (i, v) in data.iter_mut().enumerate() {
+        *v = ((seed * 7 + i * 3) % 9) as f32 - 4.0;
+    }
+}
+
+fn run(src: &str, opts: &CompileOptions) -> (RunResult, tdo_cim::CompiledProgram) {
+    let compiled = compile(src, opts).expect("compiles");
+    let r = execute(&compiled, &ExecOptions::default(), &init).expect("runs");
+    (r, compiled)
+}
+
+fn outputs(count: usize, r: &RunResult) -> Vec<Vec<u32>> {
+    (0..count)
+        .map(|t| r.array(&format!("C{t}")).expect("output").iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn sequential_pins_recycle_the_single_tile_grid() {
+    // Two disjoint reuse windows on a one-tile grid: both are pinned
+    // (their live intervals do not overlap), so the second pin's install
+    // must evict the first — a runtime capacity spill, not a compile-time
+    // one.
+    let ws = [0, 0, 1, 1];
+    let mut opts = CompileOptions::default();
+    opts.tactics.fusion = false;
+    let (r, compiled) = run(&chain_src(&ws), &opts);
+    assert_eq!(compiled.pass_counter("pins"), 2);
+    assert_eq!(compiled.pass_counter("spills"), 0);
+    let rt = r.runtime.expect("runtime stats");
+    assert_eq!(rt.pin_calls, 2);
+    assert_eq!(rt.pin_hits, 2, "each window reuses its install once");
+    assert_eq!(rt.pin_evictions, 1, "the second install evicts the first pin's tiles");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary reuse patterns on the default single-tile grid:
+    /// candidates are fully accounted (pins + spills), every runtime pin
+    /// hits residency at least once, sequential pins evict LRU tiles,
+    /// and the schedule stays bit-for-bit the conservative one.
+    #[test]
+    fn pin_accounting_holds_under_capacity_pressure(
+        ws in collection::vec(0usize..WEIGHTS, 4..10),
+    ) {
+        let src = chain_src(&ws);
+        let mut opts = CompileOptions::default();
+        opts.tactics.fusion = false;
+        let (r, compiled) = run(&src, &opts);
+        let (r_legacy, _) = {
+            let mut legacy = CompileOptions::without_dataflow();
+            legacy.tactics.fusion = false;
+            run(&src, &legacy)
+        };
+        prop_assert!(outputs(ws.len(), &r) == outputs(ws.len(), &r_legacy),
+            "pinned schedule diverges from the conservative one");
+
+        let (pins, spills, candidates) = (
+            compiled.pass_counter("pins"),
+            compiled.pass_counter("spills"),
+            compiled.pass_counter("candidates"),
+        );
+        prop_assert!(pins + spills == candidates, "unaccounted pin candidate");
+        let reused =
+            (0..WEIGHTS).filter(|w| ws.iter().filter(|&&x| x == *w).count() >= 2).count();
+        prop_assert_eq!(candidates as usize, reused);
+
+        let rt = r.runtime.expect("runtime stats");
+        prop_assert_eq!(rt.pin_calls, pins);
+        // Every accepted candidate has >= 2 uses, and with one tile of
+        // capacity accepted windows never overlap — so each pin's
+        // install survives its whole window and serves >= 1 warm call.
+        prop_assert!(rt.pin_hits >= pins, "a pinned window never hit residency");
+        // Each pinned install after the first finds the single tile held
+        // by the previous (dead but installed) pin and must evict it.
+        prop_assert_eq!(rt.pin_evictions, pins.saturating_sub(1));
+    }
+}

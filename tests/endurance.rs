@@ -20,7 +20,10 @@ const LISTING2: &str = r#"
 "#;
 
 fn writes_with_fusion(enable: bool) -> (u64, f64) {
-    let mut opts = CompileOptions::with_tactics();
+    // The naive point-wise schedule of Section III-B: the pass pipeline's
+    // pin placement would otherwise keep the shared operand resident and
+    // erase the very write traffic this suite measures.
+    let mut opts = CompileOptions::without_dataflow();
     opts.tactics.fusion = enable;
     let compiled = compile(LISTING2, &opts).expect("compiles");
     let init = |name: &str, data: &mut [f32]| {
@@ -40,6 +43,21 @@ fn fusion_halves_crossbar_writes() {
     let (unfused, _) = writes_with_fusion(false);
     // Smart mapping writes A once; naive mapping writes it per kernel.
     assert_eq!(unfused, 2 * fused, "unfused {unfused} vs fused {fused}");
+
+    // The default pass pipeline recovers the same factor without fusing:
+    // pin placement keeps the shared A resident across both kernels.
+    let mut pinned_opts = CompileOptions::default();
+    pinned_opts.tactics.fusion = false;
+    let compiled = compile(LISTING2, &pinned_opts).expect("compiles");
+    assert_eq!(compiled.pass_counter("pins"), 1, "A must be pinned");
+    let init = |name: &str, data: &mut [f32]| {
+        let seed = name.len();
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = ((seed + i * 3) % 5) as f32 - 2.0;
+        }
+    };
+    let r = execute(&compiled, &ExecOptions::default(), &init).expect("runs");
+    assert_eq!(r.accel.expect("offloaded").cell_writes, fused, "pinning matches fused writes");
 }
 
 #[test]
@@ -62,7 +80,8 @@ fn fusion_doubles_projected_lifetime() {
         }
     "#;
     let run = |fusion: bool| {
-        let mut opts = CompileOptions::with_tactics();
+        // Naive schedule again — see `writes_with_fusion`.
+        let mut opts = CompileOptions::without_dataflow();
         opts.tactics.fusion = fusion;
         let compiled = compile(WIDE, &opts).expect("compiles");
         let init = |name: &str, data: &mut [f32]| {
