@@ -156,6 +156,24 @@ impl CimAccelerator {
             .collect()
     }
 
+    /// Total cell writes absorbed so far by the tiles of `region` — the
+    /// region-granular view of [`CimAccelerator::tile_wear`] that the
+    /// serving scheduler's wear budgets and wear-aware lease placement
+    /// read. Region lanes outside the grid are ignored (a region from a
+    /// foreign grid shape contributes only its in-bounds tiles).
+    pub fn region_cell_writes(&self, region: &GridRegion) -> u64 {
+        let (gk, gm) = self.cfg.grid;
+        let (k0, m0) = region.origin;
+        let (sk, sm) = region.shape;
+        let mut total = 0;
+        for k in k0..(k0 + sk).min(gk) {
+            for m in m0..(m0 + sm).min(gm) {
+                total += self.tiles[k * gm + m].cell_writes();
+            }
+        }
+        total
+    }
+
     /// Host-visible PMIO register write (bus timing is charged by the
     /// driver, which owns the host side of the transaction).
     pub fn pmio_write(&mut self, r: Reg, v: u64) {

@@ -1,0 +1,393 @@
+//! Multi-tenant serving saturation — the study the paper's platform
+//! never reaches: N tenants sharing one tile grid through the
+//! `cim_serve` scheduler, driven by open-loop arrivals on the modeled
+//! clock. Two phases:
+//!
+//! 1. **load sweep** — every tenant offers the same deterministic
+//!    arrival stream at 0.5x, 1.0x and 2.0x of its lease region's
+//!    service rate; per-tenant p50/p99 sojourn latency (arrival to
+//!    retire, admission delay included) shows the knee at saturation
+//!    while all tenants keep making concurrent progress on disjoint
+//!    leases.
+//! 2. **adversarial neighbor** — one tenant floods at 4x for the whole
+//!    window while three victims offer light load, with two tenants per
+//!    lease region so the flood shares tiles with a victim. Run under
+//!    deficit-weighted admission and under the FIFO baseline, the
+//!    comparison is the victim's *queueing wait* (issue to retire) —
+//!    the quantity admission control bounds: fairness caps it near the
+//!    co-lessees' quota sum and throttles the adversary, FIFO lets the
+//!    flood's backlog swallow the victim. The grep-able
+//!    `fig11 isolation:` line carries the counters.
+//!
+//! Every op is an identity GEMV with a fresh stationary operand, so
+//! results are self-checking (`y == x` bit-for-bit) and busy time is
+//! install-dominated — saturation is device time, not host pacing.
+//!
+//! Usage: `cargo run --release -p tdo_bench --bin fig11_serving --
+//!     [--grid KxM] [--tenants N] [--ops N] [--device pcm|reram]
+//!     [--json PATH]`
+
+use cim_accel::AccelConfig;
+use cim_machine::units::SimTime;
+use cim_machine::{Machine, MachineConfig};
+use cim_report::{BenchRecord, BenchReport};
+use cim_runtime::{
+    CimContext, CimServer, DevPtr, DispatchMode, DriverConfig, FairnessPolicy, ServePolicy,
+    TenantConfig, Transpose,
+};
+use tdo_bench::{
+    bench_config, device_flag_help, device_from_args, emit_report, grid_flag_help,
+    grid_from_args_or, handle_help, json_flag_help, usize_flag_or,
+};
+
+/// Per-op dimension: a 64x64 stationary install keeps every op's busy
+/// time device-dominated on full-size tiles.
+const N: usize = 64;
+
+fn fill(len: usize, seed: usize) -> Vec<f32> {
+    (0..len).map(|i| ((seed + i * 7) % 13) as f32 * 0.125 - 0.75).collect()
+}
+
+fn identity(n: usize) -> Vec<f32> {
+    let mut a = vec![0f32; n * n];
+    for i in 0..n {
+        a[i * n + i] = 1.0;
+    }
+    a
+}
+
+fn dev_mat(ctx: &mut CimContext, mach: &mut Machine, data: &[f32]) -> DevPtr {
+    let dev = ctx.cim_malloc(mach, (data.len() * 4) as u64).expect("malloc");
+    mach.poke_f32_slice(dev.va, data);
+    dev
+}
+
+/// One self-checking op: `y = I * x` with a fresh identity install, so
+/// the expected output is the input, bit for bit.
+fn issue_op(ctx: &mut CimContext, mach: &mut Machine, seed: usize) -> (DevPtr, Vec<f32>) {
+    let a = dev_mat(ctx, mach, &identity(N));
+    let x_data = fill(N, seed);
+    let x = dev_mat(ctx, mach, &x_data);
+    let y = dev_mat(ctx, mach, &fill(N, seed + 1));
+    ctx.cim_blas_sgemv(mach, Transpose::No, N, N, 1.0, a, N, x, 0.0, y).expect("gemv");
+    (y, x_data)
+}
+
+/// The modeled busy time of one op, measured on a private context —
+/// the service time every arrival interval below is scaled from.
+fn calibrate_busy(accel_cfg: &AccelConfig) -> SimTime {
+    let mut mach = Machine::new(MachineConfig::default());
+    let mut ctx = CimContext::new(
+        *accel_cfg,
+        DriverConfig { dispatch: DispatchMode::Async, ..DriverConfig::default() },
+        &mach,
+    );
+    ctx.cim_init(&mut mach, 0).expect("init");
+    let a = dev_mat(&mut ctx, &mut mach, &identity(N));
+    let x = dev_mat(&mut ctx, &mut mach, &fill(N, 11));
+    let y = dev_mat(&mut ctx, &mut mach, &fill(N, 12));
+    let busy =
+        ctx.cim_blas_sgemv(&mut mach, Transpose::No, N, N, 1.0, a, N, x, 0.0, y).expect("gemv");
+    ctx.cim_sync(&mut mach).expect("sync");
+    assert!(busy > SimTime::ZERO);
+    busy
+}
+
+struct TenantOut {
+    /// Arrival -> retire, sorted (host lag + queueing + service).
+    sojourns: Vec<SimTime>,
+    /// Issue -> retire, sorted (the wait admission control bounds).
+    waits: Vec<SimTime>,
+    throttles: u64,
+    grants: u64,
+    tile_ns: f64,
+}
+
+struct ServeOut {
+    tenants: Vec<TenantOut>,
+    elapsed: SimTime,
+    max_tiles_active: u64,
+    wall: std::time::Duration,
+}
+
+/// Open-loop serving run: per-tenant deterministic arrival streams
+/// (`intervals[t]`, `op_counts[t]` ops) merged in time order onto one
+/// submission thread. Results self-check at the end.
+fn run_serving(
+    accel_cfg: &AccelConfig,
+    regions: usize,
+    fairness: FairnessPolicy,
+    intervals: &[SimTime],
+    op_counts: &[usize],
+) -> ServeOut {
+    let wall_t0 = std::time::Instant::now();
+    let n_tenants = intervals.len();
+    let mut mach = Machine::new(MachineConfig::default());
+    let mut server = CimServer::new(
+        *accel_cfg,
+        DriverConfig { dispatch: DispatchMode::Async, ..DriverConfig::default() },
+        ServePolicy { regions, fairness },
+        &mach,
+    );
+    let mut ctxs: Vec<CimContext> =
+        (0..n_tenants).map(|_| server.connect(TenantConfig::default())).collect();
+    for ctx in &mut ctxs {
+        ctx.cim_init(&mut mach, 0).expect("init");
+    }
+    let tids: Vec<_> = ctxs.iter().map(|c| c.tenant().expect("tenant")).collect();
+
+    // Deterministic open-loop arrivals, merged across tenants in time
+    // order (ties broken by tenant index — no hash-order anywhere).
+    let mut arrivals: Vec<(SimTime, usize, usize)> = (0..n_tenants)
+        .flat_map(|t| {
+            let jitter = intervals[t] * (0.1 * (t + 1) as f64);
+            (0..op_counts[t]).map(move |i| (jitter + intervals[t] * i as f64, t, i))
+        })
+        .collect();
+    arrivals.sort_by(|a, b| a.0.as_ns().total_cmp(&b.0.as_ns()).then(a.1.cmp(&b.1)));
+
+    let t0 = mach.now();
+    let mut sojourns: Vec<Vec<SimTime>> = vec![Vec::new(); n_tenants];
+    let mut waits: Vec<Vec<SimTime>> = vec![Vec::new(); n_tenants];
+    let mut checks: Vec<(usize, DevPtr, Vec<f32>)> = Vec::new();
+    for (offset, t, i) in arrivals {
+        let arrival = t0 + offset;
+        if mach.now() < arrival {
+            let now = mach.now();
+            mach.advance_host(arrival - now);
+        }
+        let (y, want) = issue_op(&mut ctxs[t], &mut mach, 100 + t * 1009 + i * 17);
+        // The tenant's newest command is the last to retire, so its
+        // backlog horizon *is* this op's retire instant.
+        let wait = server.backlog_of(tids[t], mach.now());
+        waits[t].push(wait);
+        sojourns[t].push(mach.now() + wait - arrival);
+        checks.push((t, y, want));
+    }
+    for ctx in &mut ctxs {
+        ctx.cim_sync(&mut mach).expect("sync");
+    }
+    let elapsed = mach.now() - t0;
+    for (t, y, want) in checks {
+        let mut got = vec![0f32; N];
+        mach.peek_f32_slice(y.va, &mut got);
+        let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, want_bits, "tenant {t} result corrupted under load");
+    }
+    let max_tiles_active = server.device().borrow().accel.stats().max_tiles_active;
+    let tenants = tids
+        .iter()
+        .zip(&ctxs)
+        .enumerate()
+        .map(|(t, (&tid, ctx))| {
+            let usage = server.usage(tid);
+            let mut s = std::mem::take(&mut sojourns[t]);
+            let mut w = std::mem::take(&mut waits[t]);
+            s.sort_by(|a, b| a.as_ns().total_cmp(&b.as_ns()));
+            w.sort_by(|a, b| a.as_ns().total_cmp(&b.as_ns()));
+            TenantOut {
+                sojourns: s,
+                waits: w,
+                throttles: ctx.stats().sched_throttles,
+                grants: usage.grants,
+                tile_ns: usage.tile_ns,
+            }
+        })
+        .collect();
+    ServeOut { tenants, elapsed, max_tiles_active, wall: wall_t0.elapsed() }
+}
+
+fn percentile(sorted: &[SimTime], p: f64) -> SimTime {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    handle_help(
+        "fig11_serving",
+        "multi-tenant serving saturation: offered load vs per-tenant latency + isolation",
+        &[
+            grid_flag_help((2, 2)),
+            "--tenants <N>                           tenant count (default: 4)".into(),
+            "--ops <N>                               ops per tenant per run (default: 30)".into(),
+            device_flag_help(),
+            json_flag_help(),
+        ],
+    );
+    let grid = grid_from_args_or((2, 2));
+    let n_tenants = usize_flag_or("--tenants", 4).max(2);
+    let ops = usize_flag_or("--ops", 30).max(5);
+    let device = device_from_args();
+    let accel_cfg = AccelConfig::for_device(device).with_grid(grid.0, grid.1);
+    let busy = calibrate_busy(&accel_cfg);
+    eprintln!(
+        "running fig11 serving study: {n_tenants} tenants on a {}x{} grid of {device} tiles, \
+         {ops} ops each, service time {busy} ...",
+        grid.0, grid.1
+    );
+
+    // Phase 1: symmetric load sweep on disjoint per-tile leases.
+    let loads = [0.5, 1.0, 2.0];
+    let sweep: Vec<ServeOut> = loads
+        .iter()
+        .map(|load| {
+            let interval = busy * (1.0 / load);
+            run_serving(
+                &accel_cfg,
+                0,
+                FairnessPolicy::default(),
+                &vec![interval; n_tenants],
+                &vec![ops; n_tenants],
+            )
+        })
+        .collect();
+
+    println!(
+        "FIG. 11 — MULTI-TENANT SERVING SATURATION ({n_tenants} tenants, {}x{} {device} tiles, \
+         {ops} identity GEMVs each)",
+        grid.0, grid.1
+    );
+    println!("{}", "=".repeat(78));
+    println!(
+        "{:<8} {:<8} {:>13} {:>13} {:>10} {:>10}",
+        "load", "tenant", "p50 latency", "p99 latency", "throttles", "grants"
+    );
+    println!("{}", "-".repeat(78));
+    for (load, out) in loads.iter().zip(&sweep) {
+        for (t, tn) in out.tenants.iter().enumerate() {
+            println!(
+                "{:<8} {:<8} {:>13} {:>13} {:>10} {:>10}",
+                format!("{load:.1}x"),
+                format!("t{t}"),
+                format!("{}", percentile(&tn.sojourns, 0.50)),
+                format!("{}", percentile(&tn.sojourns, 0.99)),
+                tn.throttles,
+                tn.grants
+            );
+        }
+    }
+    println!("{}", "-".repeat(78));
+
+    // Acceptance: every tenant progressed in every run, and the grid
+    // actually ran tenants concurrently in space.
+    for (load, out) in loads.iter().zip(&sweep) {
+        let progressed = out.tenants.iter().filter(|t| t.grants == ops as u64).count();
+        assert_eq!(progressed, n_tenants, "all tenants complete their stream at {load}x");
+        assert!(
+            out.max_tiles_active >= 2,
+            "at {load}x at least two tenants' tiles must be active concurrently, saw {}",
+            out.max_tiles_active
+        );
+    }
+    let knee = |out: &ServeOut| {
+        out.tenants.iter().map(|t| percentile(&t.sojourns, 0.99).as_ns()).fold(0.0, f64::max)
+    };
+    assert!(knee(&sweep[2]) > knee(&sweep[0]), "2x overload must show a latency knee over 0.5x");
+    println!(
+        "saturation knee: worst p99 {} at 0.5x -> {} at 2.0x",
+        SimTime::from_ns(knee(&sweep[0])),
+        SimTime::from_ns(knee(&sweep[2]))
+    );
+
+    // Phase 2: adversarial neighbor on shared leases — two tenants per
+    // region, the flood (t0) co-leased with a victim, flooding at 4x
+    // for the victims' entire arrival window.
+    let regions = ((grid.0 * grid.1) / 2).max(1);
+    let mut intervals = vec![busy * 2.0; n_tenants];
+    intervals[0] = busy * 0.25;
+    let mut op_counts = vec![ops; n_tenants];
+    op_counts[0] = ops * 8; // same window span as the victims' stream
+    let fair = run_serving(&accel_cfg, regions, FairnessPolicy::default(), &intervals, &op_counts);
+    let fifo = run_serving(&accel_cfg, regions, FairnessPolicy::Fifo, &intervals, &op_counts);
+    // With leases granted in connect order over `regions` slots, tenant
+    // `regions` is the first to double up — on the adversary's region.
+    let victim = regions.min(n_tenants - 1);
+    let v_fair_p99 = percentile(&fair.tenants[victim].waits, 0.99);
+    let v_fifo_p99 = percentile(&fifo.tenants[victim].waits, 0.99);
+    let adv_throttles = fair.tenants[0].throttles;
+
+    println!("\nadversarial neighbor: t0 floods at 4x all window, victims at 0.5x, shared leases");
+    println!("{}", "-".repeat(78));
+    println!("{:<22} {:>18} {:>20}", "policy", "victim p99 wait", "adversary throttles");
+    for (name, out, p99) in
+        [("deficit-weighted", &fair, v_fair_p99), ("fifo baseline", &fifo, v_fifo_p99)]
+    {
+        println!("{:<22} {:>18} {:>20}", name, format!("{p99}"), out.tenants[0].throttles);
+    }
+    assert!(adv_throttles > 0, "the flood must trip deficit admission");
+    assert_eq!(fifo.tenants[0].throttles, 0, "FIFO never throttles");
+    assert!(
+        v_fair_p99.as_ns() < v_fifo_p99.as_ns(),
+        "fairness must bound the co-lessee victim's wait: fair {v_fair_p99} vs fifo {v_fifo_p99}"
+    );
+    // The starvation-freedom bound: the victim's wait stays within the
+    // co-lessees' quota sum plus in-flight slack.
+    let quota = match FairnessPolicy::default() {
+        FairnessPolicy::DeficitWeighted { backlog_quota, .. } => backlog_quota,
+        FairnessPolicy::Fifo => unreachable!("default policy is deficit-weighted"),
+    };
+    let bound = quota + quota + busy * 4.0;
+    assert!(
+        v_fair_p99.as_ns() <= bound.as_ns(),
+        "victim p99 wait {v_fair_p99} exceeds the quota-sum bound {bound}"
+    );
+    let progressed = fair
+        .tenants
+        .iter()
+        .enumerate()
+        .filter(|(t, tn)| tn.grants == op_counts[*t] as u64 && tn.tile_ns > 0.0)
+        .count();
+    assert_eq!(progressed, n_tenants, "isolation never stalls a tenant out");
+    println!(
+        "fig11 isolation: adversary_throttles={adv_throttles} victim_p99_wait_fair_ns={} \
+         victim_p99_wait_fifo_ns={} tenants_progressed={progressed}",
+        v_fair_p99.as_ns(),
+        v_fifo_p99.as_ns()
+    );
+    println!("\nresults self-checked bit-for-bit under every load and policy.");
+
+    let mut report = BenchReport::new("fig11_serving");
+    for (load, out) in loads.iter().zip(&sweep) {
+        let mut rec = BenchRecord {
+            name: format!("load_{:03.0}", load * 100.0),
+            config: bench_config(Some(device), Some(grid), None, Some("deficit-weighted")),
+            wall_ns: out.wall.as_nanos() as f64,
+            modeled_ns: out.elapsed.as_ns(),
+            installs: 0,
+            installs_skipped: 0,
+            hoisted_syncs: 0,
+            max_tiles_active: out.max_tiles_active,
+            metrics: Default::default(),
+        };
+        for (t, tn) in out.tenants.iter().enumerate() {
+            rec = rec
+                .with_metric(format!("t{t}_p50_ns"), percentile(&tn.sojourns, 0.50).as_ns())
+                .with_metric(format!("t{t}_p99_ns"), percentile(&tn.sojourns, 0.99).as_ns())
+                .with_metric(format!("t{t}_throttles"), tn.throttles as f64);
+        }
+        report.push(rec);
+    }
+    for (name, out, p99) in
+        [("adversarial_fair", &fair, v_fair_p99), ("adversarial_fifo", &fifo, v_fifo_p99)]
+    {
+        report.push(
+            BenchRecord {
+                name: name.into(),
+                config: bench_config(Some(device), Some(grid), None, Some("adversarial")),
+                wall_ns: out.wall.as_nanos() as f64,
+                modeled_ns: out.elapsed.as_ns(),
+                installs: 0,
+                installs_skipped: 0,
+                hoisted_syncs: 0,
+                max_tiles_active: out.max_tiles_active,
+                metrics: Default::default(),
+            }
+            .with_metric("victim_p99_wait_ns", p99.as_ns())
+            .with_metric("adversary_throttles", out.tenants[0].throttles as f64)
+            .with_metric("adversary_p99_wait_ns", percentile(&out.tenants[0].waits, 0.99).as_ns()),
+        );
+    }
+    emit_report(&report);
+}

@@ -136,10 +136,11 @@ fn run(
         c_bits.extend(out.iter().map(|v| v.to_bits()));
     }
     let stats = *ctx.accel().stats();
+    let busy_wait = ctx.driver().stats().busy_wait_time;
     RunOut {
         elapsed,
         accel_busy,
-        busy_wait: ctx.driver().stats().busy_wait_time,
+        busy_wait,
         spin_insts: mach.core.spin_instructions(),
         max_tiles: stats.max_tiles_active,
         stats,

@@ -18,11 +18,14 @@ use cim_accel::{partition_grid, AccelConfig, CimAccelerator, GridRegion};
 use cim_machine::cpu::InstClass;
 use cim_machine::units::SimTime;
 use cim_machine::Machine;
+use std::cell::{Ref, RefCell, RefMut};
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use crate::driver::{CimDriver, CimFuture, DispatchMode, DriverConfig};
 use crate::error::CimError;
 use crate::residency::ResidencyTable;
+use crate::serve::{GridScheduler, TenantId};
 use crate::stats::RuntimeStats;
 
 /// A live device allocation in the shared CMA region.
@@ -77,11 +80,41 @@ impl PendingCmd {
     }
 }
 
-/// The per-device runtime context (device handle + driver session).
+/// The hardware a context (or N tenant contexts) submits against: one
+/// accelerator, one kernel driver — rings, dispatch queue, reactor —
+/// and, when the device is fronted by [`crate::serve::CimServer`], the
+/// serving scheduler that space/time-multiplexes the tile grid.
+///
+/// A plain [`CimContext::new`] wraps a private device (the historical
+/// single-program shape); the serving layer instead builds one device
+/// and hands every tenant a context over the same [`SharedDevice`], so
+/// all tenants share the reactor's rings and the dispatch queue's
+/// per-region doorbells.
+#[derive(Debug)]
+pub struct CimDevice {
+    /// The modeled accelerator.
+    pub accel: CimAccelerator,
+    /// The kernel driver session (shared rings + dispatch queue).
+    pub driver: CimDriver,
+    /// Serving scheduler — `None` for private single-program devices.
+    pub scheduler: Option<GridScheduler>,
+}
+
+/// Shared handle to a [`CimDevice`]. The runtime is a single-threaded
+/// discrete-event model, so `Rc<RefCell<_>>` is the right flavor of
+/// sharing: every borrow is scoped to one driver/accelerator operation.
+pub type SharedDevice = Rc<RefCell<CimDevice>>;
+
+/// The per-client runtime context (device handle + driver session).
+/// Allocation, pending-command, residency and statistics state is all
+/// per-context; the accelerator, driver and (under serving) scheduler
+/// live in the [`SharedDevice`] behind it.
 #[derive(Debug)]
 pub struct CimContext {
-    accel: CimAccelerator,
-    driver: CimDriver,
+    device: SharedDevice,
+    /// The serving-scheduler identity of this context, when it was
+    /// handed out by [`crate::serve::CimServer::connect`].
+    tenant: Option<TenantId>,
     device_id: Option<u32>,
     allocations: Vec<DevPtr>,
     pending: Vec<PendingCmd>,
@@ -94,18 +127,30 @@ pub struct CimContext {
 }
 
 impl CimContext {
-    /// Creates a context around a fresh accelerator. `bus_cfg` must match
-    /// the machine the context will run against. The driver's device and
-    /// tile-grid overrides ([`DriverConfig::device`] /
+    /// Creates a context around a fresh private accelerator. `bus_cfg`
+    /// must match the machine the context will run against. The driver's
+    /// device and tile-grid overrides ([`DriverConfig::device`] /
     /// [`DriverConfig::tile_grid`]) are applied to `accel_cfg` first, so
     /// callers can sweep technologies without rebuilding the accelerator
     /// configuration by hand.
     pub fn new(accel_cfg: AccelConfig, driver_cfg: DriverConfig, mach: &Machine) -> Self {
         let accel_cfg = driver_cfg.apply_overrides(accel_cfg);
-        let grid = accel_cfg.grid;
-        CimContext {
+        let device = Rc::new(RefCell::new(CimDevice {
             accel: CimAccelerator::new(accel_cfg, mach.cfg.bus),
             driver: CimDriver::new(driver_cfg),
+            scheduler: None,
+        }));
+        CimContext::attach(device, None)
+    }
+
+    /// Builds a context over an existing shared device. Tenant contexts
+    /// ([`crate::serve::CimServer::connect`]) pass their scheduler
+    /// identity; `None` is a plain co-resident client.
+    pub(crate) fn attach(device: SharedDevice, tenant: Option<TenantId>) -> Self {
+        let grid = device.borrow().accel.config().grid;
+        CimContext {
+            device,
+            tenant,
             device_id: None,
             allocations: Vec::new(),
             pending: Vec::new(),
@@ -116,19 +161,32 @@ impl CimContext {
         }
     }
 
-    /// The accelerator (for stats and timeline inspection).
-    pub fn accel(&self) -> &CimAccelerator {
-        &self.accel
+    /// The shared device behind this context.
+    pub fn device(&self) -> SharedDevice {
+        Rc::clone(&self.device)
     }
 
-    /// Mutable accelerator access (tests, fidelity switches).
-    pub fn accel_mut(&mut self) -> &mut CimAccelerator {
-        &mut self.accel
+    /// The serving-scheduler identity of this context, if any.
+    pub fn tenant(&self) -> Option<TenantId> {
+        self.tenant
     }
 
-    /// The kernel driver model.
-    pub fn driver(&self) -> &CimDriver {
-        &self.driver
+    /// The accelerator (for stats and timeline inspection). The guard
+    /// must not be held across another runtime call on the same device.
+    pub fn accel(&self) -> Ref<'_, CimAccelerator> {
+        Ref::map(self.device.borrow(), |d| &d.accel)
+    }
+
+    /// Mutable accelerator access (tests, fidelity switches). The guard
+    /// must not be held across another runtime call on the same device.
+    pub fn accel_mut(&mut self) -> RefMut<'_, CimAccelerator> {
+        RefMut::map(self.device.borrow_mut(), |d| &mut d.accel)
+    }
+
+    /// The kernel driver model. The guard must not be held across
+    /// another runtime call on the same device.
+    pub fn driver(&self) -> Ref<'_, CimDriver> {
+        Ref::map(self.device.borrow(), |d| &d.driver)
     }
 
     /// Runtime call statistics.
@@ -206,7 +264,12 @@ impl CimContext {
                 kept.push(cmd);
                 continue;
             }
-            if let Err(e) = self.driver.sync(mach, &mut self.accel, &cmd.future) {
+            let synced = {
+                let mut guard = self.device.borrow_mut();
+                let dev = &mut *guard;
+                dev.driver.sync(mach, &mut dev.accel, &cmd.future)
+            };
+            if let Err(e) = synced {
                 pending.push_front(cmd);
                 kept.extend(pending);
                 self.pending = kept;
@@ -248,35 +311,57 @@ impl CimContext {
         reads: Vec<(u64, u64)>,
         writes: Vec<(u64, u64)>,
     ) -> Result<SimTime, CimError> {
-        match self.driver.config().dispatch {
-            DispatchMode::Sync => {
-                let result =
-                    self.driver.invoke_region(mach, &mut self.accel, region, &reads, &writes);
-                if result.is_ok() {
-                    self.invalidate_written(&writes);
+        let outcome = {
+            let mut guard = self.device.borrow_mut();
+            let dev = &mut *guard;
+            let stalls0 = dev.driver.stats().queue_full_stalls;
+            let cells0 = dev.accel.stats().cell_writes;
+            let outcome = match dev.driver.config().dispatch {
+                DispatchMode::Sync => dev
+                    .driver
+                    .invoke_region(mach, &mut dev.accel, region, &reads, &writes)
+                    .map(|busy| (busy, None)),
+                DispatchMode::Async => dev
+                    .driver
+                    .submit_region(mach, &mut dev.accel, region, &reads, &writes)
+                    .map(|future| (future.busy, Some(future))),
+            };
+            // Queue-full backpressure lands on the tenant whose
+            // submission stalled, not smeared across the device.
+            self.stats.queue_full_stalls += dev.driver.stats().queue_full_stalls - stalls0;
+            if let Ok((busy, future)) = &outcome {
+                if let (Some(tid), Some(sched)) = (self.tenant, dev.scheduler.as_mut()) {
+                    // The scheduler meters what the command actually
+                    // consumed: tile-time until its predicted retire
+                    // instant and the cell writes of its installs.
+                    let ready_at = future.map_or(mach.now(), |f| f.ready_at);
+                    let cells = dev.accel.stats().cell_writes - cells0;
+                    sched.note_dispatch(tid, region, *busy, ready_at, cells);
                 }
+            }
+            outcome
+        };
+        match outcome {
+            Ok((busy, None)) => {
+                self.invalidate_written(&writes);
                 for p in scratch {
                     self.release(mach, p)?;
                 }
-                result
+                Ok(busy)
             }
-            DispatchMode::Async => {
-                match self.driver.submit_region(mach, &mut self.accel, region, &reads, &writes) {
-                    Ok(future) => {
-                        self.stats.async_submits += 1;
-                        self.invalidate_written(&writes);
-                        let mut ranges = reads;
-                        ranges.extend(writes);
-                        self.pending.push(PendingCmd { future, scratch, ranges });
-                        Ok(future.busy)
-                    }
-                    Err(e) => {
-                        for p in scratch {
-                            self.release(mach, p)?;
-                        }
-                        Err(e)
-                    }
+            Ok((busy, Some(future))) => {
+                self.stats.async_submits += 1;
+                self.invalidate_written(&writes);
+                let mut ranges = reads;
+                ranges.extend(writes);
+                self.pending.push(PendingCmd { future, scratch, ranges });
+                Ok(busy)
+            }
+            Err(e) => {
+                for p in scratch {
+                    self.release(mach, p)?;
                 }
+                Err(e)
             }
         }
     }
@@ -310,7 +395,7 @@ impl CimContext {
     pub fn cim_pin(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
         self.ensure_init()?;
         self.check_live(&ptr)?;
-        self.driver.ioctl(mach);
+        self.device.borrow_mut().driver.ioctl(mach);
         self.residency.pin(ptr.pa, ptr.len);
         self.stats.pin_calls += 1;
         Ok(())
@@ -336,20 +421,37 @@ impl CimContext {
     /// case its pre-invocation flush is skipped).
     ///
     /// Placement policy: a pinned operand keeps the region its first
-    /// kernel chose, so reuse hits tile residency; otherwise
+    /// kernel chose, so reuse hits tile residency; a tenant context
+    /// places fresh single-block work on its scheduler lease (the
+    /// wear-aware region the serving layer granted it); otherwise
     /// single-block operands dispatched asynchronously get round-robin
     /// sub-regions (they use one tile regardless, and disjoint regions
     /// let separate calls overlap), and everything else takes the full
-    /// grid (maximal wave parallelism within the command).
+    /// grid (maximal wave parallelism within the command — under
+    /// serving this serializes against every lease, the documented cost
+    /// of multi-tile kernels on a shared grid).
     fn place_stationary(&mut self, a: &DevPtr, m: usize, k: usize) -> (GridRegion, bool) {
-        let cfg = self.accel.config();
-        let grid = cfg.grid;
-        let single_block = k <= cfg.rows && m <= cfg.cols;
+        let (grid, single_block, dispatch_async, leased) = {
+            let mut guard = self.device.borrow_mut();
+            let dev = &mut *guard;
+            let cfg = dev.accel.config();
+            let grid = cfg.grid;
+            let single_block = k <= cfg.rows && m <= cfg.cols;
+            let dispatch_async = dev.driver.config().dispatch == DispatchMode::Async;
+            let leased = match (self.tenant, dev.scheduler.as_mut()) {
+                (Some(tid), Some(sched)) if single_block => sched.lease_region(tid, &dev.accel),
+                _ => None,
+            };
+            (grid, single_block, dispatch_async, leased)
+        };
         if let Some(idx) = self.residency.find(a.pa, a.len) {
             let region = match self.residency.entry(idx).region {
                 Some(r) => r,
-                None if single_block => self.next_subregion(),
-                None => GridRegion::full(grid),
+                None => match leased {
+                    Some(r) => r,
+                    None if single_block => self.next_subregion(),
+                    None => GridRegion::full(grid),
+                },
             };
             // A fresh placement must fit the grid's tile budget: evict
             // the least-recently-used installed pins until it does — a
@@ -366,14 +468,67 @@ impl CimContext {
             }
             return (region, hit);
         }
-        let overlap_eligible = self.driver.config().dispatch == DispatchMode::Async
-            && single_block
-            && grid.0 * grid.1 > 1;
+        if let Some(region) = leased {
+            return (region, false);
+        }
+        let overlap_eligible = dispatch_async && single_block && grid.0 * grid.1 > 1;
         if overlap_eligible {
             (self.next_subregion(), false)
         } else {
             (GridRegion::full(grid), false)
         }
+    }
+
+    /// Serving-policy admission control, run before a tenant kernel
+    /// reaches the hardware. The host-side delay is the fairness lever:
+    /// a command already in the rings cannot be reordered, so the
+    /// scheduler shapes traffic where commands are *born* — a tenant
+    /// whose accumulated tile-time backlog exceeds its weighted quota
+    /// (or whose wear budget is spent) idles before submitting, leaving
+    /// the grid to its neighbors. No-op for non-tenant contexts.
+    fn tenant_admission(&mut self, mach: &mut Machine) {
+        let Some(tid) = self.tenant else { return };
+        let Some((delay, backlog, wear)) = ({
+            let mut guard = self.device.borrow_mut();
+            guard.scheduler.as_mut().map(|sched| sched.admission(tid, mach.now()))
+        }) else {
+            return;
+        };
+        if delay > SimTime::ZERO {
+            mach.core.idle_wait(delay);
+        }
+        if backlog {
+            self.stats.sched_throttles += 1;
+        }
+        if wear {
+            self.stats.wear_throttles += 1;
+        }
+    }
+
+    /// Detaches this context from the shared device: pending commands
+    /// are synchronized (the tenant's own doorbells are claimed — a
+    /// departing tenant leaves nothing unclaimed in the completion
+    /// ring), every live allocation is released (which invalidates its
+    /// pins), and the serving lease is reclaimed for the remaining
+    /// tenants. The context is left uninitialized; it can be dropped or
+    /// re-`cim_init`ed as a fresh client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver or free errors; state already torn down stays
+    /// torn down (the call is safe to retry).
+    pub fn disconnect(&mut self, mach: &mut Machine) -> Result<(), CimError> {
+        self.cim_sync(mach)?;
+        while let Some(ptr) = self.allocations.last().copied() {
+            self.release(mach, ptr)?;
+        }
+        if let Some(tid) = self.tenant {
+            if let Some(sched) = self.device.borrow_mut().scheduler.as_mut() {
+                sched.disconnect(tid);
+            }
+        }
+        self.device_id = None;
+        Ok(())
     }
 
     /// `polly_cimInit(device)`: opens the device and resets the engine.
@@ -382,7 +537,7 @@ impl CimContext {
     ///
     /// Currently infallible for device 0; kept fallible for API stability.
     pub fn cim_init(&mut self, mach: &mut Machine, device: u32) -> Result<(), CimError> {
-        self.driver.ioctl(mach);
+        self.device.borrow_mut().driver.ioctl(mach);
         self.device_id = Some(device);
         self.stats.init_calls += 1;
         Ok(())
@@ -400,8 +555,8 @@ impl CimContext {
         if bytes == 0 {
             return Err(CimError::InvalidArg("zero-byte allocation".into()));
         }
-        self.driver.ioctl(mach);
-        self.driver.charge_malloc(mach);
+        self.device.borrow_mut().driver.ioctl(mach);
+        self.device.borrow_mut().driver.charge_malloc(mach);
         let (va, pa) = mach.alloc_cma(bytes)?;
         let ptr = DevPtr { va, pa, len: bytes };
         self.allocations.push(ptr);
@@ -429,7 +584,7 @@ impl CimContext {
         let Some(at) = self.allocations.iter().position(|p| p == &ptr) else {
             return Err(CimError::InvalidPointer(ptr.va));
         };
-        self.driver.ioctl(mach);
+        self.device.borrow_mut().driver.ioctl(mach);
         mach.free_cma(ptr.va, ptr.pa)?;
         self.allocations.swap_remove(at);
         // A freed range may be recycled by the next allocation: any pin
@@ -466,8 +621,8 @@ impl CimContext {
     /// [`CimError::NotInitialized`] before `cim_init`.
     pub fn cim_adopt(&mut self, mach: &mut Machine, ptr: DevPtr) -> Result<(), CimError> {
         self.ensure_init()?;
-        self.driver.ioctl(mach);
-        self.driver.charge_malloc(mach);
+        self.device.borrow_mut().driver.ioctl(mach);
+        self.device.borrow_mut().driver.charge_malloc(mach);
         self.allocations.push(ptr);
         self.stats.malloc_calls += 1;
         self.stats.bytes_allocated += ptr.len;
@@ -486,7 +641,7 @@ impl CimContext {
         self.ensure_init()?;
         self.cim_sync_range(mach, ptr.pa, ptr.len)?;
         self.check_live(&ptr)?;
-        self.driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
+        self.device.borrow_mut().driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
         self.invalidate_residency(ptr.pa, ptr.len);
         self.stats.h2d_calls += 1;
         Ok(())
@@ -498,7 +653,7 @@ impl CimContext {
     /// sides: refreshing one buffer never evicts an unrelated resident
     /// operand.
     fn invalidate_residency(&mut self, pa: u64, len: u64) {
-        self.accel.invalidate_range(pa, len);
+        self.device.borrow_mut().accel.invalidate_range(pa, len);
         self.stats.pin_invalidations += self.residency.invalidate_overlap(pa, len) as u64;
     }
 
@@ -513,7 +668,7 @@ impl CimContext {
         self.ensure_init()?;
         self.cim_sync_range(mach, ptr.pa, ptr.len)?;
         self.check_live(&ptr)?;
-        self.driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
+        self.device.borrow_mut().driver.flush_shared(mach, &[(ptr.pa, ptr.len)]);
         self.stats.d2h_calls += 1;
         Ok(())
     }
@@ -571,7 +726,7 @@ impl CimContext {
                 src.len
             )));
         }
-        self.driver.flush_shared(mach, &[(src.pa, len)]);
+        self.device.borrow_mut().driver.flush_shared(mach, &[(src.pa, len)]);
         copy_words(mach, src.va, dst_va, len);
         self.stats.d2h_bytes += len;
         self.stats.d2h_calls += 1;
@@ -608,14 +763,18 @@ impl CimContext {
             self.check_live(p)?;
         }
         self.stats.gemm_calls += 1;
-        self.driver.ioctl(mach);
+        self.tenant_admission(mach);
+        self.device.borrow_mut().driver.ioctl(mach);
         let (region, a_resident) = self.place_stationary(&a, m, k);
         if a_resident {
             // Pinned and installed: nothing host-side touched A since,
             // so its flush would walk clean lines for nothing.
-            self.driver.flush_shared(mach, &[(b.pa, b.len), (c.pa, c.len)]);
+            self.device.borrow_mut().driver.flush_shared(mach, &[(b.pa, b.len), (c.pa, c.len)]);
         } else {
-            self.driver.flush_shared(mach, &[(a.pa, a.len), (b.pa, b.len), (c.pa, c.len)]);
+            self.device
+                .borrow_mut()
+                .driver
+                .flush_shared(mach, &[(a.pa, a.len), (b.pa, b.len), (c.pa, c.len)]);
         }
         let regs = [
             (Reg::M, m as u64),
@@ -634,7 +793,11 @@ impl CimContext {
             (Reg::Region, region.encode()),
             (Reg::Command, Command::Gemm as u64),
         ];
-        self.driver.write_regs(mach, &mut self.accel, &regs);
+        {
+            let mut guard = self.device.borrow_mut();
+            let dev = &mut *guard;
+            dev.driver.write_regs(mach, &mut dev.accel, &regs);
+        }
         self.dispatch_armed(
             mach,
             Vec::new(),
@@ -668,12 +831,16 @@ impl CimContext {
             self.check_live(p)?;
         }
         self.stats.gemv_calls += 1;
-        self.driver.ioctl(mach);
+        self.tenant_admission(mach);
+        self.device.borrow_mut().driver.ioctl(mach);
         let (region, a_resident) = self.place_stationary(&a, m, k);
         if a_resident {
-            self.driver.flush_shared(mach, &[(x.pa, x.len), (y.pa, y.len)]);
+            self.device.borrow_mut().driver.flush_shared(mach, &[(x.pa, x.len), (y.pa, y.len)]);
         } else {
-            self.driver.flush_shared(mach, &[(a.pa, a.len), (x.pa, x.len), (y.pa, y.len)]);
+            self.device
+                .borrow_mut()
+                .driver
+                .flush_shared(mach, &[(a.pa, a.len), (x.pa, x.len), (y.pa, y.len)]);
         }
         let regs = [
             (Reg::M, m as u64),
@@ -689,7 +856,11 @@ impl CimContext {
             (Reg::Region, region.encode()),
             (Reg::Command, Command::Gemv as u64),
         ];
-        self.driver.write_regs(mach, &mut self.accel, &regs);
+        {
+            let mut guard = self.device.borrow_mut();
+            let dev = &mut *guard;
+            dev.driver.write_regs(mach, &mut dev.accel, &regs);
+        }
         self.dispatch_armed(
             mach,
             Vec::new(),
@@ -750,7 +921,8 @@ impl CimContext {
             writes.push((p.pa, p.len));
         }
         self.stats.gemm_batched_calls += 1;
-        self.driver.ioctl(mach);
+        self.tenant_admission(mach);
+        self.device.borrow_mut().driver.ioctl(mach);
         // Descriptor table written into a scratch CMA buffer by user space.
         let table = self.cim_malloc(mach, (count * 24) as u64)?;
         let mut raw = Vec::with_capacity(count * 24);
@@ -771,10 +943,10 @@ impl CimContext {
         }
         flush.push((table.pa, table.len));
         reads.push((table.pa, table.len));
-        self.driver.flush_shared(mach, &flush);
+        self.device.borrow_mut().driver.flush_shared(mach, &flush);
         // The batch schedules its own elements across sub-grids inside
         // the engine; the command as a whole occupies the full grid.
-        let region = GridRegion::full(self.accel.config().grid);
+        let region = GridRegion::full(self.device.borrow().accel.config().grid);
         let regs = [
             (Reg::M, m as u64),
             (Reg::N, n as u64),
@@ -791,7 +963,11 @@ impl CimContext {
             (Reg::Region, region.encode()),
             (Reg::Command, Command::GemmBatched as u64),
         ];
-        self.driver.write_regs(mach, &mut self.accel, &regs);
+        {
+            let mut guard = self.device.borrow_mut();
+            let dev = &mut *guard;
+            dev.driver.write_regs(mach, &mut dev.accel, &regs);
+        }
         // The scratch table travels with the dispatch: freed after a
         // synchronous invocation (success *or* device error) or when the
         // asynchronous command is synchronized — never leaked. The reads
@@ -823,12 +999,15 @@ impl CimContext {
             self.check_live(p)?;
         }
         self.stats.conv_calls += 1;
-        self.driver.ioctl(mach);
-        self.driver
+        self.tenant_admission(mach);
+        self.device.borrow_mut().driver.ioctl(mach);
+        self.device
+            .borrow_mut()
+            .driver
             .flush_shared(mach, &[(img.pa, img.len), (filt.pa, filt.len), (out.pa, out.len)]);
         // Convolution always runs on tile (0, 0); arm the full grid so
         // the doorbell serializes it against anything touching that tile.
-        let region = GridRegion::full(self.accel.config().grid);
+        let region = GridRegion::full(self.device.borrow().accel.config().grid);
         let regs = [
             (Reg::AddrA, img.pa),
             (Reg::AddrB, filt.pa),
@@ -840,7 +1019,11 @@ impl CimContext {
             (Reg::Region, region.encode()),
             (Reg::Command, Command::Conv2d as u64),
         ];
-        self.driver.write_regs(mach, &mut self.accel, &regs);
+        {
+            let mut guard = self.device.borrow_mut();
+            let dev = &mut *guard;
+            dev.driver.write_regs(mach, &mut dev.accel, &regs);
+        }
         // The conv kernel accumulates into its output: `out` is both
         // read and written.
         self.dispatch_armed(

@@ -35,9 +35,10 @@ pub mod error;
 pub(crate) mod ranges;
 pub mod reactor;
 pub mod residency;
+pub mod serve;
 pub mod stats;
 
-pub use api::{CimContext, DevPtr, Transpose};
+pub use api::{CimContext, CimDevice, DevPtr, SharedDevice, Transpose};
 pub use cim_accel::DeviceKind;
 pub use driver::{
     CimDriver, CimFuture, DispatchMode, DispatchQueue, DriverConfig, FlushMode, WaitPolicy,
@@ -45,4 +46,7 @@ pub use driver::{
 pub use error::CimError;
 pub use reactor::{CmdRecord, Completion, Reactor, RingBuffer};
 pub use residency::{ResidencyEntry, ResidencyTable};
+pub use serve::{
+    CimServer, FairnessPolicy, GridScheduler, ServePolicy, TenantConfig, TenantId, TenantUsage,
+};
 pub use stats::RuntimeStats;

@@ -46,6 +46,17 @@ pub struct RuntimeStats {
     /// placement exceeded the grid's capacity (the entry stays pinned
     /// and re-installs on its next use — a capacity spill).
     pub pin_evictions: u64,
+    /// Submissions by *this context* that found the shared submission
+    /// ring full and stalled — the per-tenant attribution of
+    /// [`crate::driver::DriverStats::queue_full_stalls`], so a noisy
+    /// neighbor's backpressure shows up on the neighbor, not the victim.
+    pub queue_full_stalls: u64,
+    /// Kernel calls delayed by the serving scheduler's fairness policy
+    /// (accumulated tile-time backlog exceeded the tenant's quota).
+    pub sched_throttles: u64,
+    /// Kernel calls delayed because the tenant exhausted its wear
+    /// budget (endurance metering; see `serve::TenantConfig`).
+    pub wear_throttles: u64,
 }
 
 impl RuntimeStats {

@@ -109,12 +109,9 @@ fn run_batch(
             out.iter().map(|v| v.to_bits()).collect()
         })
         .collect();
-    BatchRun {
-        c_bits,
-        elapsed,
-        max_tiles_active: ctx.accel().stats().max_tiles_active,
-        timeline: ctx.accel().timeline().render(),
-    }
+    let max_tiles_active = ctx.accel().stats().max_tiles_active;
+    let timeline = ctx.accel().timeline().render();
+    BatchRun { c_bits, elapsed, max_tiles_active, timeline }
 }
 
 proptest! {

@@ -92,11 +92,12 @@ fn run(s: &Schedule, reactor: bool) -> Run {
         })
         .collect();
     let drv = ctx.driver().stats();
+    let timeline = ctx.accel().timeline().render();
     Run {
         c_bits,
         elapsed: mach.now() - t0,
         runtime_stats: *ctx.stats(),
-        timeline: ctx.accel().timeline().render(),
+        timeline,
         status_reads: drv.status_reads,
         total_wait: drv.total_wait_time(),
     }

@@ -1,0 +1,259 @@
+//! Tenant-isolation property suite: serving is pure multiplexing. For
+//! any number of tenants, any per-tenant workload, any interleaving of
+//! their submissions and either fairness policy, every tenant's results
+//! through a shared [`CimServer`] must be bit-for-bit identical to the
+//! same tenant running alone on a private grid — leases, admission
+//! throttling and cross-tenant tile steals may only move work in space
+//! and time, never change a single output bit. Per-tenant runtime
+//! statistics stay disjoint: each tenant observes exactly its own calls,
+//! as if no neighbor existed.
+
+use cim_accel::AccelConfig;
+use cim_machine::{Machine, MachineConfig};
+use cim_runtime::stats::RuntimeStats;
+use cim_runtime::{
+    CimContext, CimServer, DevPtr, DispatchMode, DriverConfig, FairnessPolicy, ServePolicy,
+    TenantConfig, Transpose,
+};
+use proptest::prelude::*;
+
+struct Plan {
+    tenants: usize,
+    /// GEMV calls per tenant; every call reuses the tenant's stationary
+    /// `A`, so residency (and cross-tenant tile steals) get exercised.
+    ops: usize,
+    m: usize,
+    k: usize,
+    grid: (usize, usize),
+    dispatch: DispatchMode,
+    fairness: FairnessPolicy,
+    order_seed: u64,
+}
+
+fn fill(len: usize, seed: usize, scale: f32) -> Vec<f32> {
+    (0..len).map(|i| ((seed + i * 7) % 13) as f32 * scale - 1.5).collect()
+}
+
+/// Deterministic per-(tenant, op) data, independent of interleaving.
+fn a_data(p: &Plan, t: usize) -> Vec<f32> {
+    fill(p.m * p.k, 3 + t * 977, 0.25)
+}
+fn x_data(p: &Plan, t: usize, i: usize) -> Vec<f32> {
+    fill(p.k, 11 + t * 101 + i * 17, 0.125)
+}
+fn y_data(p: &Plan, t: usize, i: usize) -> Vec<f32> {
+    fill(p.m, 7 + t * 61 + i * 5, 0.5)
+}
+
+struct TenantRun {
+    y_bits: Vec<Vec<u32>>,
+    stats: RuntimeStats,
+}
+
+fn dev_mat(ctx: &mut CimContext, mach: &mut Machine, data: &[f32]) -> DevPtr {
+    let dev = ctx.cim_malloc(mach, (data.len() * 4) as u64).expect("malloc");
+    mach.poke_f32_slice(dev.va, data);
+    dev
+}
+
+/// Issues tenant `t`'s op `i` on `ctx` and returns the result pointer.
+fn issue_op(
+    p: &Plan,
+    ctx: &mut CimContext,
+    mach: &mut Machine,
+    a: DevPtr,
+    t: usize,
+    i: usize,
+) -> DevPtr {
+    let x = dev_mat(ctx, mach, &x_data(p, t, i));
+    let y = dev_mat(ctx, mach, &y_data(p, t, i));
+    ctx.cim_blas_sgemv(mach, Transpose::No, p.m, p.k, 1.25, a, p.k, x, 0.5, y).expect("gemv");
+    y
+}
+
+fn peek_bits(mach: &mut Machine, ptr: DevPtr, len: usize) -> Vec<u32> {
+    let mut out = vec![0f32; len];
+    mach.peek_f32_slice(ptr.va, &mut out);
+    out.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The serving counters the scheduler may legitimately bump in a shared
+/// run (a solo private context has no scheduler); masked before the
+/// stats comparison so the remaining fields must match exactly.
+fn mask_serving(mut s: RuntimeStats) -> RuntimeStats {
+    s.sched_throttles = 0;
+    s.wear_throttles = 0;
+    s
+}
+
+/// N tenants interleaved on one shared device, interleaving drawn from
+/// `order_seed` by an xorshift walk over tenants with work remaining.
+fn run_shared(p: &Plan) -> Vec<TenantRun> {
+    let mut mach = Machine::new(MachineConfig::test_small());
+    let accel_cfg = AccelConfig::test_small().with_grid(p.grid.0, p.grid.1);
+    let drv_cfg = DriverConfig { dispatch: p.dispatch, ..DriverConfig::default() };
+    let policy = ServePolicy { regions: 0, fairness: p.fairness };
+    let mut server = CimServer::new(accel_cfg, drv_cfg, policy, &mach);
+    let mut ctxs: Vec<CimContext> =
+        (0..p.tenants).map(|_| server.connect(TenantConfig::default())).collect();
+    for ctx in &mut ctxs {
+        ctx.cim_init(&mut mach, 0).expect("init");
+    }
+    let a_ptrs: Vec<DevPtr> =
+        (0..p.tenants).map(|t| dev_mat(&mut ctxs[t], &mut mach, &a_data(p, t))).collect();
+    let mut remaining = vec![p.ops; p.tenants];
+    let mut issued = vec![0usize; p.tenants];
+    let mut y_ptrs: Vec<Vec<DevPtr>> = vec![Vec::new(); p.tenants];
+    let mut rng = p.order_seed | 1;
+    while remaining.iter().any(|&r| r > 0) {
+        // xorshift64 walk; skip tenants that are already done.
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let mut t = (rng % p.tenants as u64) as usize;
+        while remaining[t] == 0 {
+            t = (t + 1) % p.tenants;
+        }
+        let i = issued[t];
+        let y = issue_op(p, &mut ctxs[t], &mut mach, a_ptrs[t], t, i);
+        y_ptrs[t].push(y);
+        issued[t] += 1;
+        remaining[t] -= 1;
+    }
+    ctxs.iter_mut()
+        .zip(y_ptrs)
+        .map(|(ctx, ys)| {
+            ctx.cim_sync(&mut mach).expect("sync");
+            let y_bits = ys.iter().map(|y| peek_bits(&mut mach, *y, p.m)).collect();
+            TenantRun { y_bits, stats: *ctx.stats() }
+        })
+        .collect()
+}
+
+/// Tenant `t` alone on a private grid of the same shape — the baseline
+/// every shared-run tenant must match bit-for-bit.
+fn run_solo(p: &Plan, t: usize) -> TenantRun {
+    let mut mach = Machine::new(MachineConfig::test_small());
+    let accel_cfg = AccelConfig::test_small().with_grid(p.grid.0, p.grid.1);
+    let drv_cfg = DriverConfig { dispatch: p.dispatch, ..DriverConfig::default() };
+    let mut ctx = CimContext::new(accel_cfg, drv_cfg, &mach);
+    ctx.cim_init(&mut mach, 0).expect("init");
+    let a = dev_mat(&mut ctx, &mut mach, &a_data(p, t));
+    let ys: Vec<DevPtr> = (0..p.ops).map(|i| issue_op(p, &mut ctx, &mut mach, a, t, i)).collect();
+    ctx.cim_sync(&mut mach).expect("sync");
+    let y_bits = ys.iter().map(|y| peek_bits(&mut mach, *y, p.m)).collect();
+    TenantRun { y_bits, stats: *ctx.stats() }
+}
+
+fn assert_isolated(p: &Plan) -> Result<(), TestCaseError> {
+    let shared = run_shared(p);
+    for (t, shared_run) in shared.iter().enumerate() {
+        let solo = run_solo(p, t);
+        prop_assert!(shared_run.y_bits == solo.y_bits, "tenant {} diverged from its solo run", t);
+        // Stats disjointness: modulo the scheduler's own throttle
+        // counters, a tenant's ledger is exactly its solo ledger — no
+        // neighbor's calls, bytes or stalls leak into it.
+        prop_assert!(
+            mask_serving(shared_run.stats) == mask_serving(solo.stats),
+            "tenant {} stats leaked: {:?} vs solo {:?}",
+            t,
+            shared_run.stats,
+            solo.stats
+        );
+        prop_assert_eq!(shared_run.stats.gemv_calls, p.ops as u64);
+        prop_assert_eq!(shared_run.stats.malloc_calls, (1 + 2 * p.ops) as u64);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of N tenants on a shared grid is bit-for-bit
+    /// each tenant's solo run, under both dispatch modes and both
+    /// fairness policies.
+    #[test]
+    fn any_interleaving_matches_each_tenant_solo(
+        tenants in 2usize..5,
+        ops in 1usize..4,
+        m in 1usize..9,
+        k in 1usize..9,
+        gk in 1usize..3,
+        gm in 1usize..3,
+        order_seed in 0u64..u64::MAX,
+        async_dispatch in proptest::bool::ANY,
+        fair in proptest::bool::ANY,
+    ) {
+        let p = Plan {
+            tenants, ops, m, k,
+            grid: (gk, gm),
+            dispatch: if async_dispatch { DispatchMode::Async } else { DispatchMode::Sync },
+            fairness: if fair { FairnessPolicy::default() } else { FairnessPolicy::Fifo },
+            order_seed,
+        };
+        assert_isolated(&p)?;
+    }
+}
+
+/// Deterministic anchor: more tenants than lease regions — every lease
+/// is contended, every tenant shares tiles — still bit-for-bit solo.
+#[test]
+fn oversubscribed_grid_still_isolates() {
+    let p = Plan {
+        tenants: 4,
+        ops: 3,
+        m: 6,
+        k: 6,
+        grid: (1, 1),
+        dispatch: DispatchMode::Async,
+        fairness: FairnessPolicy::default(),
+        order_seed: 0x9e3779b97f4a7c15,
+    };
+    assert_isolated(&p).expect("oversubscribed isolation");
+}
+
+/// Deterministic anchor: per-tenant usage ledgers meter only the owning
+/// tenant's dispatches, and every connected tenant makes progress.
+#[test]
+fn usage_ledgers_are_disjoint() {
+    let mut mach = Machine::new(MachineConfig::test_small());
+    let accel_cfg = AccelConfig::test_small().with_grid(2, 2);
+    let drv_cfg = DriverConfig { dispatch: DispatchMode::Async, ..DriverConfig::default() };
+    let mut server =
+        CimServer::new(accel_cfg, drv_cfg, ServePolicy { regions: 2, ..Default::default() }, &mach);
+    let p = Plan {
+        tenants: 3,
+        ops: 2,
+        m: 5,
+        k: 7,
+        grid: (2, 2),
+        dispatch: DispatchMode::Async,
+        fairness: FairnessPolicy::default(),
+        order_seed: 1,
+    };
+    let mut ctxs: Vec<CimContext> =
+        (0..p.tenants).map(|_| server.connect(TenantConfig::default())).collect();
+    let tids: Vec<_> = ctxs.iter().map(|c| c.tenant().expect("tenant id")).collect();
+    for (t, ctx) in ctxs.iter_mut().enumerate() {
+        ctx.cim_init(&mut mach, 0).expect("init");
+        let a = dev_mat(ctx, &mut mach, &a_data(&p, t));
+        for i in 0..p.ops {
+            issue_op(&p, ctx, &mut mach, a, t, i);
+        }
+        ctx.cim_sync(&mut mach).expect("sync");
+    }
+    for &tid in &tids {
+        let u = server.usage(tid);
+        assert_eq!(u.grants, p.ops as u64, "each ledger meters exactly its own dispatches");
+        assert!(u.tile_ns > 0.0, "every tenant made progress");
+        assert!(u.wear_cells > 0, "installs are charged to the installing tenant");
+    }
+    // Three tenants over two lease regions: both partitions are in use
+    // (the third tenant shares the less-loaded one).
+    let leased: Vec<_> = tids.iter().map(|&tid| server.lease_of(tid).expect("leased")).collect();
+    let mut origins: Vec<_> = leased.iter().map(|r| r.origin).collect();
+    origins.sort_unstable();
+    origins.dedup();
+    assert_eq!(origins.len(), 2, "leases spread across both regions, then share");
+    assert_eq!(server.device().borrow().driver.reactor().unclaimed(), 0);
+}

@@ -243,12 +243,14 @@ pub fn run_gemm(cfg: &StreamConfig) -> StreamRun {
 
     let mut c = vec![0f32; n * n];
     mach.peek_f32_slice(c_host, &mut c);
+    let busy_wait = ctx.driver().stats().busy_wait_time;
+    let max_tiles = ctx.accel().stats().max_tiles_active;
     StreamRun {
         elapsed,
         accel_busy,
         predicted_busy,
-        busy_wait: ctx.driver().stats().busy_wait_time,
-        max_tiles: ctx.accel().stats().max_tiles_active,
+        busy_wait,
+        max_tiles,
         panels,
         sync_skips: ctx.stats().selective_sync_skips,
         cma_peak: mach.cma.peak_used(),

@@ -66,7 +66,7 @@ fn main() -> Result<(), CimError> {
     println!("batched gemm finished in {dur}: C2 = 2*A, C2[0][1] = {}", c2_host[1]);
     assert_eq!(c2_host[1], 4.0);
 
-    let stats = ctx.accel().stats();
+    let stats = *ctx.accel().stats();
     println!("\n{stats}");
     println!("{}", ctx.stats());
     println!(
