@@ -316,6 +316,26 @@ impl<'p> Backend for MachineBackend<'p> {
         }
     }
 
+    fn prefers_bulk_runs(&self) -> bool {
+        // The machine charges a run's aggregate stall in one call; values
+        // and instruction totals are unchanged, so let the fast
+        // interpreter batch per-array runs.
+        true
+    }
+
+    fn load_run(&mut self, array: ArrayId, flat: i64, stride: i64, out: &mut [f32]) {
+        let va = (self.base[array.0] as i64 + 4 * flat) as u64;
+        self.mach.host_load_f32_run(va, 4 * stride, out);
+    }
+
+    fn store_run(&mut self, array: ArrayId, flat: i64, stride: i64, data: &[f32]) {
+        let va = (self.base[array.0] as i64 + 4 * flat) as u64;
+        self.mach.host_store_f32_run(va, 4 * stride, data);
+        if self.device[array.0].is_some() {
+            self.dirty[array.0] = true;
+        }
+    }
+
     fn cost(&mut self, ev: CostEvent, n: u64) {
         let class = match ev {
             CostEvent::IntAlu => InstClass::IntAlu,

@@ -129,6 +129,33 @@ pub trait Backend {
     /// Writes element `flat` of `array`.
     fn store(&mut self, array: ArrayId, flat: usize, v: f32);
 
+    /// Whether the affine fast path may batch an inner loop's memory
+    /// traffic into per-array runs ([`Backend::load_run`] /
+    /// [`Backend::store_run`]) instead of issuing every element in strict
+    /// program order. Batching keeps values and cost totals bit-identical
+    /// but reorders accesses at run granularity, so backends that observe
+    /// access *order* (recorders, differential references) keep the
+    /// default `false`.
+    fn prefers_bulk_runs(&self) -> bool {
+        false
+    }
+
+    /// Reads `out.len()` elements of `array` at flat indices `flat`,
+    /// `flat + stride`, … (default: scalar [`Backend::load`] loop).
+    fn load_run(&mut self, array: ArrayId, flat: i64, stride: i64, out: &mut [f32]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.load(array, (flat + stride * i as i64) as usize);
+        }
+    }
+
+    /// Writes `data` to `array` at flat indices `flat`, `flat + stride`, …
+    /// (default: scalar [`Backend::store`] loop).
+    fn store_run(&mut self, array: ArrayId, flat: i64, stride: i64, data: &[f32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.store(array, (flat + stride * i as i64) as usize, *v);
+        }
+    }
+
     /// Receives `n` cost events (default: ignored).
     fn cost(&mut self, _ev: CostEvent, _n: u64) {}
 

@@ -243,28 +243,22 @@ fn compile_expr(
     }
 }
 
-fn eval_fast<B: Backend>(
-    e: &FastExpr,
-    lflat: &[(ArrayId, i64, i64)],
-    env: &[i64],
-    i: i64,
-    backend: &mut B,
-) -> Value {
+/// Evaluates a template with loads resolved by `ld` (slot index → value):
+/// a backend load in the scalar path, a pre-gathered run buffer in the
+/// batched path.
+fn eval_expr(e: &FastExpr, env: &[i64], ld: &mut dyn FnMut(usize) -> f64) -> Value {
     match e {
         FastExpr::I(v) => Value::I(*v),
         FastExpr::F(v) => Value::F(*v),
         FastExpr::Var(v) => Value::I(env[*v]),
-        FastExpr::Load(k) => {
-            let (arr, base, stride) = lflat[*k];
-            Value::F(backend.load(arr, (base + stride * i) as usize) as f64)
-        }
-        FastExpr::Neg(e) => match eval_fast(e, lflat, env, i, backend) {
+        FastExpr::Load(k) => Value::F(ld(*k)),
+        FastExpr::Neg(e) => match eval_expr(e, env, ld) {
             Value::I(v) => Value::I(-v),
             Value::F(v) => Value::F(-v),
         },
         FastExpr::Bin(op, l, r) => {
-            let a = eval_fast(l, lflat, env, i, backend);
-            let b = eval_fast(r, lflat, env, i, backend);
+            let a = eval_expr(l, env, ld);
+            let b = eval_expr(r, env, ld);
             if let (Value::I(x), Value::I(y)) = (a, b) {
                 return Value::I(match op {
                     BinOp::Add => x + y,
@@ -372,13 +366,132 @@ impl FastBody {
         // Loop exit check.
         backend.cost(CostEvent::Cmp, 1);
         backend.cost(CostEvent::Branch, 1);
+        if backend.prefers_bulk_runs() && self.runs_may_batch(tflat, &lflat, lo, last) {
+            self.run_batched(l.step, lo, trips, tflat, &lflat, env, inner, backend);
+            return true;
+        }
         let mut i = lo;
         while i < hi {
             env[inner] = i;
-            let v = eval_fast(&self.value, &lflat, env, i, backend).as_f64();
+            let v = eval_expr(&self.value, env, &mut |k| {
+                let (arr, base, stride) = lflat[k];
+                backend.load(arr, (base + stride * i) as usize) as f64
+            })
+            .as_f64();
             backend.store(self.target.array, (tflat.0 + tflat.1 * i) as usize, v as f32);
             i += l.step;
         }
         true
+    }
+
+    /// Whether batching the loop into per-array runs preserves scalar
+    /// semantics: every load must be unaffected by the loop's own stores.
+    /// Distinct arrays never alias (separate allocations). For a load of
+    /// the target array, three safe shapes: the *same* affine progression
+    /// as the store with a nonzero stride (each iteration reads its own
+    /// element before writing it, and never one a previous iteration
+    /// wrote — the reduction `C[i] = C[i] + …`), the same progression
+    /// with stride zero (the inner-product accumulation `C[i][j] += …`
+    /// over an outer subscript — carried through a register by
+    /// [`FastBody::run_batched`], bit-exact because the scalar loop's
+    /// f32 chain is reproduced operation for operation), or index ranges
+    /// that are provably disjoint. Anything else — e.g. the recurrence
+    /// `A[i] = A[i-1] + …` — keeps the element-ordered path.
+    fn runs_may_batch(
+        &self,
+        tflat: (i64, i64),
+        lflat: &[(ArrayId, i64, i64)],
+        lo: i64,
+        last: i64,
+    ) -> bool {
+        let range = |base: i64, stride: i64| {
+            let (a, b) = (base + stride * lo, base + stride * last);
+            (a.min(b), a.max(b))
+        };
+        let (tmin, tmax) = range(tflat.0, tflat.1);
+        for &(arr, base, stride) in lflat {
+            if arr != self.target.array {
+                continue;
+            }
+            if (base, stride) == tflat {
+                continue;
+            }
+            let (lmin, lmax) = range(base, stride);
+            if tmax < lmin || lmax < tmin {
+                continue;
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Batched execution: gather each load plan's chunk with one
+    /// [`Backend::load_run`], evaluate the chunk from the buffers, write
+    /// it back with one [`Backend::store_run`]. Values and cost totals
+    /// are identical to the element loop (guarded by
+    /// [`FastBody::runs_may_batch`]); only the access interleaving
+    /// changes, which is exactly what a run-capable backend asks for via
+    /// [`Backend::prefers_bulk_runs`].
+    #[allow(clippy::too_many_arguments)]
+    fn run_batched<B: Backend>(
+        &self,
+        step: i64,
+        lo: i64,
+        trips: i64,
+        tflat: (i64, i64),
+        lflat: &[(ArrayId, i64, i64)],
+        env: &mut [i64],
+        inner: usize,
+        backend: &mut B,
+    ) {
+        const CHUNK: usize = 512;
+        let width = CHUNK.min(trips as usize);
+        // With a zero store stride, loads of the same (base, stride) form a
+        // loop-carried accumulation (`C[i][j] += A[i][k] * B[k][j]` over k):
+        // each iteration reads the value the previous one stored. Those
+        // slots resolve from a register instead of the gathered buffer —
+        // the f32 operation chain is the scalar loop's, bit for bit — while
+        // the gather and writeback still issue the same number of accesses
+        // to the target's line as the element loop did.
+        let carried: Vec<bool> = lflat
+            .iter()
+            .map(|&(arr, base, stride)| {
+                tflat.1 == 0 && arr == self.target.array && (base, stride) == tflat
+            })
+            .collect();
+        let carry = carried.iter().any(|&c| c);
+        let mut acc = 0f32;
+        let mut bufs: Vec<Vec<f32>> = vec![vec![0.0; width]; lflat.len()];
+        let mut out = vec![0.0f32; width];
+        let mut t0: i64 = 0;
+        while t0 < trips {
+            let m = CHUNK.min((trips - t0) as usize);
+            let i0 = lo + t0 * step;
+            for (buf, &(arr, base, stride)) in bufs.iter_mut().zip(lflat) {
+                backend.load_run(arr, base + stride * i0, stride * step, &mut buf[..m]);
+            }
+            if carry {
+                // The target cell's current value; at chunk boundaries the
+                // previous writeback left it equal to the carried register.
+                let k = carried.iter().position(|&c| c).expect("carry set");
+                acc = bufs[k][0];
+            }
+            for (j, slot) in out[..m].iter_mut().enumerate() {
+                env[inner] = i0 + j as i64 * step;
+                *slot = eval_expr(&self.value, env, &mut |k| {
+                    if carried[k] {
+                        acc as f64
+                    } else {
+                        bufs[k][j] as f64
+                    }
+                })
+                .as_f64() as f32;
+                if carry {
+                    acc = *slot;
+                }
+            }
+            backend.store_run(self.target.array, tflat.0 + tflat.1 * i0, tflat.1 * step, &out[..m]);
+            t0 += m as i64;
+        }
     }
 }

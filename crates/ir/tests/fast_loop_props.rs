@@ -238,8 +238,34 @@ fn build_program(shape: usize, n: usize, step: i64) -> Program {
     p
 }
 
+/// A [`Recorder`] that opts into the batched run path
+/// ([`Backend::prefers_bulk_runs`]) while keeping the default
+/// `load_run`/`store_run` scalar delegation, so every access still lands
+/// in the log.
+#[derive(Default, Clone)]
+struct BulkRecorder(Recorder);
+
+impl Backend for BulkRecorder {
+    fn load(&mut self, a: ArrayId, flat: usize) -> f32 {
+        self.0.load(a, flat)
+    }
+    fn store(&mut self, a: ArrayId, flat: usize, v: f32) {
+        self.0.store(a, flat, v)
+    }
+    fn cost(&mut self, ev: CostEvent, n: u64) {
+        self.0.cost(ev, n)
+    }
+    fn call(&mut self, p: &Program, c: &str, a: &[ResolvedArg]) -> Result<(), InterpError> {
+        self.0.call(p, c, a)
+    }
+    fn prefers_bulk_runs(&self) -> bool {
+        true
+    }
+}
+
 proptest! {
     #![proptest_config(proptest::test_runner::Config { cases: 64 })]
+    #[test]
     fn fast_path_is_observationally_identical(
         shape in 0usize..9,
         n in 1usize..10,
@@ -254,6 +280,42 @@ proptest! {
         prop_assert_eq!(&fast.arrays, &slow.arrays);
         prop_assert_eq!(&fast.costs, &slow.costs);
         prop_assert_eq!(&fast.accesses, &slow.accesses);
+    }
+
+    /// A run-capable backend accepts access *reordering* at run
+    /// granularity (and, for a register-carried reduction, loads of the
+    /// target cell that observe the pre-run value) — but array contents,
+    /// cost totals, per-location access counts, and the per-location
+    /// store-value sequences must all still match the reference
+    /// tree-walker bit for bit.
+    #[test]
+    fn batched_path_preserves_scalar_results(
+        shape in 0usize..9,
+        n in 1usize..10,
+        step in 1i64..4,
+    ) {
+        let p = build_program(shape, n, step);
+        let mut fast = BulkRecorder(Recorder::for_program(&p));
+        let mut slow = fast.0.clone();
+        let fr = interp::run(&p, &mut fast);
+        let sr = interp::run_reference(&p, &mut slow);
+        prop_assert_eq!(&fr, &sr);
+        prop_assert_eq!(&fast.0.arrays, &slow.arrays);
+        prop_assert_eq!(&fast.0.costs, &slow.costs);
+        // Per-location traffic: same number of loads and stores of each
+        // cell, and stores write the same value sequence per cell.
+        let census = |log: &[(bool, usize, usize, u32)]| {
+            let mut counts = std::collections::BTreeMap::new();
+            let mut stored = std::collections::BTreeMap::new();
+            for &(is_store, a, flat, bits) in log {
+                *counts.entry((is_store, a, flat)).or_insert(0u64) += 1;
+                if is_store {
+                    stored.entry((a, flat)).or_insert_with(Vec::new).push(bits);
+                }
+            }
+            (counts, stored)
+        };
+        prop_assert_eq!(census(&fast.0.accesses), census(&slow.accesses));
     }
 }
 

@@ -7,6 +7,16 @@
 //! evaluation depends on: miss-driven stall cycles for host run-time, and
 //! the dirty-line count that prices the driver's cache flush before each
 //! accelerator invocation (Section II-E).
+//!
+//! Storage is struct-of-arrays: one packed tag row and one packed stamp row
+//! per set plus per-set valid/dirty bitmasks, so a lookup touches two small
+//! arrays instead of walking `Line` structs. On top of the scalar
+//! [`Cache::access_line`] the simulator offers a bulk path —
+//! [`Cache::access_run`] / [`Hierarchy::access_block`] — that classifies a
+//! constant-stride run at line granularity: one tag lookup per distinct
+//! line instead of one per scalar, with stats, LRU stamps and victim
+//! choices provably identical to the scalar loop (see
+//! `tests/bulk_access_props.rs`).
 
 use std::fmt;
 
@@ -27,10 +37,11 @@ impl CacheConfig {
     /// # Panics
     ///
     /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
-    /// line size, or capacity not divisible by `ways * line_bytes`).
+    /// line size, more than 64 ways, or capacity not divisible by
+    /// `ways * line_bytes`).
     pub fn sets(&self) -> usize {
         assert!(self.line_bytes.is_power_of_two() && self.line_bytes >= 4);
-        assert!(self.ways >= 1);
+        assert!(self.ways >= 1 && self.ways <= 64, "valid/dirty bitmasks hold up to 64 ways");
         let per_way = self.size_bytes / self.ways as u64;
         assert!(
             per_way.is_multiple_of(self.line_bytes) && per_way > 0,
@@ -38,14 +49,6 @@ impl CacheConfig {
         );
         (per_way / self.line_bytes) as usize
     }
-}
-
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    stamp: u64,
 }
 
 /// Hit/miss statistics of one cache level.
@@ -84,13 +87,37 @@ pub enum LineOutcome {
     },
 }
 
+/// Aggregate outcome of a bulk [`Cache::access_run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Accesses that hit (per scalar element, exactly as the scalar loop
+    /// would count them).
+    pub hits: u64,
+    /// Accesses that missed (one per absent line).
+    pub misses: u64,
+    /// Dirty victims evicted to the next level.
+    pub writebacks: u64,
+}
+
 /// One set-associative, write-back, write-allocate cache level with LRU
 /// replacement.
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    nsets: usize,
+    ways: usize,
+    /// Packed tag array, `nsets * ways`, row-major by set.
+    tags: Vec<u64>,
+    /// Packed LRU stamps, same layout as `tags`.
+    stamps: Vec<u64>,
+    /// Per-set valid bitmask (bit `w` = way `w` holds a line).
+    valid: Vec<u64>,
+    /// Per-set dirty bitmask.
+    dirty: Vec<u64>,
     tick: u64,
     stats: CacheStats,
+    /// Incrementally maintained count of dirty lines, so the driver's
+    /// per-invocation flush decision is O(1) instead of a full scan.
+    dirty_count: u64,
 }
 
 impl fmt::Debug for Cache {
@@ -102,12 +129,18 @@ impl fmt::Debug for Cache {
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = cfg.sets();
+        let nsets = cfg.sets();
         Cache {
             cfg,
-            sets: (0..sets).map(|_| vec![Line::default(); cfg.ways]).collect(),
+            nsets,
+            ways: cfg.ways,
+            tags: vec![0; nsets * cfg.ways],
+            stamps: vec![0; nsets * cfg.ways],
+            valid: vec![0; nsets],
+            dirty: vec![0; nsets],
             tick: 0,
             stats: CacheStats::default(),
+            dirty_count: 0,
         }
     }
 
@@ -128,70 +161,149 @@ impl Cache {
 
     fn index(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.cfg.line_bytes;
-        let set = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
+        let set = (line % self.nsets as u64) as usize;
+        let tag = line / self.nsets as u64;
         (set, tag)
+    }
+
+    /// `count` back-to-back accesses to the line containing `addr` — the
+    /// burst a constant-stride run makes before moving to the next line.
+    /// Returns the outcome of the *first* access; the remaining `count-1`
+    /// are hits by construction. Tick, stamps and stats advance exactly as
+    /// `count` scalar [`Cache::access_line`] calls would.
+    fn access_line_n(&mut self, addr: u64, write: bool, count: u64) -> LineOutcome {
+        debug_assert!(count >= 1);
+        self.tick += count;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        let base = set * self.ways;
+        let mut m = self.valid[set];
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                self.stamps[base + w] = tick;
+                if write {
+                    self.dirty_count += u64::from(self.dirty[set] & (1 << w) == 0);
+                    self.dirty[set] |= 1 << w;
+                }
+                self.stats.hits += count;
+                return LineOutcome::Hit;
+            }
+            m &= m - 1;
+        }
+        self.stats.misses += 1;
+        self.stats.hits += count - 1;
+        // Choose the first invalid way, else the lowest-indexed LRU victim
+        // (ties on stamp break toward the lower way, as `min_by_key` does).
+        let victim = match (!self.valid[set]).trailing_zeros() as usize {
+            w if w < self.ways => w,
+            _ => {
+                let mut best = 0;
+                for w in 1..self.ways {
+                    if self.stamps[base + w] < self.stamps[base + best] {
+                        best = w;
+                    }
+                }
+                best
+            }
+        };
+        let vbit = 1u64 << victim;
+        let writeback = self.valid[set] & vbit != 0 && self.dirty[set] & vbit != 0;
+        if writeback {
+            self.stats.writebacks += 1;
+            self.dirty_count -= 1;
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = tick;
+        self.valid[set] |= vbit;
+        if write {
+            self.dirty[set] |= vbit;
+            self.dirty_count += 1;
+        } else {
+            self.dirty[set] &= !vbit;
+        }
+        LineOutcome::Miss { writeback }
     }
 
     /// Accesses the line containing `addr`; `write` marks the line dirty.
     pub fn access_line(&mut self, addr: u64, write: bool) -> LineOutcome {
-        self.tick += 1;
-        let tick = self.tick;
-        let (set, tag) = self.index(addr);
-        let ways = &mut self.sets[set];
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.stamp = tick;
-            line.dirty |= write;
-            self.stats.hits += 1;
-            return LineOutcome::Hit;
-        }
-        self.stats.misses += 1;
-        // Choose an invalid way, else LRU victim.
-        let victim = match ways.iter().position(|l| !l.valid) {
-            Some(i) => i,
-            None => {
-                let (i, _) =
-                    ways.iter().enumerate().min_by_key(|(_, l)| l.stamp).expect("ways non-empty");
-                i
+        self.access_line_n(addr, write, 1)
+    }
+
+    /// Bulk access: `count` scalar accesses at `start`, `start + stride`,
+    /// `start + 2*stride`, … with one tag lookup per *distinct line*
+    /// instead of one per scalar. A constant stride visits each line in
+    /// one consecutive burst, so the aggregate outcome — stats, LRU
+    /// stamps, victim choices, dirty bits — is identical to the scalar
+    /// loop `for i in 0..count { access_line(start + i*stride, write) }`.
+    pub fn access_run(&mut self, start: u64, count: u64, stride: i64, write: bool) -> RunOutcome {
+        let mut out = RunOutcome::default();
+        let lb = self.cfg.line_bytes;
+        let mut done = 0u64;
+        let mut addr = start;
+        while done < count {
+            let k = burst_len(addr, lb, stride, count - done);
+            match self.access_line_n(addr, write, k) {
+                LineOutcome::Hit => out.hits += k,
+                LineOutcome::Miss { writeback } => {
+                    out.misses += 1;
+                    out.hits += k - 1;
+                    out.writebacks += u64::from(writeback);
+                }
             }
-        };
-        let writeback = ways[victim].valid && ways[victim].dirty;
-        if writeback {
-            self.stats.writebacks += 1;
+            addr = addr.wrapping_add((k as i64).wrapping_mul(stride) as u64);
+            done += k;
         }
-        ways[victim] = Line { tag, valid: true, dirty: write, stamp: tick };
-        LineOutcome::Miss { writeback }
+        out
     }
 
     /// Returns whether the line containing `addr` is present (no state change).
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        let base = set * self.ways;
+        let mut m = self.valid[set];
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                return true;
+            }
+            m &= m - 1;
+        }
+        false
     }
 
     /// Invalidates the whole cache, returning `(valid_lines, dirty_lines)`.
     ///
     /// Dirty lines are counted as write-backs.
     pub fn flush_all(&mut self) -> (u64, u64) {
-        let mut valid = 0;
-        let mut dirty = 0;
-        for set in &mut self.sets {
-            for line in set {
-                if line.valid {
-                    valid += 1;
-                    if line.dirty {
-                        dirty += 1;
-                    }
-                }
-                *line = Line::default();
-            }
-        }
+        let valid: u64 = self.valid.iter().map(|m| m.count_ones() as u64).sum();
+        let dirty = self.dirty_count;
+        self.valid.fill(0);
+        self.dirty.fill(0);
         self.stats.writebacks += dirty;
+        self.dirty_count = 0;
         (valid, dirty)
+    }
+
+    fn invalidate_way(&mut self, set: usize, way: usize) -> bool {
+        let bit = 1u64 << way;
+        let was_dirty = self.dirty[set] & bit != 0;
+        self.valid[set] &= !bit;
+        self.dirty[set] &= !bit;
+        if was_dirty {
+            self.stats.writebacks += 1;
+            self.dirty_count -= 1;
+        }
+        was_dirty
     }
 
     /// Flushes (writes back + invalidates) all lines overlapping
     /// `[start, start+len)`, returning `(valid_lines, dirty_lines)` touched.
+    ///
+    /// When the range spans more line numbers than the cache can hold, the
+    /// sets are swept once instead of iterating every line number in the
+    /// range — a multi-MiB flush against a small cache costs one pass over
+    /// the resident lines, not millions of empty lookups.
     pub fn flush_range(&mut self, start: u64, len: u64) -> (u64, u64) {
         if len == 0 {
             return (0, 0);
@@ -200,27 +312,80 @@ impl Cache {
         let mut dirty = 0;
         let first = start / self.cfg.line_bytes;
         let last = (start + len - 1) / self.cfg.line_bytes;
-        for lineno in first..=last {
-            let addr = lineno * self.cfg.line_bytes;
-            let (set, tag) = self.index(addr);
-            for line in &mut self.sets[set] {
-                if line.valid && line.tag == tag {
-                    valid += 1;
-                    if line.dirty {
-                        dirty += 1;
-                        self.stats.writebacks += 1;
+        if last - first >= (self.nsets * self.ways) as u64 {
+            for set in 0..self.nsets {
+                let base = set * self.ways;
+                let mut m = self.valid[set];
+                while m != 0 {
+                    let w = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let lineno = self.tags[base + w] * self.nsets as u64 + set as u64;
+                    if (first..=last).contains(&lineno) {
+                        valid += 1;
+                        dirty += u64::from(self.invalidate_way(set, w));
                     }
-                    *line = Line::default();
+                }
+            }
+        } else {
+            for lineno in first..=last {
+                let addr = lineno * self.cfg.line_bytes;
+                let (set, tag) = self.index(addr);
+                let base = set * self.ways;
+                let mut m = self.valid[set];
+                while m != 0 {
+                    let w = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if self.tags[base + w] == tag {
+                        valid += 1;
+                        dirty += u64::from(self.invalidate_way(set, w));
+                    }
                 }
             }
         }
         (valid, dirty)
     }
 
-    /// Number of currently dirty lines.
+    /// Number of currently dirty lines (O(1), incrementally maintained).
     pub fn dirty_lines(&self) -> u64 {
-        self.sets.iter().flatten().filter(|l| l.valid && l.dirty).count() as u64
+        self.dirty_count
     }
+
+    /// `(line_address, dirty)` of every resident line, sorted by address —
+    /// for differential tests and diagnostics.
+    pub fn resident_lines(&self) -> Vec<(u64, bool)> {
+        let mut out = Vec::new();
+        for set in 0..self.nsets {
+            let base = set * self.ways;
+            let mut m = self.valid[set];
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let lineno = self.tags[base + w] * self.nsets as u64 + set as u64;
+                out.push((lineno * self.cfg.line_bytes, self.dirty[set] & (1 << w) != 0));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Number of leading elements of the run `addr, addr+stride, …` (at most
+/// `remaining`) that fall on the line containing `addr`. A constant
+/// stride is monotonic, so these are exactly the consecutive accesses the
+/// line receives. Also used with `line_bytes = PAGE_BYTES` to group a run
+/// into per-page translation bursts.
+pub(crate) fn burst_len(addr: u64, line_bytes: u64, stride: i64, remaining: u64) -> u64 {
+    if stride == 0 {
+        return remaining;
+    }
+    let line_base = addr / line_bytes * line_bytes;
+    let k = if stride > 0 {
+        let to_next = line_base + line_bytes - addr;
+        to_next.div_ceil(stride as u64)
+    } else {
+        (addr - line_base) / stride.unsigned_abs() + 1
+    };
+    k.min(remaining)
 }
 
 /// Where an access was satisfied in the hierarchy.
@@ -255,7 +420,7 @@ impl Default for MemLatency {
 /// Outcome of a hierarchy access: where it hit and the stall cycles charged.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessOutcome {
-    /// Level that satisfied the access.
+    /// Level that satisfied the access (worst level for multi-line runs).
     pub level: HitLevel,
     /// Stall cycles charged to the core.
     pub stall_cycles: u64,
@@ -296,27 +461,94 @@ impl Hierarchy {
         let mut worst = HitLevel::L1;
         for lineno in first..=last {
             let a = lineno * line;
-            match self.l1d.access_line(a, write) {
-                LineOutcome::Hit => stall += self.lat.l1_hit_cycles,
-                LineOutcome::Miss { writeback } => {
-                    if writeback {
-                        // Dirty victim written back into L2.
-                        self.l2.access_line(a, true);
+            self.line_access(a, write, 1, &mut stall, &mut worst);
+        }
+        AccessOutcome { level: worst, stall_cycles: stall }
+    }
+
+    /// One line burst through both levels: `count` consecutive accesses to
+    /// the L1 line containing `addr`, the L2 consulted on the first access
+    /// exactly as [`Hierarchy::access`] does per scalar.
+    fn line_access(
+        &mut self,
+        addr: u64,
+        write: bool,
+        count: u64,
+        stall: &mut u64,
+        worst: &mut HitLevel,
+    ) {
+        match self.l1d.access_line_n(addr, write, count) {
+            LineOutcome::Hit => *stall += count * self.lat.l1_hit_cycles,
+            LineOutcome::Miss { writeback } => {
+                *stall += (count - 1) * self.lat.l1_hit_cycles;
+                // L2 sees line-aligned traffic, as in the scalar path.
+                let a = addr / self.l1d.config().line_bytes * self.l1d.config().line_bytes;
+                if writeback {
+                    // Dirty victim written back into L2.
+                    self.l2.access_line(a, true);
+                }
+                match self.l2.access_line(a, false) {
+                    LineOutcome::Hit => {
+                        *stall += self.lat.l2_hit_cycles;
+                        if *worst == HitLevel::L1 {
+                            *worst = HitLevel::L2;
+                        }
                     }
-                    match self.l2.access_line(a, false) {
-                        LineOutcome::Hit => {
-                            stall += self.lat.l2_hit_cycles;
-                            if worst == HitLevel::L1 {
-                                worst = HitLevel::L2;
-                            }
-                        }
-                        LineOutcome::Miss { .. } => {
-                            stall += self.lat.l2_hit_cycles + self.dram_cycles();
-                            worst = HitLevel::Dram;
-                        }
+                    LineOutcome::Miss { .. } => {
+                        *stall += self.lat.l2_hit_cycles + self.dram_cycles();
+                        *worst = HitLevel::Dram;
                     }
                 }
             }
+        }
+    }
+
+    /// Bulk access: `count` element accesses of `elem_bytes` at `start`,
+    /// `start + stride`, … — classified at line granularity so each
+    /// distinct line costs one tag lookup per level instead of one per
+    /// scalar. Stats, stamps, victim choices and the returned stall total
+    /// are identical to the scalar loop
+    /// `for i in 0..count { access(start + i*stride, elem_bytes, write) }`.
+    ///
+    /// Runs whose elements may straddle a line boundary (element size not
+    /// dividing the line size, or a start/stride not multiple of the
+    /// element size) take that scalar loop verbatim instead.
+    pub fn access_block(
+        &mut self,
+        start: u64,
+        elem_bytes: u64,
+        count: u64,
+        stride: i64,
+        write: bool,
+    ) -> AccessOutcome {
+        let mut stall = 0u64;
+        let mut worst = HitLevel::L1;
+        if count == 0 {
+            return AccessOutcome { level: worst, stall_cycles: stall };
+        }
+        let lb = self.l1d.config().line_bytes;
+        let aligned = elem_bytes >= 1
+            && lb.is_multiple_of(elem_bytes)
+            && start.is_multiple_of(elem_bytes)
+            && stride.unsigned_abs().is_multiple_of(elem_bytes);
+        if !aligned {
+            // Straddle-capable scalar path.
+            let mut addr = start;
+            for _ in 0..count {
+                let o = self.access(addr, elem_bytes, write);
+                stall += o.stall_cycles;
+                worst = worst_of(worst, o.level);
+                addr = addr.wrapping_add(stride as u64);
+            }
+            return AccessOutcome { level: worst, stall_cycles: stall };
+        }
+        let mut done = 0u64;
+        let mut addr = start;
+        while done < count {
+            let k = burst_len(addr, lb, stride, count - done);
+            self.line_access(addr, write, k, &mut stall, &mut worst);
+            addr = addr.wrapping_add((k as i64).wrapping_mul(stride) as u64);
+            done += k;
         }
         AccessOutcome { level: worst, stall_cycles: stall }
     }
@@ -333,6 +565,15 @@ impl Hierarchy {
         let (v1, d1) = self.l1d.flush_range(start, len);
         let (v2, d2) = self.l2.flush_range(start, len);
         (v1 + v2, d1 + d2)
+    }
+}
+
+fn worst_of(a: HitLevel, b: HitLevel) -> HitLevel {
+    use HitLevel::*;
+    match (a, b) {
+        (Dram, _) | (_, Dram) => Dram,
+        (L2, _) | (_, L2) => L2,
+        _ => L1,
     }
 }
 
@@ -381,6 +622,7 @@ mod tests {
         let out = c.access_line(8 * 64, false); // evicts dirty line 0
         assert!(matches!(out, LineOutcome::Miss { writeback: true }));
         assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.dirty_lines(), 0);
     }
 
     #[test]
@@ -391,6 +633,7 @@ mod tests {
         let (valid, dirty) = c.flush_all();
         assert_eq!((valid, dirty), (2, 1));
         assert!(!c.probe(0));
+        assert_eq!(c.dirty_lines(), 0);
     }
 
     #[test]
@@ -402,7 +645,24 @@ mod tests {
         assert_eq!((valid, dirty), (1, 1));
         assert!(!c.probe(0));
         assert!(c.probe(64));
+        assert_eq!(c.dirty_lines(), 1);
         assert_eq!(c.flush_range(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn huge_flush_range_sweeps_sets_once() {
+        // Range of 1 GiB against a 512 B cache: takes the set sweep, and
+        // returns exactly what the per-line walk would.
+        let mut c = small_cache();
+        c.access_line(0, true);
+        c.access_line(64, false);
+        c.access_line(1 << 31, true); // outside the flushed range
+        let (valid, dirty) = c.flush_range(0, 1 << 30);
+        assert_eq!((valid, dirty), (2, 1));
+        assert!(!c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(1 << 31));
+        assert_eq!(c.dirty_lines(), 1);
     }
 
     #[test]
@@ -411,6 +671,53 @@ mod tests {
         c.access_line(0, true);
         c.access_line(64, false);
         assert_eq!(c.dirty_lines(), 1);
+        c.access_line(0, true); // re-dirtying is not double counted
+        assert_eq!(c.dirty_lines(), 1);
+        c.access_line(64, true);
+        assert_eq!(c.dirty_lines(), 2);
+    }
+
+    #[test]
+    fn resident_lines_reports_sorted_state() {
+        let mut c = small_cache();
+        c.access_line(8 * 64, true);
+        c.access_line(0, false);
+        assert_eq!(c.resident_lines(), vec![(0, false), (8 * 64, true)]);
+    }
+
+    #[test]
+    fn access_run_matches_scalar_loop() {
+        // Sequential 4-byte run over 4 KiB (64 lines) vs the scalar loop,
+        // then a second pass (all hits) and a strided pass.
+        for (count, stride, write) in [
+            (1024u64, 4i64, false),
+            (1024, 4, true),
+            (64, 64, false),
+            (128, -4, true),
+            (7, 0, true),
+        ] {
+            let mut bulk = small_cache();
+            let mut scalar = small_cache();
+            let start = 4096u64;
+            let out = bulk.access_run(start, count, stride, write);
+            let mut hits = 0;
+            let mut misses = 0;
+            let mut wbs = 0;
+            let mut addr = start;
+            for _ in 0..count {
+                match scalar.access_line(addr, write) {
+                    LineOutcome::Hit => hits += 1,
+                    LineOutcome::Miss { writeback } => {
+                        misses += 1;
+                        wbs += u64::from(writeback);
+                    }
+                }
+                addr = addr.wrapping_add(stride as u64);
+            }
+            assert_eq!(out, RunOutcome { hits, misses, writebacks: wbs }, "{count} {stride}");
+            assert_eq!(bulk.stats(), scalar.stats(), "{count} {stride}");
+            assert_eq!(bulk.resident_lines(), scalar.resident_lines(), "{count} {stride}");
+        }
     }
 
     fn hierarchy() -> Hierarchy {
@@ -447,6 +754,50 @@ mod tests {
         assert_eq!(o.level, HitLevel::Dram);
         assert_eq!(o.stall_cycles, 2 * 110);
         assert_eq!(h.l1d.stats().misses, 2);
+    }
+
+    #[test]
+    fn access_block_matches_scalar_loop() {
+        for (start, count, stride, write) in [
+            (0u64, 1024u64, 4i64, false),
+            (128, 300, 4, true),
+            (0, 64, 256, false),
+            (8192, 33, -4, true),
+        ] {
+            let mut bulk = hierarchy();
+            let mut scalar = hierarchy();
+            let o = bulk.access_block(start, 4, count, stride, write);
+            let mut stall = 0;
+            let mut worst = HitLevel::L1;
+            let mut addr = start;
+            for _ in 0..count {
+                let s = scalar.access(addr, 4, write);
+                stall += s.stall_cycles;
+                worst = worst_of(worst, s.level);
+                addr = addr.wrapping_add(stride as u64);
+            }
+            assert_eq!(o.stall_cycles, stall, "{start} {count} {stride}");
+            assert_eq!(o.level, worst, "{start} {count} {stride}");
+            assert_eq!(bulk.l1d.stats(), scalar.l1d.stats());
+            assert_eq!(bulk.l2.stats(), scalar.l2.stats());
+            assert_eq!(bulk.l1d.resident_lines(), scalar.l1d.resident_lines());
+            assert_eq!(bulk.l2.resident_lines(), scalar.l2.resident_lines());
+        }
+    }
+
+    #[test]
+    fn access_block_unaligned_takes_scalar_path() {
+        // Elements at odd addresses can straddle lines: the block access
+        // must still equal the scalar loop (which it takes verbatim).
+        let mut bulk = hierarchy();
+        let mut scalar = hierarchy();
+        let o = bulk.access_block(61, 4, 16, 6, false);
+        let mut stall = 0;
+        for i in 0..16u64 {
+            stall += scalar.access(61 + 6 * i, 4, false).stall_cycles;
+        }
+        assert_eq!(o.stall_cycles, stall);
+        assert_eq!(bulk.l1d.stats(), scalar.l1d.stats());
     }
 
     #[test]

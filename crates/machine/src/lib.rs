@@ -161,6 +161,147 @@ impl Machine {
         self.mem.write_f32(pa, v);
     }
 
+    /// Cached host load of a strided run of `f32`s: element `i` comes from
+    /// `va + i*stride`. The run is classified at page and cache-line
+    /// granularity — one translate per 4 KiB page, one tag lookup per
+    /// distinct line — and the aggregate stall is charged to the core
+    /// once, with totals identical to calling [`Machine::host_load_f32`]
+    /// per element.
+    pub fn host_load_f32_run(&mut self, va: u64, stride: i64, out: &mut [f32]) {
+        if stride == 4 {
+            return self.host_load_f32_slice(va, out);
+        }
+        if !va.is_multiple_of(4) || stride % 4 != 0 {
+            // Words may straddle page boundaries: scalar path.
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.host_load_f32(va.wrapping_add((i as i64 * stride) as u64));
+            }
+            return;
+        }
+        let mut done = 0usize;
+        let mut addr = va;
+        let mut stall = 0u64;
+        while done < out.len() {
+            // All elements of the burst sit on one VA page: one translate,
+            // physically contiguous with the same stride.
+            let k = cache::burst_len(addr, PAGE_BYTES, stride, (out.len() - done) as u64) as usize;
+            let pa = self.translate(addr);
+            stall += self.hier.access_block(pa, 4, k as u64, stride, false).stall_cycles;
+            let mut a = pa;
+            for slot in &mut out[done..done + k] {
+                *slot = self.mem.read_f32(a);
+                a = a.wrapping_add(stride as u64);
+            }
+            addr = addr.wrapping_add((k as i64).wrapping_mul(stride) as u64);
+            done += k;
+        }
+        self.core.stall(stall);
+    }
+
+    /// Cached host store of a strided run of `f32`s; the store-side dual
+    /// of [`Machine::host_load_f32_run`].
+    pub fn host_store_f32_run(&mut self, va: u64, stride: i64, data: &[f32]) {
+        if stride == 4 {
+            return self.host_store_f32_slice(va, data);
+        }
+        if !va.is_multiple_of(4) || stride % 4 != 0 {
+            for (i, v) in data.iter().enumerate() {
+                self.host_store_f32(va.wrapping_add((i as i64 * stride) as u64), *v);
+            }
+            return;
+        }
+        let mut done = 0usize;
+        let mut addr = va;
+        let mut stall = 0u64;
+        while done < data.len() {
+            let k = cache::burst_len(addr, PAGE_BYTES, stride, (data.len() - done) as u64) as usize;
+            let pa = self.translate(addr);
+            stall += self.hier.access_block(pa, 4, k as u64, stride, true).stall_cycles;
+            let mut a = pa;
+            for v in &data[done..done + k] {
+                self.mem.write_f32(a, *v);
+                a = a.wrapping_add(stride as u64);
+            }
+            addr = addr.wrapping_add((k as i64).wrapping_mul(stride) as u64);
+            done += k;
+        }
+        self.core.stall(stall);
+    }
+
+    /// Cached host load of a contiguous run of `f32`s starting at `va`,
+    /// chunked by [`Mmu::translate_run`] so each physically contiguous
+    /// stretch costs one cache run and one frame-chunked memory copy.
+    pub fn host_load_f32_slice(&mut self, va: u64, out: &mut [f32]) {
+        if !va.is_multiple_of(4) {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.host_load_f32(va + 4 * i as u64);
+            }
+            return;
+        }
+        let mut done = 0usize;
+        let mut stall = 0u64;
+        while done < out.len() {
+            let want = 4 * (out.len() - done) as u64;
+            let (pa, run) = self
+                .mmu
+                .translate_run(va + 4 * done as u64, want)
+                .expect("host access to unmapped page");
+            let k = (run / 4) as usize;
+            stall += self.hier.access_block(pa, 4, k as u64, 4, false).stall_cycles;
+            self.mem.read_f32_slice(pa, &mut out[done..done + k]);
+            done += k;
+        }
+        self.core.stall(stall);
+    }
+
+    /// Cached host store of a contiguous run of `f32`s starting at `va`;
+    /// the store-side dual of [`Machine::host_load_f32_slice`].
+    pub fn host_store_f32_slice(&mut self, va: u64, data: &[f32]) {
+        if !va.is_multiple_of(4) {
+            for (i, v) in data.iter().enumerate() {
+                self.host_store_f32(va + 4 * i as u64, *v);
+            }
+            return;
+        }
+        let mut done = 0usize;
+        let mut stall = 0u64;
+        while done < data.len() {
+            let want = 4 * (data.len() - done) as u64;
+            let (pa, run) = self
+                .mmu
+                .translate_run(va + 4 * done as u64, want)
+                .expect("host access to unmapped page");
+            let k = (run / 4) as usize;
+            stall += self.hier.access_block(pa, 4, k as u64, 4, true).stall_cycles;
+            self.mem.write_f32_slice(pa, &data[done..done + k]);
+            done += k;
+        }
+        self.core.stall(stall);
+    }
+
+    /// Cached host copy of `count` `f32` words from `src` to `dst`,
+    /// chunked through a bounded buffer. Equivalent to the per-word
+    /// load/store loop for non-overlapping ranges; overlapping ranges take
+    /// that loop verbatim to preserve its forward-propagation semantics.
+    pub fn host_copy_f32(&mut self, src: u64, dst: u64, count: u64) {
+        let overlap = src < dst + 4 * count && dst < src + 4 * count;
+        if overlap || !src.is_multiple_of(4) || !dst.is_multiple_of(4) {
+            for i in 0..count {
+                let v = self.host_load_f32(src + 4 * i);
+                self.host_store_f32(dst + 4 * i, v);
+            }
+            return;
+        }
+        let mut buf = [0f32; 1024];
+        let mut done = 0u64;
+        while done < count {
+            let k = buf.len().min((count - done) as usize);
+            self.host_load_f32_slice(src + 4 * done, &mut buf[..k]);
+            self.host_store_f32_slice(dst + 4 * done, &buf[..k]);
+            done += k as u64;
+        }
+    }
+
     /// Uncacheable (device-side or flushed-region) read of raw bytes at a
     /// *physical* address. Used by the accelerator's DMA engine.
     pub fn uncached_read(&mut self, pa: u64, buf: &mut [u8]) {
@@ -173,19 +314,49 @@ impl Machine {
     }
 
     /// Writes initial data into an array without charging the core
-    /// (test-bench initialization, "outside the ROI").
+    /// (test-bench initialization, "outside the ROI"). Word-aligned runs
+    /// go through [`Mmu::translate_run`] and the frame-chunked memory
+    /// path — one translate per page instead of per element.
     pub fn poke_f32_slice(&mut self, va: u64, data: &[f32]) {
-        for (i, v) in data.iter().enumerate() {
-            let pa = self.translate(va + 4 * i as u64);
-            self.mem.write_f32(pa, *v);
+        if !va.is_multiple_of(4) {
+            for (i, v) in data.iter().enumerate() {
+                let pa = self.translate(va + 4 * i as u64);
+                self.mem.write_f32(pa, *v);
+            }
+            return;
+        }
+        let mut done = 0usize;
+        while done < data.len() {
+            let want = 4 * (data.len() - done) as u64;
+            let (pa, run) = self
+                .mmu
+                .translate_run(va + 4 * done as u64, want)
+                .expect("host access to unmapped page");
+            let k = (run / 4) as usize;
+            self.mem.write_f32_slice(pa, &data[done..done + k]);
+            done += k;
         }
     }
 
     /// Reads data from an array without charging the core.
     pub fn peek_f32_slice(&mut self, va: u64, out: &mut [f32]) {
-        for (i, slot) in out.iter_mut().enumerate() {
-            let pa = self.translate(va + 4 * i as u64);
-            *slot = self.mem.read_f32(pa);
+        if !va.is_multiple_of(4) {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let pa = self.translate(va + 4 * i as u64);
+                *slot = self.mem.read_f32(pa);
+            }
+            return;
+        }
+        let mut done = 0usize;
+        while done < out.len() {
+            let want = 4 * (out.len() - done) as u64;
+            let (pa, run) = self
+                .mmu
+                .translate_run(va + 4 * done as u64, want)
+                .expect("host access to unmapped page");
+            let k = (run / 4) as usize;
+            self.mem.read_f32_slice(pa, &mut out[done..done + k]);
+            done += k;
         }
     }
 
@@ -277,6 +448,56 @@ mod tests {
         assert_eq!(out, [1.0, 2.0, 3.0]);
         assert_eq!(m.core.instructions(), insts_before);
         assert_eq!(m.core.cycles(), cycles_before);
+    }
+
+    #[test]
+    fn run_accessors_match_scalar_loops() {
+        // Bulk load/store runs must charge the same stalls, mutate the
+        // caches identically and move the same bytes as the scalar loop.
+        for stride in [4i64, 8, 64, -4] {
+            let mut bulk = Machine::new(MachineConfig::test_small());
+            let mut scalar = Machine::new(MachineConfig::test_small());
+            let n = 700usize;
+            let span = 4 * n as u64 * stride.unsigned_abs();
+            let (vb, vs) = (bulk.alloc_host(span), scalar.alloc_host(span));
+            assert_eq!(vb, vs);
+            let start = if stride < 0 { vb + span - 4 } else { vb };
+            let data: Vec<f32> = (0..n).map(|i| i as f32 - 3.25).collect();
+            bulk.host_store_f32_run(start, stride, &data);
+            for (i, v) in data.iter().enumerate() {
+                scalar.host_store_f32(start.wrapping_add((i as i64 * stride) as u64), *v);
+            }
+            let mut got = vec![0f32; n];
+            bulk.host_load_f32_run(start, stride, &mut got);
+            let mut want = vec![0f32; n];
+            for (i, slot) in want.iter_mut().enumerate() {
+                *slot = scalar.host_load_f32(start.wrapping_add((i as i64 * stride) as u64));
+            }
+            assert_eq!(got, want, "stride {stride}");
+            assert_eq!(got, data, "stride {stride}");
+            assert_eq!(bulk.core.stall_cycles(), scalar.core.stall_cycles(), "stride {stride}");
+            assert_eq!(bulk.hier.l1d.stats(), scalar.hier.l1d.stats(), "stride {stride}");
+            assert_eq!(bulk.hier.l2.stats(), scalar.hier.l2.stats(), "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn host_copy_matches_scalar_loop_values() {
+        let mut m = Machine::new(MachineConfig::test_small());
+        let src = m.alloc_host(8192);
+        let dst = m.alloc_host(8192);
+        let data: Vec<f32> = (0..2048).map(|i| (i * 3) as f32).collect();
+        m.poke_f32_slice(src, &data);
+        m.host_copy_f32(src, dst, 2048);
+        let mut out = vec![0f32; 2048];
+        m.peek_f32_slice(dst, &mut out);
+        assert_eq!(out, data);
+        assert!(m.core.stall_cycles() > 0, "copy is a cached host access");
+        // Overlapping copy keeps the forward word-loop semantics.
+        m.host_copy_f32(dst, dst + 4, 3);
+        let mut o = [0f32; 4];
+        m.peek_f32_slice(dst, &mut o);
+        assert_eq!(o, [data[0], data[0], data[0], data[0]]);
     }
 
     #[test]

@@ -1036,17 +1036,20 @@ impl CimContext {
     }
 }
 
-/// Cached word-copy loop: `ldr; str; add; bne` per 4 bytes.
+/// Cached word copy: `ldr; str; add; bne` per 4 bytes. The data moves
+/// through the machine's bulk run path (one cache classification per
+/// line, one translate per page) while the retired instruction mix stays
+/// that of the word loop.
 fn copy_words(mach: &mut Machine, src_va: u64, dst_va: u64, len: u64) {
     let words = len / 4;
-    for i in 0..words {
-        let v = mach.host_load_f32(src_va + 4 * i);
-        mach.host_store_f32(dst_va + 4 * i, v);
-        mach.core.retire(InstClass::Load, 1);
-        mach.core.retire(InstClass::Store, 1);
-        mach.core.retire(InstClass::IntAlu, 1);
-        mach.core.retire(InstClass::Branch, 1);
+    if words == 0 {
+        return;
     }
+    mach.host_copy_f32(src_va, dst_va, words);
+    mach.core.retire(InstClass::Load, words);
+    mach.core.retire(InstClass::Store, words);
+    mach.core.retire(InstClass::IntAlu, words);
+    mach.core.retire(InstClass::Branch, words);
 }
 
 #[cfg(test)]
